@@ -1,0 +1,82 @@
+//! Ablation: balancing on *estimated* latencies (Vivaldi coordinates)
+//! vs ground truth.
+//!
+//! The paper assumes the pairwise latencies `c_ij` are known, citing
+//! network-coordinate systems as the standard monitoring solution.
+//! This harness quantifies that assumption: the engine runs once with
+//! the true matrix and once with the matrix estimated from a few
+//! random probes per node per tick; both assignments are then priced
+//! under the TRUE latencies. The gap is the real cost of imperfect
+//! monitoring.
+//!
+//! Run: `cargo bench -p dlb-bench --bench ablation_latency_estimation`
+
+use dlb_bench::{print_header, NetworkKind};
+use dlb_core::cost::total_cost;
+use dlb_core::rngutil::rng_for;
+use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+use dlb_core::Instance;
+use dlb_coords::{Estimator, EstimatorConfig};
+use dlb_distributed::{Engine, EngineOptions};
+
+fn main() {
+    print_header(
+        "Ablation — engine on Vivaldi-estimated vs true latencies",
+        "ticks (probes/node = 4)",
+    );
+    println!(
+        "{:<26} {:>12} {:>14}",
+        "", "median err", "ΣC vs truth"
+    );
+    let m = 40;
+    let truth = NetworkKind::PlanetLab.build(m, 11);
+    let mut rng = rng_for(11, 0xE57);
+    let spec = WorkloadSpec {
+        loads: LoadDistribution::Exponential,
+        avg_load: 100.0,
+        speeds: SpeedDistribution::paper_uniform(),
+    };
+    let instance = spec.sample(truth.clone(), &mut rng);
+
+    // Reference: engine on the true matrix.
+    let mut engine = Engine::new(
+        instance.clone(),
+        EngineOptions {
+            seed: 11,
+            ..Default::default()
+        },
+    );
+    let true_cost = engine.run_to_convergence(1e-12, 3, 200).final_cost;
+
+    for &ticks in &[5usize, 15, 40, 100] {
+        let mut est = Estimator::new(m, EstimatorConfig { seed: 11, ..Default::default() });
+        est.run(&truth, ticks);
+        let err = est.median_relative_error(&truth);
+        // Balance under the estimated matrix…
+        let est_instance = Instance::new(
+            instance.speeds().to_vec(),
+            instance.own_loads().to_vec(),
+            est.estimated_matrix(),
+        );
+        let mut est_engine = Engine::new(
+            est_instance,
+            EngineOptions {
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        est_engine.run_to_convergence(1e-12, 3, 200);
+        // …but price the resulting assignment under the TRUE latencies.
+        let assignment = est_engine.assignment().clone();
+        let real_cost = total_cost(&instance, &assignment);
+        println!(
+            "{:<26} {:>12.3} {:>14.4}",
+            format!("{ticks} ticks"),
+            err,
+            real_cost / true_cost
+        );
+    }
+    println!("\nexpectation: ΣC penalty shrinks with estimation accuracy;");
+    println!("a few dozen ticks of 4 probes suffice for a ≈1.0x ratio — the");
+    println!("paper's 'latencies are known' assumption is cheap to satisfy.");
+}

@@ -1,0 +1,58 @@
+//! Ablation: the message-passing deployment (`dlb-runtime`) vs the
+//! shared-memory analytic engine.
+//!
+//! The protocol differs from the engine in two load-bearing ways: the
+//! partner *choice* uses only locally available knowledge (gossiped
+//! loads + own latency column — a real organization cannot evaluate
+//! `impr(i,j)` without the partner's ledger), and all coordination
+//! happens through wire frames with collisions and busy-rejections.
+//! This harness measures what those differences cost: final `ΣC`
+//! ratio, rounds, exchanges and lost proposals.
+//!
+//! Run: `cargo bench -p dlb-bench --bench ablation_runtime_protocol`
+
+use dlb_bench::{print_header, sample_instance, NetworkKind};
+use dlb_core::workload::{LoadDistribution, SpeedDistribution};
+use dlb_distributed::{Engine, EngineOptions};
+use dlb_runtime::{run_cluster, ClusterOptions};
+
+fn main() {
+    print_header(
+        "Ablation — message-passing protocol vs analytic engine",
+        "workload",
+    );
+    println!(
+        "{:<26} {:>10} {:>8} {:>10} {:>8} {:>8}",
+        "", "ΣC ratio", "rounds", "exchanges", "lost", "moved"
+    );
+    let cases = [
+        ("uniform/50 c=20", LoadDistribution::Uniform, 50.0, NetworkKind::Homogeneous),
+        ("exp/50 c=20", LoadDistribution::Exponential, 50.0, NetworkKind::Homogeneous),
+        ("peak c=20", LoadDistribution::Peak, 100_000.0 / 24.0, NetworkKind::Homogeneous),
+        ("uniform/50 PL", LoadDistribution::Uniform, 50.0, NetworkKind::PlanetLab),
+        ("exp/200 PL", LoadDistribution::Exponential, 200.0, NetworkKind::PlanetLab),
+    ];
+    let m = 24;
+    for (label, dist, avg, net) in cases {
+        let instance = sample_instance(m, net, dist, avg, SpeedDistribution::paper_uniform(), 7);
+        let mut engine = Engine::new(
+            instance.clone(),
+            EngineOptions {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let engine_cost = engine.run_to_convergence(1e-12, 3, 300).final_cost;
+        let report = run_cluster(&instance, &ClusterOptions::certified(m));
+        println!(
+            "{label:<26} {:>10.4} {:>8} {:>10} {:>8} {:>8.0}",
+            report.final_cost / engine_cost,
+            report.rounds,
+            report.exchanges,
+            report.lost_proposals,
+            report.moved
+        );
+    }
+    println!("\nexpectation: ΣC ratio ≈ 1.00 (≤ 1.01) — local knowledge suffices;");
+    println!("rounds exceed engine iterations (audit rotation certifies the fixpoint).");
+}

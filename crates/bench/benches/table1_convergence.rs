@@ -1,0 +1,17 @@
+//! Table I: iterations of the distributed algorithm to reach ≤ 2 %
+//! relative error in `ΣC`, across network sizes and load distributions.
+//!
+//! Paper values (average / max / st.dev):
+//! `m ≤ 50`: uniform 1.65/3, exp 2.35/3, peak 4.87/6 ·
+//! `m = 100`: 2.0/2, 2.62/3, 6.88/7 · `m = 200`: 2.1/3, 3.1/4, 7.84/8 ·
+//! `m = 300`: 2.0/2, 3.25/4, 8.0/8.
+//!
+//! Run: `cargo bench -p dlb-bench --bench table1_convergence`
+//! (set `DLB_BENCH_SCALE=full` for the paper-sized grid).
+
+fn main() {
+    dlb_bench::convergence_table(0.02, "Table I — iterations to <=2% relative error");
+    println!(
+        "\npaper: uniform <= 2.1 avg, exp <= 3.25 avg, peak <= 8 avg; all maxima <= 8"
+    );
+}

@@ -1,0 +1,13 @@
+//! Table II: iterations of the distributed algorithm to reach ≤ 0.1 %
+//! relative error in `ΣC` (same grid as Table I, tighter target).
+//!
+//! Paper values (average / max): `m ≤ 50`: uniform 5.1/7, exp 5.5/7,
+//! peak 6.4/7 · `m = 100`: 5.8/9, 6.3/9, 8.0/9 · `m = 200`: 6.1/9,
+//! 7.1/10, 9.9/10 · `m = 300`: 6.2/10, 7.7/11, 10.0/10.
+//!
+//! Run: `cargo bench -p dlb-bench --bench table2_convergence`.
+
+fn main() {
+    dlb_bench::convergence_table(0.001, "Table II — iterations to <=0.1% relative error");
+    println!("\npaper: all averages <= 10, all maxima <= 11");
+}

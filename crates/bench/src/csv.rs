@@ -1,0 +1,98 @@
+//! Minimal CSV writing for experiment outputs.
+//!
+//! The harnesses print paper-style tables to stdout and, when
+//! `DLB_RESULTS_DIR` is set, additionally append machine-readable rows
+//! here (hand-rolled: the approved dependency set has no CSV/format
+//! crate, and the needs are trivial).
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A CSV sink for one experiment. Writing is best-effort: when
+/// `DLB_RESULTS_DIR` is unset the sink is a no-op so harnesses never
+/// fail on read-only filesystems.
+#[derive(Debug)]
+pub struct CsvSink {
+    file: Option<fs::File>,
+}
+
+impl CsvSink {
+    /// Opens (truncates) `<DLB_RESULTS_DIR>/<name>.csv` and writes the
+    /// header row.
+    pub fn create(name: &str, header: &[&str]) -> Self {
+        let file = std::env::var("DLB_RESULTS_DIR").ok().and_then(|dir| {
+            let mut path = PathBuf::from(dir);
+            if fs::create_dir_all(&path).is_err() {
+                return None;
+            }
+            path.push(format!("{name}.csv"));
+            let mut f = fs::File::create(path).ok()?;
+            writeln!(f, "{}", header.join(",")).ok()?;
+            Some(f)
+        });
+        Self { file }
+    }
+
+    /// Appends one row; fields are escaped if they contain commas or
+    /// quotes.
+    pub fn row(&mut self, fields: &[String]) {
+        if let Some(f) = &mut self.file {
+            let escaped: Vec<String> = fields.iter().map(|v| escape(v)).collect();
+            let _ = writeln!(f, "{}", escaped.join(","));
+        }
+    }
+
+    /// Convenience: a row of display-formatted values.
+    pub fn row_display(&mut self, fields: &[&dyn std::fmt::Display]) {
+        let strings: Vec<String> = fields.iter().map(|v| v.to_string()).collect();
+        self.row(&strings);
+    }
+
+    /// Whether rows are actually being persisted.
+    pub fn is_active(&self) -> bool {
+        self.file.is_some()
+    }
+}
+
+fn escape(v: &str) -> String {
+    if v.contains(',') || v.contains('"') || v.contains('\n') {
+        format!("\"{}\"", v.replace('"', "\"\""))
+    } else {
+        v.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One sequential test: the sink behaviour depends on a process-wide
+    /// environment variable, so the no-op and active cases must not run
+    /// as separate (parallel) tests.
+    #[test]
+    fn sink_honours_results_dir_env() {
+        std::env::remove_var("DLB_RESULTS_DIR");
+        let mut sink = CsvSink::create("unit_noop", &["a", "b"]);
+        assert!(!sink.is_active());
+        sink.row(&["1".into(), "2".into()]); // must not panic
+
+        let dir = std::env::temp_dir().join("dlb_csv_test");
+        std::env::set_var("DLB_RESULTS_DIR", &dir);
+        let mut sink = CsvSink::create("unit_rows", &["x", "label"]);
+        assert!(sink.is_active());
+        sink.row(&["3.5".into(), "plain".into()]);
+        sink.row(&["1".into(), "with,comma".into()]);
+        drop(sink);
+        let content = fs::read_to_string(dir.join("unit_rows.csv")).unwrap();
+        assert_eq!(content, "x,label\n3.5,plain\n1,\"with,comma\"\n");
+        std::env::remove_var("DLB_RESULTS_DIR");
+    }
+
+    #[test]
+    fn escape_rules() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,271 @@
+//! # dlb-bench — experiment harnesses for every table and figure
+//!
+//! Each `harness = false` bench target regenerates one artifact of the
+//! paper's evaluation (§VI and the Appendix) and prints it in the
+//! paper's row format; `benches/kernels.rs` adds Criterion
+//! micro-benchmarks of the hot kernels. This library crate holds the
+//! shared machinery: experiment grids, the optimum oracle, descriptive
+//! statistics, and table formatting.
+//!
+//! Scale control: set `DLB_BENCH_SCALE=full` for the paper-sized grids
+//! (minutes of runtime); the default `fast` grids keep every qualitative
+//! conclusion but finish in seconds, and are what `cargo bench` runs in
+//! CI.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+
+use dlb_core::rngutil::rng_for;
+use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+use dlb_core::{Instance, LatencyMatrix};
+use dlb_distributed::{Engine, EngineOptions};
+use dlb_topology::PlanetLabConfig;
+
+/// Which latency substrate an experiment runs on (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// `c_ij = 20` for all pairs.
+    Homogeneous,
+    /// Synthetic PlanetLab-like matrix (see `dlb-topology`).
+    PlanetLab,
+}
+
+impl NetworkKind {
+    /// Paper-style row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkKind::Homogeneous => "c=20",
+            NetworkKind::PlanetLab => "PL",
+        }
+    }
+
+    /// Builds the latency matrix.
+    pub fn build(&self, m: usize, seed: u64) -> LatencyMatrix {
+        match self {
+            NetworkKind::Homogeneous => LatencyMatrix::homogeneous(m, 20.0),
+            NetworkKind::PlanetLab => PlanetLabConfig::default().generate(m, seed),
+        }
+    }
+}
+
+/// Returns `true` when the full (paper-scale) grids were requested via
+/// `DLB_BENCH_SCALE=full`.
+pub fn full_scale() -> bool {
+    std::env::var("DLB_BENCH_SCALE")
+        .map(|v| v.eq_ignore_ascii_case("full"))
+        .unwrap_or(false)
+}
+
+/// Descriptive statistics used in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Computes [`Stats`] over a sample.
+pub fn stats(xs: &[f64]) -> Stats {
+    let n = xs.len();
+    if n == 0 {
+        return Stats {
+            mean: 0.0,
+            max: 0.0,
+            std: 0.0,
+            n,
+        };
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    Stats {
+        mean,
+        max,
+        std: var.sqrt(),
+        n,
+    }
+}
+
+/// Draws one §VI-A instance.
+pub fn sample_instance(
+    m: usize,
+    network: NetworkKind,
+    loads: LoadDistribution,
+    avg_load: f64,
+    speeds: SpeedDistribution,
+    seed: u64,
+) -> Instance {
+    let latency = network.build(m, seed);
+    let mut rng = rng_for(seed, 0xBE7C);
+    WorkloadSpec {
+        loads,
+        avg_load,
+        speeds,
+    }
+    .sample(latency, &mut rng)
+}
+
+/// Runs the distributed engine to its fixpoint and reports the number
+/// of iterations needed to come within `rel_err` of that fixpoint —
+/// the measurement behind Tables I and II (the paper approximates the
+/// optimum with the distributed algorithm itself, §VI-A).
+pub fn iterations_to_rel_error(instance: &Instance, seed: u64, rel_err: f64) -> usize {
+    let mut engine = Engine::new(
+        instance.clone(),
+        EngineOptions {
+            seed,
+            // The paper's load is discrete unit requests (§II); its
+            // simulation therefore stops when no whole request is
+            // worth moving. Measuring the continuous relaxation
+            // instead stretches the 0.1% tail by chasing sub-request
+            // refinements no discrete system would perform.
+            granularity: 1.0,
+            ..Default::default()
+        },
+    );
+    // Oracle stall tolerance: 1e-6 relative per iteration, two
+    // orders tighter than the finest measured threshold (0.1 %), so
+    // the oracle is converged for measurement purposes without
+    // chasing sub-request-scale improvements forever.
+    engine.run_to_convergence(1e-6, 3, 60);
+    let optimum = engine.current_cost();
+    engine
+        .iterations_to_reach(optimum, rel_err)
+        .unwrap_or(engine.iterations())
+}
+
+/// Shared runner for Tables I and II: sweeps the §VI-A grid and prints
+/// iterations-to-`rel_err` statistics per (size bucket, distribution).
+pub fn convergence_table(rel_err: f64, title: &str) {
+    let full = full_scale();
+    let size_buckets: Vec<(&str, Vec<usize>)> = if full {
+        vec![
+            ("m <= 50", vec![20, 30, 50]),
+            ("m = 100", vec![100]),
+            ("m = 200", vec![200]),
+            ("m = 300", vec![300]),
+        ]
+    } else {
+        vec![
+            ("m <= 50", vec![20, 30, 50]),
+            ("m = 100", vec![100]),
+            ("m = 200", vec![200]),
+        ]
+    };
+    let avg_loads: Vec<f64> = if full {
+        vec![10.0, 20.0, 50.0, 200.0, 1000.0]
+    } else {
+        vec![10.0, 50.0]
+    };
+    let seeds: Vec<u64> = if full { vec![1, 2, 3, 4] } else { vec![1] };
+    let networks = [NetworkKind::Homogeneous, NetworkKind::PlanetLab];
+    let dists = [
+        LoadDistribution::Uniform,
+        LoadDistribution::Exponential,
+        LoadDistribution::Peak,
+    ];
+
+    print_header(title, "bucket / distribution");
+    for (bucket, ms) in &size_buckets {
+        for dist in dists {
+            let mut samples = Vec::new();
+            for &m in ms {
+                // The peak workload fixes the total at 100 000 requests
+                // on one server (paper §VI-A) and ignores the avg grid.
+                let loads_grid: Vec<f64> = if dist == LoadDistribution::Peak {
+                    vec![100_000.0 / m as f64]
+                } else {
+                    avg_loads.clone()
+                };
+                for &avg in &loads_grid {
+                    for &net in &networks {
+                        for &seed in &seeds {
+                            let instance = sample_instance(
+                                m,
+                                net,
+                                dist,
+                                avg,
+                                SpeedDistribution::paper_uniform(),
+                                seed,
+                            );
+                            let iters = iterations_to_rel_error(&instance, seed, rel_err);
+                            samples.push(iters as f64);
+                        }
+                    }
+                }
+            }
+            let s = stats(&samples);
+            println!("{}", format_row(&format!("{bucket} {}", dist.label()), &s));
+        }
+    }
+}
+
+/// Formats a `(label, Stats)` table row in the paper's
+/// `average / max / st.dev` layout.
+pub fn format_row(label: &str, s: &Stats) -> String {
+    format!(
+        "{label:<28} {:>8.2} {:>8.2} {:>8.2}   (n={})",
+        s.mean, s.max, s.std, s.n
+    )
+}
+
+/// Prints a standard table header.
+pub fn print_header(title: &str, col: &str) {
+    println!("\n== {title} ==");
+    println!("{:<28} {:>8} {:>8} {:>8}", col, "avg", "max", "st.dev");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = stats(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.max, 3.0);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = stats(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn network_kinds_build() {
+        assert_eq!(NetworkKind::Homogeneous.build(5, 1).get(0, 1), 20.0);
+        assert!(NetworkKind::PlanetLab.build(20, 1).is_complete());
+    }
+
+    #[test]
+    fn iterations_measurement_is_small_on_easy_instances() {
+        let instance = sample_instance(
+            20,
+            NetworkKind::Homogeneous,
+            LoadDistribution::Uniform,
+            50.0,
+            SpeedDistribution::paper_uniform(),
+            3,
+        );
+        let iters = iterations_to_rel_error(&instance, 3, 0.02);
+        assert!(iters <= 10, "{iters} iterations for an easy instance");
+    }
+
+    #[test]
+    fn format_row_shape() {
+        let row = format_row("m=100 uniform", &stats(&[2.0, 3.0]));
+        assert!(row.contains("m=100 uniform"));
+        assert!(row.contains("(n=2)"));
+    }
+}

@@ -1,0 +1,185 @@
+//! A small, dependency-free argument parser for the `dlb` binary.
+//!
+//! Grammar: `dlb <command> [--key value]... [--flag]...`. Keys are
+//! declared per command; unknown keys produce an error listing the
+//! valid ones. Values are parsed on access with typed getters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand and its `--key value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// A parse or validation error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name). `allowed`
+    /// lists the option keys valid for the detected subcommand.
+    pub fn parse<I, S>(raw: I, allowed: &[&str]) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = raw.into_iter().map(Into::into);
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing command".into()))?;
+        if command.starts_with('-') {
+            return Err(ArgError(format!(
+                "expected a command first, found option '{command}'"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(tok) = iter.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected --option, found '{tok}'")))?
+                .to_string();
+            if key.is_empty() {
+                return Err(ArgError("empty option name '--'".into()));
+            }
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown option '--{key}' for '{command}' (valid: {})",
+                    allowed
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError(format!("option '--{key}' needs a value")))?;
+            if options.insert(key.clone(), value).is_some() {
+                return Err(ArgError(format!("option '--{key}' given twice")));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Returns the raw string value of `key`, if present.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Typed getter with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: '{v}' is not a non-negative integer"))),
+        }
+    }
+
+    /// Typed getter with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: '{v}' is not a non-negative integer"))),
+        }
+    }
+
+    /// Typed getter with a default; rejects NaN and negatives.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{key}: '{v}' is not a number")))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(ArgError(format!(
+                        "--{key}: '{v}' must be finite and non-negative"
+                    )));
+                }
+                Ok(x)
+            }
+        }
+    }
+
+    /// String getter constrained to an enumeration of choices.
+    pub fn get_choice(
+        &self,
+        key: &str,
+        choices: &[&str],
+        default: &str,
+    ) -> Result<String, ArgError> {
+        let v = self.options.get(key).map(String::as_str).unwrap_or(default);
+        if choices.contains(&v) {
+            Ok(v.to_string())
+        } else {
+            Err(ArgError(format!(
+                "--{key}: '{v}' is not one of {}",
+                choices.join("|")
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEYS: &[&str] = &["servers", "avg", "network"];
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(["optimize", "--servers", "50", "--network", "pl"], KEYS).unwrap();
+        assert_eq!(a.command, "optimize");
+        assert_eq!(a.get_usize("servers", 0).unwrap(), 50);
+        assert_eq!(a.get("network"), Some("pl"));
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_and_duplicate_options() {
+        let e = Args::parse(["optimize", "--bogus", "1"], KEYS).unwrap_err();
+        assert!(e.0.contains("unknown option"), "{e}");
+        let e = Args::parse(["optimize", "--avg", "1", "--avg", "2"], KEYS).unwrap_err();
+        assert!(e.0.contains("twice"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_value_and_bad_numbers() {
+        let e = Args::parse(["optimize", "--servers"], KEYS).unwrap_err();
+        assert!(e.0.contains("needs a value"), "{e}");
+        let a = Args::parse(["optimize", "--avg", "abc"], KEYS).unwrap();
+        assert!(a.get_f64("avg", 1.0).is_err());
+        let a = Args::parse(["optimize", "--avg", "-5"], KEYS).unwrap();
+        assert!(a.get_f64("avg", 1.0).is_err());
+    }
+
+    #[test]
+    fn choice_getter_validates() {
+        let a = Args::parse(["optimize", "--network", "pl"], KEYS).unwrap();
+        assert_eq!(a.get_choice("network", &["homog", "pl"], "homog").unwrap(), "pl");
+        let a = Args::parse(["optimize", "--network", "wat"], KEYS).unwrap();
+        assert!(a.get_choice("network", &["homog", "pl"], "homog").is_err());
+    }
+
+    #[test]
+    fn command_required_first() {
+        assert!(Args::parse(["--servers", "5"], KEYS).is_err());
+        assert!(Args::parse(Vec::<String>::new(), KEYS).is_err());
+    }
+}

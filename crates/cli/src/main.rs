@@ -1,0 +1,215 @@
+//! `dlb` — run the paper's systems from a shell.
+//!
+//! ```text
+//! dlb optimize  --servers 50 --network pl --load exp --avg 50
+//! dlb nash      --servers 24 --avg 50 --latency 20 --speeds const
+//! dlb protocol  --servers 16 --avg 80
+//! dlb estimate  --servers 40 --ticks 50
+//! ```
+//!
+//! Every command samples a §VI-A instance (deterministic per
+//! `--seed`), runs the relevant system and prints a compact report.
+//! The full experiment grids live in `cargo bench -p dlb-bench`.
+
+mod args;
+
+use args::{ArgError, Args};
+use dlb_core::cost::total_cost;
+use dlb_core::rngutil::rng_for;
+use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+use dlb_core::{Assignment, Instance, LatencyMatrix};
+use dlb_coords::{Estimator, EstimatorConfig};
+use dlb_distributed::{Engine, EngineOptions};
+use dlb_game::{run_best_response_dynamics, theorem1_bounds, DynamicsOptions};
+use dlb_runtime::{run_cluster, ClusterOptions};
+use dlb_solver::{solve_bcd, objective};
+use dlb_topology::PlanetLabConfig;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dlb — network delay-aware load balancing (Skowron & Rzadca, IPDPS'13)
+
+commands:
+  optimize   run the distributed engine to its fixpoint
+  nash       run selfish best-response dynamics; report the cost of selfishness
+  protocol   run the message-passing cluster (threads + wire frames)
+  estimate   run Vivaldi latency estimation against a synthetic network
+  help       show this text
+
+common options:
+  --servers N     number of organizations            [default 20]
+  --network K     homog | pl                         [default homog]
+  --latency C     homogeneous latency in ms          [default 20]
+  --load D        uniform | exp | peak               [default exp]
+  --avg L         average initial load               [default 50]
+  --speeds S      uniform | const                    [default uniform]
+  --seed N        RNG seed                           [default 1]
+
+optimize/protocol options:
+  --max-iters N   iteration/round budget             [default 200]
+estimate options:
+  --ticks N       estimation ticks                   [default 50]
+  --probes N      probes per node per tick           [default 4]
+";
+
+fn instance_from(args: &Args) -> Result<Instance, ArgError> {
+    let m = args.get_usize("servers", 20)?;
+    if m == 0 {
+        return Err(ArgError("--servers must be at least 1".into()));
+    }
+    let seed = args.get_u64("seed", 1)?;
+    let network = args.get_choice("network", &["homog", "pl"], "homog")?;
+    let c = args.get_f64("latency", 20.0)?;
+    let latency = match network.as_str() {
+        "pl" => PlanetLabConfig::default().generate(m, seed),
+        _ => LatencyMatrix::homogeneous(m, c),
+    };
+    let load = args.get_choice("load", &["uniform", "exp", "peak"], "exp")?;
+    let loads = match load.as_str() {
+        "uniform" => LoadDistribution::Uniform,
+        "peak" => LoadDistribution::Peak,
+        _ => LoadDistribution::Exponential,
+    };
+    let avg = args.get_f64("avg", 50.0)?;
+    let speeds = match args.get_choice("speeds", &["uniform", "const"], "uniform")?.as_str() {
+        "const" => SpeedDistribution::Constant(1.0),
+        _ => SpeedDistribution::paper_uniform(),
+    };
+    let mut rng = rng_for(seed, 0xC11);
+    Ok(WorkloadSpec {
+        loads,
+        avg_load: avg,
+        speeds,
+    }
+    .sample(latency, &mut rng))
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), ArgError> {
+    let instance = instance_from(args)?;
+    let max_iters = args.get_usize("max-iters", 200)?;
+    let seed = args.get_u64("seed", 1)?;
+    let mut engine = Engine::new(
+        instance.clone(),
+        EngineOptions {
+            seed,
+            ..Default::default()
+        },
+    );
+    let report = engine.run_to_convergence(1e-10, 3, max_iters);
+    println!("m = {}, initial ΣC = {:.1}", instance.len(), engine.history()[0]);
+    for (i, c) in engine.history().iter().enumerate().skip(1) {
+        println!("iteration {i:>3}: ΣC = {c:.1}");
+    }
+    println!(
+        "\nconverged: {} after {} iterations; final ΣC = {:.1}",
+        report.converged, report.iterations, report.final_cost
+    );
+    if instance.len() <= 30 {
+        let (rho, _) = solve_bcd(&instance, 2_000, 1e-10);
+        println!("solver optimum (BCD): {:.1}", objective(&instance, &rho));
+    }
+    Ok(())
+}
+
+fn cmd_nash(args: &Args) -> Result<(), ArgError> {
+    let instance = instance_from(args)?;
+    let mut nash = Assignment::local(&instance);
+    let report = run_best_response_dynamics(&instance, &mut nash, &DynamicsOptions::default());
+    let nash_cost = total_cost(&instance, &nash);
+    let mut engine = Engine::new(instance.clone(), EngineOptions::default());
+    let coop = engine.run_to_convergence(1e-12, 3, 300).final_cost;
+    println!(
+        "Nash ΣC = {nash_cost:.1} after {} rounds (converged: {})",
+        report.rounds, report.converged
+    );
+    println!("cooperative ΣC = {coop:.1}");
+    println!("cost of selfishness = {:.4}", nash_cost / coop);
+    if instance.is_homogeneous(1e-9) {
+        let c = instance.c(0, 1.min(instance.len() - 1));
+        let s = instance.speed(0);
+        let lav = instance.average_load();
+        let (lo, hi) = theorem1_bounds(c, s, lav);
+        println!("Theorem 1 PoA band (c={c}, s={s}, l_av={lav:.1}): [{lo:.4}, {hi:.4}]");
+    }
+    Ok(())
+}
+
+fn cmd_protocol(args: &Args) -> Result<(), ArgError> {
+    let instance = instance_from(args)?;
+    let m = instance.len();
+    let max_rounds = args.get_usize("max-iters", 200)?;
+    let report = run_cluster(
+        &instance,
+        &ClusterOptions {
+            max_rounds,
+            ..ClusterOptions::certified(m)
+        },
+    );
+    println!(
+        "rounds: {} (quiescent: {}), exchanges: {}, lost proposals: {}",
+        report.rounds, report.quiescent, report.exchanges, report.lost_proposals
+    );
+    println!("volume moved: {:.0} requests", report.moved);
+    println!("final ΣC = {:.1}", report.final_cost);
+    let mut engine = Engine::new(instance, EngineOptions::default());
+    let coop = engine.run_to_convergence(1e-12, 3, 300).final_cost;
+    println!("engine fixpoint = {coop:.1} (ratio {:.4})", report.final_cost / coop);
+    Ok(())
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
+    let m = args.get_usize("servers", 40)?;
+    let seed = args.get_u64("seed", 1)?;
+    let ticks = args.get_usize("ticks", 50)?;
+    let probes = args.get_usize("probes", 4)?;
+    let truth = PlanetLabConfig::default().generate(m, seed);
+    let mut est = Estimator::new(
+        m,
+        EstimatorConfig {
+            probes_per_tick: probes,
+            seed,
+            ..Default::default()
+        },
+    );
+    println!("tick  median relative error");
+    let step = (ticks / 10).max(1);
+    for t in 0..ticks {
+        est.tick(&truth);
+        if t % step == 0 || t + 1 == ticks {
+            println!("{:>4}  {:.4}", t + 1, est.median_relative_error(&truth));
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), ArgError> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    const COMMON: &[&str] = &[
+        "servers", "network", "latency", "load", "avg", "speeds", "seed", "max-iters", "ticks",
+        "probes",
+    ];
+    let args = Args::parse(raw, COMMON)?;
+    match args.command.as_str() {
+        "optimize" => cmd_optimize(&args),
+        "nash" => cmd_nash(&args),
+        "protocol" => cmd_protocol(&args),
+        "estimate" => cmd_estimate(&args),
+        other => Err(ArgError(format!(
+            "unknown command '{other}' (try 'dlb help')"
+        ))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The expected-completion-time objective (paper §II).
+//!
+//! With random request ordering on each server, a request processed on
+//! server `j` waits in expectation `l_j / 2 s_j`, so the expected total
+//! completion time of organization `i` is
+//!
+//! ```text
+//! C_i = Σ_j (l_j / 2 s_j + c_ij) · r_ij
+//! ```
+//!
+//! and the system objective collapses (using `Σ_k r_kj = l_j`) to
+//!
+//! ```text
+//! ΣC = Σ_j l_j² / (2 s_j)  +  Σ_{kj} c_kj · r_kj .
+//! ```
+
+use crate::assignment::Assignment;
+use crate::instance::Instance;
+
+/// Total processing time `ΣC_i` of an assignment.
+///
+/// Returns `f64::INFINITY` when requests are relayed over a forbidden
+/// (infinite-latency) link.
+pub fn total_cost(instance: &Instance, a: &Assignment) -> f64 {
+    let m = instance.len();
+    debug_assert_eq!(a.len(), m);
+    let mut cost = 0.0;
+    for j in 0..m {
+        let l = a.load(j);
+        cost += l * l / (2.0 * instance.speed(j));
+        for (k, r) in a.ledger(j).iter() {
+            let c = instance.c(k as usize, j);
+            if c > 0.0 {
+                cost += c * r;
+            }
+        }
+    }
+    cost
+}
+
+/// Congestion-only part of the objective, `Σ_j l_j²/(2 s_j)`.
+pub fn congestion_cost(instance: &Instance, a: &Assignment) -> f64 {
+    (0..instance.len())
+        .map(|j| {
+            let l = a.load(j);
+            l * l / (2.0 * instance.speed(j))
+        })
+        .sum()
+}
+
+/// Communication-only part of the objective, `Σ_{kj} c_kj r_kj`.
+pub fn communication_cost(instance: &Instance, a: &Assignment) -> f64 {
+    let mut cost = 0.0;
+    for j in 0..instance.len() {
+        for (k, r) in a.ledger(j).iter() {
+            let c = instance.c(k as usize, j);
+            if c > 0.0 {
+                cost += c * r;
+            }
+        }
+    }
+    cost
+}
+
+/// Expected total completion time `C_i` of a single organization's
+/// requests (paper Eq. 1).
+pub fn org_cost(instance: &Instance, a: &Assignment, i: usize) -> f64 {
+    let m = instance.len();
+    let mut cost = 0.0;
+    for j in 0..m {
+        let r = a.requests(i, j);
+        if r > 0.0 {
+            cost += (a.load(j) / (2.0 * instance.speed(j)) + instance.c(i, j)) * r;
+        }
+    }
+    cost
+}
+
+/// All per-organization costs; sums to [`total_cost`].
+pub fn org_costs(instance: &Instance, a: &Assignment) -> Vec<f64> {
+    let m = instance.len();
+    let mut costs = vec![0.0; m];
+    for j in 0..m {
+        let wait = a.load(j) / (2.0 * instance.speed(j));
+        for (k, r) in a.ledger(j).iter() {
+            costs[k as usize] += (wait + instance.c(k as usize, j)) * r;
+        }
+    }
+    costs
+}
+
+/// A lower bound on the optimal `ΣC`: congestion of the perfectly
+/// speed-proportional load split with zero communication,
+/// `(Σ n)² / (2 Σ s)`.
+///
+/// For homogeneous instances this is the paper's `m l_av² / 2s` bound
+/// used in Theorem 1.
+pub fn ideal_lower_bound(instance: &Instance) -> f64 {
+    let n = instance.total_load();
+    let s = instance.total_speed();
+    if s == 0.0 {
+        0.0
+    } else {
+        n * n / (2.0 * s)
+    }
+}
+
+/// Makespan-flavoured metric: the largest server drain time
+/// `max_j l_j / s_j` (ms). The paper optimizes `ΣC` but discusses the
+/// contrast with makespan (§II "Completion times"); exposing both lets
+/// the examples and benches quantify the difference.
+pub fn makespan(instance: &Instance, a: &Assignment) -> f64 {
+    (0..instance.len())
+        .map(|j| a.load(j) / instance.speed(j))
+        .fold(0.0, f64::max)
+}
+
+/// Per-server drain times `l_j / s_j` (the makespan vector).
+pub fn drain_times(instance: &Instance, a: &Assignment) -> Vec<f64> {
+    (0..instance.len())
+        .map(|j| a.load(j) / instance.speed(j))
+        .collect()
+}
+
+/// Jain's fairness index of the speed-normalized loads
+/// (`(Σx)² / (m·Σx²)`, 1 = perfectly balanced). A compact imbalance
+/// diagnostic used by the dynamic-load example and benches.
+pub fn load_fairness(instance: &Instance, a: &Assignment) -> f64 {
+    let m = instance.len();
+    if m == 0 {
+        return 1.0;
+    }
+    let xs: Vec<f64> = (0..m).map(|j| a.load(j) / instance.speed(j)).collect();
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (m as f64 * sq)
+    }
+}
+
+/// Exact cost change from moving `delta` requests owned by `k` from
+/// server `from` to server `to` (Lemma 1's `f(Δ) - f(0)`), without
+/// mutating the assignment.
+pub fn move_cost_delta(
+    instance: &Instance,
+    a: &Assignment,
+    k: usize,
+    from: usize,
+    to: usize,
+    delta: f64,
+) -> f64 {
+    if from == to || delta == 0.0 {
+        return 0.0;
+    }
+    let li = a.load(from);
+    let lj = a.load(to);
+    let si = instance.speed(from);
+    let sj = instance.speed(to);
+    let congestion = ((li - delta) * (li - delta) - li * li) / (2.0 * si)
+        + ((lj + delta) * (lj + delta) - lj * lj) / (2.0 * sj);
+    let comm = delta * (instance.c(k, to) - instance.c(k, from));
+    congestion + comm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyMatrix;
+    use proptest::prelude::*;
+
+    fn small_instance() -> Instance {
+        Instance::new(
+            vec![1.0, 2.0],
+            vec![10.0, 4.0],
+            LatencyMatrix::homogeneous(2, 3.0),
+        )
+    }
+
+    #[test]
+    fn local_assignment_cost() {
+        let inst = small_instance();
+        let a = Assignment::local(&inst);
+        // l = [10, 4]; cost = 100/2 + 16/4 = 54; no communication.
+        assert_eq!(total_cost(&inst, &a), 54.0);
+        assert_eq!(communication_cost(&inst, &a), 0.0);
+        assert_eq!(congestion_cost(&inst, &a), 54.0);
+    }
+
+    #[test]
+    fn relayed_cost_includes_latency() {
+        let inst = small_instance();
+        let mut a = Assignment::local(&inst);
+        a.move_requests(0, 0, 1, 4.0);
+        // l = [6, 8]; congestion = 36/2 + 64/4 = 34; comm = 4 * 3 = 12.
+        assert_eq!(congestion_cost(&inst, &a), 34.0);
+        assert_eq!(communication_cost(&inst, &a), 12.0);
+        assert_eq!(total_cost(&inst, &a), 46.0);
+    }
+
+    #[test]
+    fn org_costs_sum_to_total() {
+        let inst = small_instance();
+        let mut a = Assignment::local(&inst);
+        a.move_requests(0, 0, 1, 4.0);
+        let per_org = org_costs(&inst, &a);
+        let total: f64 = per_org.iter().sum();
+        assert!((total - total_cost(&inst, &a)).abs() < 1e-12);
+        assert!((org_cost(&inst, &a, 0) - per_org[0]).abs() < 1e-12);
+        assert!((org_cost(&inst, &a, 1) - per_org[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn org_cost_formula_manual() {
+        let inst = small_instance();
+        let mut a = Assignment::local(&inst);
+        a.move_requests(0, 0, 1, 4.0);
+        // org 0: 6 requests at server 0 (l=6, s=1, wait 3), 4 at server 1
+        // (l=8, s=2, wait 2, c=3): 6*3 + 4*(2+3) = 38.
+        assert!((org_cost(&inst, &a, 0) - 38.0).abs() < 1e-12);
+        // org 1: 4 requests at server 1: 4 * 2 = 8.
+        assert!((org_cost(&inst, &a, 1) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_latency_forbids_relay() {
+        let mut lat = LatencyMatrix::homogeneous(2, 3.0);
+        lat.set(0, 1, f64::INFINITY);
+        let inst = Instance::new(vec![1.0, 1.0], vec![5.0, 5.0], lat);
+        let mut a = Assignment::local(&inst);
+        a.move_requests(0, 0, 1, 1.0);
+        assert!(total_cost(&inst, &a).is_infinite());
+    }
+
+    #[test]
+    fn ideal_lower_bound_homogeneous() {
+        let inst = Instance::homogeneous(4, 2.0, 20.0, 100.0);
+        // (400)^2 / (2*8) = 10000 = m * lav^2 / (2 s) = 4 * 10000 / 4.
+        assert_eq!(ideal_lower_bound(&inst), 10000.0);
+    }
+
+    #[test]
+    fn makespan_and_drain_times() {
+        let inst = small_instance();
+        let a = Assignment::local(&inst);
+        // drains: 10/1 = 10, 4/2 = 2.
+        assert_eq!(drain_times(&inst, &a), vec![10.0, 2.0]);
+        assert_eq!(makespan(&inst, &a), 10.0);
+    }
+
+    #[test]
+    fn makespan_improves_with_balancing() {
+        let inst = small_instance();
+        let mut a = Assignment::local(&inst);
+        a.move_requests(0, 0, 1, 4.0);
+        assert!(makespan(&inst, &a) < 10.0);
+    }
+
+    #[test]
+    fn fairness_index_bounds() {
+        let inst = small_instance();
+        let a = Assignment::local(&inst);
+        let f = load_fairness(&inst, &a);
+        assert!(f > 0.0 && f < 1.0, "imbalanced system: {f}");
+        // Perfectly speed-proportional load ⇒ fairness 1.
+        let mut b = Assignment::local(&inst);
+        // loads (10,4); speeds (1,2): want l0/1 == l1/2, total 14 ⇒ l0 =
+        // 14/3. move 10 − 14/3 from 0 to 1.
+        b.move_requests(0, 0, 1, 10.0 - 14.0 / 3.0);
+        let f = load_fairness(&inst, &b);
+        assert!((f - 1.0).abs() < 1e-9, "balanced fairness = {f}");
+        // Empty system is trivially fair.
+        let empty = Instance::new(vec![1.0], vec![0.0], LatencyMatrix::zero(1));
+        assert_eq!(load_fairness(&empty, &Assignment::local(&empty)), 1.0);
+    }
+
+    #[test]
+    fn move_cost_delta_matches_recomputation() {
+        let inst = small_instance();
+        let mut a = Assignment::local(&inst);
+        let before = total_cost(&inst, &a);
+        let predicted = move_cost_delta(&inst, &a, 0, 0, 1, 4.0);
+        a.move_requests(0, 0, 1, 4.0);
+        let after = total_cost(&inst, &a);
+        assert!((after - before - predicted).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_move_delta_consistent(
+            n0 in 1.0f64..50.0, n1 in 1.0f64..50.0,
+            frac in 0.0f64..1.0, c in 0.0f64..10.0,
+            s0 in 0.5f64..4.0, s1 in 0.5f64..4.0,
+        ) {
+            let inst = Instance::new(
+                vec![s0, s1],
+                vec![n0, n1],
+                LatencyMatrix::homogeneous(2, c),
+            );
+            let mut a = Assignment::local(&inst);
+            let delta = n0 * frac;
+            let before = total_cost(&inst, &a);
+            let predicted = move_cost_delta(&inst, &a, 0, 0, 1, delta);
+            if delta > 0.0 {
+                a.move_requests(0, 0, 1, delta);
+            }
+            let after = total_cost(&inst, &a);
+            prop_assert!((after - before - predicted).abs() < 1e-7 * before.max(1.0));
+        }
+
+        #[test]
+        fn prop_lower_bound_below_any_assignment(
+            loads in prop::collection::vec(0.0f64..100.0, 3),
+            fracs in prop::collection::vec(0.01f64..1.0, 9),
+        ) {
+            let inst = Instance::new(
+                vec![1.0, 2.0, 3.0],
+                loads,
+                LatencyMatrix::homogeneous(3, 1.0),
+            );
+            let m = 3;
+            let mut rho = vec![0.0; 9];
+            for k in 0..m {
+                let s: f64 = fracs[k * m..(k + 1) * m].iter().sum();
+                for j in 0..m {
+                    rho[k * m + j] = fracs[k * m + j] / s;
+                }
+            }
+            let a = Assignment::from_fractions(&inst, &rho);
+            prop_assert!(total_cost(&inst, &a) >= ideal_lower_bound(&inst) - 1e-9);
+        }
+    }
+}

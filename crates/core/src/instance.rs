@@ -1,0 +1,212 @@
+//! Problem instances: organizations, servers, initial loads, latencies.
+
+use crate::latency::LatencyMatrix;
+
+/// A load-balancing problem instance (paper §II).
+///
+/// Organization `i` owns server `i` with processing speed `s_i`
+/// (requests per ms) and produces `n_i` unit requests. Servers are
+/// connected by a network with constant pairwise latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    speeds: Vec<f64>,
+    own_loads: Vec<f64>,
+    latency: LatencyMatrix,
+}
+
+impl Instance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    /// Panics when dimensions disagree, any speed is not strictly
+    /// positive, or any load is negative.
+    pub fn new(speeds: Vec<f64>, own_loads: Vec<f64>, latency: LatencyMatrix) -> Self {
+        assert_eq!(speeds.len(), own_loads.len(), "speeds/loads dimension mismatch");
+        assert_eq!(speeds.len(), latency.len(), "latency dimension mismatch");
+        for (i, &s) in speeds.iter().enumerate() {
+            assert!(s > 0.0 && s.is_finite(), "speed of server {i} must be positive, got {s}");
+        }
+        for (i, &n) in own_loads.iter().enumerate() {
+            assert!(n >= 0.0 && n.is_finite(), "load of org {i} must be non-negative, got {n}");
+        }
+        Self {
+            speeds,
+            own_loads,
+            latency,
+        }
+    }
+
+    /// A homogeneous instance: `m` servers of speed `s`, all-pairs
+    /// latency `c`, every organization holding `load` requests.
+    /// This is the setting of the paper's §V-A analysis.
+    pub fn homogeneous(m: usize, s: f64, c: f64, load: f64) -> Self {
+        Self::new(
+            vec![s; m],
+            vec![load; m],
+            LatencyMatrix::homogeneous(m, c),
+        )
+    }
+
+    /// Number of organizations / servers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Returns `true` for the empty instance.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.speeds.is_empty()
+    }
+
+    /// Speed of server `i` (requests per ms).
+    #[inline]
+    pub fn speed(&self, i: usize) -> f64 {
+        self.speeds[i]
+    }
+
+    /// All server speeds.
+    #[inline]
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// Initial (own) load of organization `i`.
+    #[inline]
+    pub fn own_load(&self, i: usize) -> f64 {
+        self.own_loads[i]
+    }
+
+    /// All initial loads.
+    #[inline]
+    pub fn own_loads(&self) -> &[f64] {
+        &self.own_loads
+    }
+
+    /// Replaces the initial loads (used by dynamic-load scenarios where
+    /// demand changes between balancing rounds).
+    pub fn set_own_loads(&mut self, loads: Vec<f64>) {
+        assert_eq!(loads.len(), self.len());
+        for (i, &n) in loads.iter().enumerate() {
+            assert!(n >= 0.0 && n.is_finite(), "load of org {i} must be non-negative");
+        }
+        self.own_loads = loads;
+    }
+
+    /// The latency matrix.
+    #[inline]
+    pub fn latency(&self) -> &LatencyMatrix {
+        &self.latency
+    }
+
+    /// Latency from server `i` to server `j` in ms.
+    #[inline]
+    pub fn c(&self, i: usize, j: usize) -> f64 {
+        self.latency.get(i, j)
+    }
+
+    /// Total load in the system, `Σ n_i`.
+    #[inline]
+    pub fn total_load(&self) -> f64 {
+        self.own_loads.iter().sum()
+    }
+
+    /// Average load per server, `l_av = Σ n_i / m`.
+    #[inline]
+    pub fn average_load(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.total_load() / self.len() as f64
+        }
+    }
+
+    /// Total processing capacity, `Σ s_i`.
+    #[inline]
+    pub fn total_speed(&self) -> f64 {
+        self.speeds.iter().sum()
+    }
+
+    /// Returns `true` when all speeds are equal and all off-diagonal
+    /// latencies are equal (the homogeneous setting of §V-A).
+    pub fn is_homogeneous(&self, tol: f64) -> bool {
+        let m = self.len();
+        if m == 0 {
+            return true;
+        }
+        let s0 = self.speeds[0];
+        if self.speeds.iter().any(|&s| (s - s0).abs() > tol) {
+            return false;
+        }
+        let mut c0 = None;
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    let c = self.latency.get(i, j);
+                    match c0 {
+                        None => c0 = Some(c),
+                        Some(v) if (c - v).abs() > tol => return false,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_instance() {
+        let inst = Instance::homogeneous(5, 2.0, 20.0, 100.0);
+        assert_eq!(inst.len(), 5);
+        assert_eq!(inst.total_load(), 500.0);
+        assert_eq!(inst.average_load(), 100.0);
+        assert_eq!(inst.total_speed(), 10.0);
+        assert!(inst.is_homogeneous(1e-12));
+        assert_eq!(inst.c(0, 1), 20.0);
+        assert_eq!(inst.c(2, 2), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_detection() {
+        let mut inst = Instance::new(
+            vec![1.0, 2.0],
+            vec![10.0, 0.0],
+            LatencyMatrix::homogeneous(2, 5.0),
+        );
+        assert!(!inst.is_homogeneous(1e-12));
+        inst.set_own_loads(vec![3.0, 4.0]);
+        assert_eq!(inst.own_load(0), 3.0);
+        assert_eq!(inst.total_load(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_speed() {
+        Instance::new(vec![0.0], vec![1.0], LatencyMatrix::zero(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_load() {
+        Instance::new(vec![1.0], vec![-1.0], LatencyMatrix::zero(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_dimension_mismatch() {
+        Instance::new(vec![1.0, 1.0], vec![1.0], LatencyMatrix::zero(2));
+    }
+
+    #[test]
+    fn empty_instance_is_fine() {
+        let inst = Instance::new(vec![], vec![], LatencyMatrix::zero(0));
+        assert!(inst.is_empty());
+        assert_eq!(inst.average_load(), 0.0);
+        assert!(inst.is_homogeneous(0.0));
+    }
+}

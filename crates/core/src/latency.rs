@@ -1,0 +1,290 @@
+//! Dense pairwise communication-latency matrices.
+//!
+//! The model assumes the latency `c_{ij}` of relaying a single request
+//! between servers `i` and `j` is a constant that does not depend on the
+//! exchanged volume (validated by the paper's PlanetLab experiment, which
+//! `dlb-netsim` recreates). `c_{ii} = 0` always. An entry of
+//! `f64::INFINITY` encodes "organization `i` may not relay to `j`"
+//! (the trust-restricted variant from §II).
+
+/// A dense `m × m` matrix of pairwise communication latencies in
+/// milliseconds.
+///
+/// The matrix is not required to be symmetric (real RTT measurements are
+/// mildly asymmetric) but must have a zero diagonal and non-negative
+/// entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyMatrix {
+    m: usize,
+    data: Vec<f64>,
+}
+
+impl LatencyMatrix {
+    /// Builds a latency matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != m * m`, a diagonal entry is non-zero,
+    /// or any entry is negative / NaN.
+    pub fn from_rows(m: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), m * m, "latency data must be m*m");
+        for i in 0..m {
+            assert_eq!(data[i * m + i], 0.0, "diagonal latency must be zero");
+        }
+        for (idx, &v) in data.iter().enumerate() {
+            assert!(
+                v >= 0.0,
+                "latency must be non-negative (entry {idx} is {v})"
+            );
+        }
+        Self { m, data }
+    }
+
+    /// A fully connected homogeneous network: `c_{ij} = c` for all
+    /// `i ≠ j` (the paper's `c_{ij} = 20` configuration).
+    pub fn homogeneous(m: usize, c: f64) -> Self {
+        assert!(c >= 0.0, "latency must be non-negative");
+        let mut data = vec![c; m * m];
+        for i in 0..m {
+            data[i * m + i] = 0.0;
+        }
+        Self { m, data }
+    }
+
+    /// The degenerate single-site network (all latencies zero): classic
+    /// delay-oblivious load balancing.
+    pub fn zero(m: usize) -> Self {
+        Self {
+            m,
+            data: vec![0.0; m * m],
+        }
+    }
+
+    /// Number of servers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Returns `true` for the empty (0-server) matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Latency from server `i` to server `j` in ms.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.m && j < self.m);
+        self.data[i * self.m + j]
+    }
+
+    /// Mutable access used by topology generators.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(value >= 0.0, "latency must be non-negative");
+        assert!(i != j || value == 0.0, "diagonal latency must stay zero");
+        self.data[i * self.m + j] = value;
+    }
+
+    /// Row `i` as a slice (latencies from server `i` to every server).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Mean off-diagonal finite latency; `0` for `m < 2`.
+    pub fn mean_latency(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..self.m {
+            for j in 0..self.m {
+                if i != j && self.data[i * self.m + j].is_finite() {
+                    sum += self.data[i * self.m + j];
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Largest finite off-diagonal latency (0 when none).
+    pub fn max_latency(&self) -> f64 {
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` when the matrix satisfies the triangle inequality
+    /// `c_{ij} ≤ c_{ik} + c_{kj}` up to `tol`.
+    ///
+    /// The paper assumes the network layer already routes optimally, so
+    /// model inputs should be metric-closed; topology generators use
+    /// [`Self::metric_close`] to enforce this.
+    pub fn is_metric(&self, tol: f64) -> bool {
+        let m = self.m;
+        for k in 0..m {
+            for i in 0..m {
+                let cik = self.get(i, k);
+                if !cik.is_finite() {
+                    continue;
+                }
+                for j in 0..m {
+                    let ckj = self.get(k, j);
+                    if ckj.is_finite() && self.get(i, j) > cik + ckj + tol {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Replaces every entry by the shortest-path distance (Floyd-Warshall
+    /// metric closure). This mirrors the paper's footnote 3: the iPlane
+    /// dataset is incomplete, so missing pairs are filled with minimal
+    /// distances.
+    pub fn metric_close(&mut self) {
+        let m = self.m;
+        for k in 0..m {
+            for i in 0..m {
+                let cik = self.data[i * m + k];
+                if !cik.is_finite() {
+                    continue;
+                }
+                for j in 0..m {
+                    let through = cik + self.data[k * m + j];
+                    if through < self.data[i * m + j] {
+                        self.data[i * m + j] = through;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when every off-diagonal entry is finite, i.e. the
+    /// relay graph is complete.
+    pub fn is_complete(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn homogeneous_shape() {
+        let c = LatencyMatrix::homogeneous(4, 20.0);
+        assert_eq!(c.len(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = if i == j { 0.0 } else { 20.0 };
+                assert_eq!(c.get(i, j), expected);
+            }
+        }
+        assert_eq!(c.mean_latency(), 20.0);
+        assert_eq!(c.max_latency(), 20.0);
+        assert!(c.is_metric(1e-12));
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let c = LatencyMatrix::zero(3);
+        assert_eq!(c.mean_latency(), 0.0);
+        assert!(c.is_metric(0.0));
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal latency must be zero")]
+    fn rejects_nonzero_diagonal() {
+        LatencyMatrix::from_rows(2, vec![1.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        LatencyMatrix::from_rows(2, vec![0.0, -2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn metric_close_fixes_violations() {
+        // c(0,2) = 100 but 0 -> 1 -> 2 costs 3.
+        let mut c = LatencyMatrix::from_rows(
+            3,
+            vec![0.0, 1.0, 100.0, 1.0, 0.0, 2.0, 100.0, 2.0, 0.0],
+        );
+        assert!(!c.is_metric(1e-12));
+        c.metric_close();
+        assert!(c.is_metric(1e-12));
+        assert_eq!(c.get(0, 2), 3.0);
+        assert_eq!(c.get(2, 0), 3.0);
+    }
+
+    #[test]
+    fn metric_close_completes_infinite_entries() {
+        let mut c = LatencyMatrix::homogeneous(3, 5.0);
+        c.set(0, 2, f64::INFINITY);
+        assert!(!c.is_complete());
+        c.metric_close();
+        assert!(c.is_complete());
+        assert_eq!(c.get(0, 2), 10.0); // via server 1
+    }
+
+    #[test]
+    fn restricted_graph_keeps_unreachable_infinite() {
+        // 0 and 1 mutually reachable, 2 isolated.
+        let inf = f64::INFINITY;
+        let mut c =
+            LatencyMatrix::from_rows(3, vec![0.0, 1.0, inf, 1.0, 0.0, inf, inf, inf, 0.0]);
+        c.metric_close();
+        assert!(c.get(0, 2).is_infinite());
+        assert!(c.get(2, 1).is_infinite());
+        assert_eq!(c.get(0, 1), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metric_close_is_idempotent_and_metric(
+            vals in prop::collection::vec(0.1f64..100.0, 36)
+        ) {
+            let m = 6;
+            let mut data = vals;
+            for i in 0..m { data[i * m + i] = 0.0; }
+            let mut c = LatencyMatrix::from_rows(m, data);
+            c.metric_close();
+            prop_assert!(c.is_metric(1e-9));
+            let once = c.clone();
+            c.metric_close();
+            for i in 0..m {
+                for j in 0..m {
+                    prop_assert!((c.get(i, j) - once.get(i, j)).abs() < 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_metric_close_never_increases(
+            vals in prop::collection::vec(0.1f64..50.0, 25)
+        ) {
+            let m = 5;
+            let mut data = vals;
+            for i in 0..m { data[i * m + i] = 0.0; }
+            let orig = LatencyMatrix::from_rows(m, data);
+            let mut closed = orig.clone();
+            closed.metric_close();
+            for i in 0..m {
+                for j in 0..m {
+                    prop_assert!(closed.get(i, j) <= orig.get(i, j) + 1e-12);
+                }
+            }
+        }
+    }
+}

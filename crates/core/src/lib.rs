@@ -1,0 +1,68 @@
+//! # dlb-core — model types for network delay-aware load balancing
+//!
+//! This crate implements the mathematical model of Skowron & Rzadca,
+//! *"Network delay-aware load balancing in selfish and cooperative
+//! distributed systems"* (IPDPS 2013):
+//!
+//! * [`Instance`] — `m` organizations, each owning one server with speed
+//!   `s_i` and an initial load of `n_i` unit requests, connected by a
+//!   constant-latency network described by a [`LatencyMatrix`].
+//! * [`Assignment`] — who executes whose requests: a sparse per-server
+//!   ledger of `r_{k→j}` values (requests owned by organization `k`
+//!   executing on server `j`), equivalent to the paper's relay-fraction
+//!   matrix `ρ` via `r_{kj} = n_k ρ_{kj}`.
+//! * [`cost`] — the expected-completion-time objective
+//!   `ΣC = Σ_j l_j²/(2 s_j) + Σ_{kj} c_{kj} r_{kj}` and the per-organization
+//!   cost `C_i`.
+//! * [`workload`] — the initial-load and speed distributions used in the
+//!   paper's evaluation (§VI-A): uniform, exponential and peak loads;
+//!   constant and `U(1,5)` speeds.
+//!
+//! All quantities are `f64`: loads in requests, speeds in requests/ms,
+//! latencies in ms, costs in request·ms.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assignment;
+pub mod cost;
+pub mod instance;
+pub mod latency;
+pub mod rngutil;
+pub mod sparse;
+pub mod workload;
+
+pub use assignment::Assignment;
+pub use sparse::SparseVec;
+pub use instance::Instance;
+pub use latency::LatencyMatrix;
+pub use workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+
+/// Absolute tolerance used when checking conservation invariants
+/// (per unit of load).
+pub const INVARIANT_TOL: f64 = 1e-6;
+
+/// Relative tolerance for floating-point comparisons in tests and
+/// convergence checks.
+pub const REL_TOL: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are equal up to a relative tolerance
+/// `tol` (with an absolute fallback of `tol` near zero).
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-10), 1e-9));
+    }
+}

@@ -1,0 +1,236 @@
+//! Workload generators matching the paper's evaluation settings (§VI-A).
+//!
+//! * Initial loads: uniform, exponential, or *peak* (the entire load on a
+//!   single server) distributions, parameterized by the average load per
+//!   server.
+//! * Speeds: constant, or uniform on `⟨1, 5⟩` as in the paper.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::instance::Instance;
+use crate::latency::LatencyMatrix;
+
+/// Distribution of the initial load over organizations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadDistribution {
+    /// Every organization owns exactly the average load.
+    Constant,
+    /// Loads drawn uniformly from `[0, 2·l_av]` (mean `l_av`).
+    Uniform,
+    /// Loads drawn from an exponential distribution with mean `l_av`.
+    Exponential,
+    /// The paper's peak scenario: one uniformly chosen organization owns
+    /// the whole system load (`m · l_av`), everyone else owns nothing.
+    Peak,
+}
+
+impl LoadDistribution {
+    /// Human-readable label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadDistribution::Constant => "const",
+            LoadDistribution::Uniform => "uniform",
+            LoadDistribution::Exponential => "exp",
+            LoadDistribution::Peak => "peak",
+        }
+    }
+
+    /// Samples initial loads for `m` organizations with per-server
+    /// average `avg_load`.
+    pub fn sample<R: Rng + ?Sized>(&self, m: usize, avg_load: f64, rng: &mut R) -> Vec<f64> {
+        assert!(avg_load >= 0.0, "average load must be non-negative");
+        match self {
+            LoadDistribution::Constant => vec![avg_load; m],
+            LoadDistribution::Uniform => (0..m)
+                .map(|_| rng.gen_range(0.0..=2.0 * avg_load.max(f64::MIN_POSITIVE)))
+                .collect(),
+            LoadDistribution::Exponential => (0..m)
+                .map(|_| {
+                    // Inverse-CDF sampling; `1 - u` avoids ln(0).
+                    let u: f64 = rng.gen();
+                    -avg_load * (1.0 - u).ln()
+                })
+                .collect(),
+            LoadDistribution::Peak => {
+                let mut loads = vec![0.0; m];
+                if m > 0 {
+                    let owner = rng.gen_range(0..m);
+                    loads[owner] = avg_load * m as f64;
+                }
+                loads
+            }
+        }
+    }
+}
+
+/// Distribution of server processing speeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedDistribution {
+    /// All servers share one speed (the paper's "const s_i" rows; speed 1
+    /// means one request takes 1 ms).
+    Constant(f64),
+    /// Speeds drawn uniformly from `[lo, hi]` (the paper uses `⟨1, 5⟩`).
+    UniformRange {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+}
+
+impl SpeedDistribution {
+    /// The paper's default heterogeneous speed setting `U(1, 5)`.
+    pub fn paper_uniform() -> Self {
+        SpeedDistribution::UniformRange { lo: 1.0, hi: 5.0 }
+    }
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpeedDistribution::Constant(_) => "const",
+            SpeedDistribution::UniformRange { .. } => "uniform",
+        }
+    }
+
+    /// Samples `m` speeds.
+    pub fn sample<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Vec<f64> {
+        match *self {
+            SpeedDistribution::Constant(s) => {
+                assert!(s > 0.0, "constant speed must be positive");
+                vec![s; m]
+            }
+            SpeedDistribution::UniformRange { lo, hi } => {
+                assert!(lo > 0.0 && hi >= lo, "invalid speed range");
+                (0..m).map(|_| rng.gen_range(lo..=hi)).collect()
+            }
+        }
+    }
+}
+
+/// A complete workload specification: how to draw an [`Instance`] given a
+/// latency matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Initial-load distribution.
+    pub loads: LoadDistribution,
+    /// Average load per server (requests).
+    pub avg_load: f64,
+    /// Speed distribution.
+    pub speeds: SpeedDistribution,
+}
+
+impl WorkloadSpec {
+    /// Draws an instance over the given latency matrix.
+    pub fn sample<R: Rng + ?Sized>(&self, latency: LatencyMatrix, rng: &mut R) -> Instance {
+        let m = latency.len();
+        let speeds = self.speeds.sample(m, rng);
+        let loads = self.loads.sample(m, self.avg_load, rng);
+        Instance::new(speeds, loads, latency)
+    }
+}
+
+/// A standard exponential distribution helper compatible with
+/// `rand::distributions::Distribution`, used by the simulators.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    mean: f64,
+}
+
+impl Exp {
+    /// Exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Self { mean }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        -self.mean * (1.0 - u).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_loads() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let loads = LoadDistribution::Constant.sample(5, 7.0, &mut rng);
+        assert_eq!(loads, vec![7.0; 5]);
+    }
+
+    #[test]
+    fn uniform_loads_have_right_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let loads = LoadDistribution::Uniform.sample(20_000, 50.0, &mut rng);
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean was {mean}");
+        assert!(loads.iter().all(|&l| (0.0..=100.0).contains(&l)));
+    }
+
+    #[test]
+    fn exponential_loads_have_right_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let loads = LoadDistribution::Exponential.sample(50_000, 20.0, &mut rng);
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        assert!((mean - 20.0).abs() < 0.5, "mean was {mean}");
+        assert!(loads.iter().all(|&l| l >= 0.0));
+    }
+
+    #[test]
+    fn peak_concentrates_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let loads = LoadDistribution::Peak.sample(10, 100.0, &mut rng);
+        let nonzero: Vec<&f64> = loads.iter().filter(|&&l| l > 0.0).collect();
+        assert_eq!(nonzero.len(), 1);
+        assert_eq!(*nonzero[0], 1000.0);
+    }
+
+    #[test]
+    fn speed_sampling() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = SpeedDistribution::Constant(2.0).sample(3, &mut rng);
+        assert_eq!(s, vec![2.0; 3]);
+        let s = SpeedDistribution::paper_uniform().sample(1000, &mut rng);
+        assert!(s.iter().all(|&v| (1.0..=5.0).contains(&v)));
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean speed was {mean}");
+    }
+
+    #[test]
+    fn workload_spec_builds_valid_instance() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let spec = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 50.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        };
+        let inst = spec.sample(LatencyMatrix::homogeneous(30, 20.0), &mut rng);
+        assert_eq!(inst.len(), 30);
+        assert!(inst.total_load() > 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LoadDistribution::Peak.label(), "peak");
+        assert_eq!(LoadDistribution::Uniform.label(), "uniform");
+        assert_eq!(LoadDistribution::Exponential.label(), "exp");
+        assert_eq!(SpeedDistribution::Constant(1.0).label(), "const");
+        assert_eq!(SpeedDistribution::paper_uniform().label(), "uniform");
+    }
+
+    #[test]
+    fn exp_helper_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let exp = Exp::with_mean(4.0);
+        let mean: f64 =
+            (0..50_000).map(|_| exp.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((mean - 4.0).abs() < 0.1, "mean was {mean}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # dlb-gossip — gossip dissemination substrate
+//!
+//! The distributed algorithm assumes every server knows the current
+//! loads of all other servers and notes that "the loads can be
+//! disseminated by a gossiping algorithm" with logarithmic convergence
+//! (§IV). This crate simulates that layer:
+//!
+//! * [`push_pull`] — epidemic push-pull dissemination of versioned load
+//!   vectors: each round every node exchanges its view with one random
+//!   peer, keeping the freshest entry per server. Full dissemination
+//!   takes `O(log m)` rounds, which the tests verify empirically.
+//! * [`push_sum`] — the push-sum averaging protocol (Kempe et al.) used
+//!   to estimate the average system load `l_av` (the quantity the
+//!   Theorem 1 bounds need).
+//! * [`wire`] — compact message encoding on `bytes`, sized so a full
+//!   view of a 5000-server system fits in a few UDP-friendly kilobytes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod push_pull;
+pub mod push_sum;
+pub mod wire;
+
+pub use push_pull::{GossipNetwork, GossipStats};
+pub use push_sum::PushSumNetwork;

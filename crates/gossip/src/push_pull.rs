@@ -1,0 +1,214 @@
+//! Push-pull epidemic dissemination of versioned load vectors.
+
+use dlb_core::rngutil::rng_for;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One node's entry about one server: the reported load and the version
+/// (monotone per-origin counter) it carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Reported load value.
+    pub load: f64,
+    /// Origin version; higher wins during merges.
+    pub version: u64,
+}
+
+/// A simulated gossip network: `m` nodes, each holding a (partial) view
+/// of every server's current load.
+#[derive(Debug, Clone)]
+pub struct GossipNetwork {
+    m: usize,
+    /// `views[node][origin]` — what `node` believes about `origin`.
+    views: Vec<Vec<Entry>>,
+    rng: StdRng,
+    round: u64,
+}
+
+/// Dissemination statistics from [`GossipNetwork::run_until_complete`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossipStats {
+    /// Rounds needed until every node held the latest version of every
+    /// entry.
+    pub rounds: usize,
+    /// Total node-to-node exchanges performed.
+    pub exchanges: usize,
+}
+
+impl GossipNetwork {
+    /// Creates a network where each node initially knows only its own
+    /// load.
+    pub fn new(loads: &[f64], seed: u64) -> Self {
+        let m = loads.len();
+        let views = (0..m)
+            .map(|node| {
+                (0..m)
+                    .map(|origin| Entry {
+                        load: if node == origin { loads[origin] } else { 0.0 },
+                        version: if node == origin { 1 } else { 0 },
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            m,
+            views,
+            rng: rng_for(seed, 0x6055),
+            round: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Returns `true` for the empty network.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// A node publishes a new local load (bumps its version).
+    pub fn publish(&mut self, node: usize, load: f64) {
+        let v = self.views[node][node].version + 1;
+        self.views[node][node] = Entry { load, version: v };
+    }
+
+    /// The load vector as node `node` currently believes it.
+    pub fn view(&self, node: usize) -> Vec<f64> {
+        self.views[node].iter().map(|e| e.load).collect()
+    }
+
+    /// Runs one synchronous push-pull round: every node exchanges views
+    /// with one uniformly random peer; both keep the freshest entry per
+    /// origin. Returns the number of exchanges (= m).
+    pub fn run_round(&mut self) -> usize {
+        let m = self.m;
+        if m < 2 {
+            return 0;
+        }
+        self.round += 1;
+        for node in 0..m {
+            let mut peer = self.rng.gen_range(0..m - 1);
+            if peer >= node {
+                peer += 1;
+            }
+            let (a, b) = if node < peer {
+                let (lo, hi) = self.views.split_at_mut(peer);
+                (&mut lo[node], &mut hi[0])
+            } else {
+                let (lo, hi) = self.views.split_at_mut(node);
+                (&mut hi[0], &mut lo[peer])
+            };
+            for origin in 0..m {
+                if a[origin].version > b[origin].version {
+                    b[origin] = a[origin];
+                } else if b[origin].version > a[origin].version {
+                    a[origin] = b[origin];
+                }
+            }
+        }
+        m
+    }
+
+    /// Returns `true` when every node holds the globally freshest
+    /// version of every origin's entry.
+    pub fn fully_disseminated(&self) -> bool {
+        for origin in 0..self.m {
+            let newest = self
+                .views
+                .iter()
+                .map(|v| v[origin].version)
+                .max()
+                .unwrap_or(0);
+            if self
+                .views
+                .iter()
+                .any(|v| v[origin].version != newest)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs rounds until full dissemination (or `max_rounds`).
+    pub fn run_until_complete(&mut self, max_rounds: usize) -> GossipStats {
+        let mut exchanges = 0;
+        for r in 0..max_rounds {
+            if self.fully_disseminated() {
+                return GossipStats {
+                    rounds: r,
+                    exchanges,
+                };
+            }
+            exchanges += self.run_round();
+        }
+        GossipStats {
+            rounds: max_rounds,
+            exchanges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_knowing_only_self() {
+        let net = GossipNetwork::new(&[1.0, 2.0, 3.0], 1);
+        assert_eq!(net.view(0), vec![1.0, 0.0, 0.0]);
+        assert_eq!(net.view(2), vec![0.0, 0.0, 3.0]);
+        assert!(!net.fully_disseminated());
+    }
+
+    #[test]
+    fn disseminates_fully() {
+        let loads: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut net = GossipNetwork::new(&loads, 7);
+        let stats = net.run_until_complete(1000);
+        assert!(net.fully_disseminated());
+        assert!(stats.rounds < 1000);
+        for node in 0..50 {
+            assert_eq!(net.view(node), loads);
+        }
+    }
+
+    #[test]
+    fn convergence_is_logarithmic() {
+        // Push-pull completes in O(log m) rounds w.h.p.; allow a
+        // generous constant.
+        for &m in &[32usize, 128, 512] {
+            let loads: Vec<f64> = (0..m).map(|i| i as f64).collect();
+            let mut net = GossipNetwork::new(&loads, 11);
+            let stats = net.run_until_complete(10_000);
+            let budget = 6.0 * (m as f64).log2() + 10.0;
+            assert!(
+                (stats.rounds as f64) < budget,
+                "m={m}: {} rounds > budget {budget}",
+                stats.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn updates_propagate_with_versions() {
+        let mut net = GossipNetwork::new(&[5.0, 6.0, 7.0, 8.0], 3);
+        net.run_until_complete(100);
+        net.publish(2, 70.0);
+        assert!(!net.fully_disseminated());
+        net.run_until_complete(100);
+        for node in 0..4 {
+            assert_eq!(net.view(node)[2], 70.0, "node {node} has stale entry");
+        }
+    }
+
+    #[test]
+    fn single_node_network_is_trivially_complete() {
+        let mut net = GossipNetwork::new(&[9.0], 1);
+        assert!(net.fully_disseminated());
+        let stats = net.run_until_complete(10);
+        assert_eq!(stats.rounds, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Push-sum averaging (Kempe, Dobra & Gehrke, FOCS 2003).
+//!
+//! Every node holds a pair `(s, w)` initialized to `(x_i, 1)`. Each
+//! round a node keeps half of its pair and sends the other half to a
+//! random peer; the estimate `s/w` converges exponentially fast to the
+//! global average — here, the average load `l_av` used by the price-of-
+//! anarchy bounds.
+
+use dlb_core::rngutil::rng_for;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A simulated push-sum network.
+#[derive(Debug, Clone)]
+pub struct PushSumNetwork {
+    sums: Vec<f64>,
+    weights: Vec<f64>,
+    rng: StdRng,
+}
+
+impl PushSumNetwork {
+    /// Initializes with one value per node.
+    pub fn new(values: &[f64], seed: u64) -> Self {
+        Self {
+            sums: values.to_vec(),
+            weights: vec![1.0; values.len()],
+            rng: rng_for(seed, 0x5053),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Returns `true` for the empty network.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Node `i`'s current estimate of the average.
+    pub fn estimate(&self, i: usize) -> f64 {
+        self.sums[i] / self.weights[i]
+    }
+
+    /// Runs one synchronous round: every node ships half its mass to a
+    /// random peer.
+    pub fn run_round(&mut self) {
+        let m = self.sums.len();
+        if m < 2 {
+            return;
+        }
+        let mut inbox_s = vec![0.0; m];
+        let mut inbox_w = vec![0.0; m];
+        for i in 0..m {
+            let mut peer = self.rng.gen_range(0..m - 1);
+            if peer >= i {
+                peer += 1;
+            }
+            let hs = self.sums[i] / 2.0;
+            let hw = self.weights[i] / 2.0;
+            self.sums[i] = hs;
+            self.weights[i] = hw;
+            inbox_s[peer] += hs;
+            inbox_w[peer] += hw;
+        }
+        for i in 0..m {
+            self.sums[i] += inbox_s[i];
+            self.weights[i] += inbox_w[i];
+        }
+    }
+
+    /// Largest relative deviation of any node's estimate from the true
+    /// average.
+    pub fn max_relative_error(&self, true_avg: f64) -> f64 {
+        let scale = true_avg.abs().max(1e-12);
+        (0..self.len())
+            .map(|i| (self.estimate(i) - true_avg).abs() / scale)
+            .fold(0.0, f64::max)
+    }
+
+    /// Runs until all estimates are within `tol` of the average.
+    pub fn run_until(&mut self, true_avg: f64, tol: f64, max_rounds: usize) -> usize {
+        for r in 0..max_rounds {
+            if self.max_relative_error(true_avg) <= tol {
+                return r;
+            }
+            self.run_round();
+        }
+        max_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_conservation() {
+        let values = vec![3.0, 5.0, 7.0, 9.0];
+        let mut net = PushSumNetwork::new(&values, 2);
+        for _ in 0..10 {
+            net.run_round();
+        }
+        let total_s: f64 = net.sums.iter().sum();
+        let total_w: f64 = net.weights.iter().sum();
+        assert!((total_s - 24.0).abs() < 1e-9);
+        assert!((total_w - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_converge_to_average() {
+        let values: Vec<f64> = (0..100).map(|i| (i % 10) as f64 * 10.0).collect();
+        let avg = values.iter().sum::<f64>() / 100.0;
+        let mut net = PushSumNetwork::new(&values, 5);
+        let rounds = net.run_until(avg, 1e-6, 10_000);
+        assert!(rounds < 200, "took {rounds} rounds");
+        for i in 0..100 {
+            assert!((net.estimate(i) - avg).abs() < 1e-4 * avg.max(1.0));
+        }
+    }
+
+    #[test]
+    fn convergence_roughly_logarithmic() {
+        let mut previous = 0usize;
+        for &m in &[64usize, 512] {
+            let values: Vec<f64> = (0..m).map(|i| i as f64).collect();
+            let avg = values.iter().sum::<f64>() / m as f64;
+            let mut net = PushSumNetwork::new(&values, 9);
+            let rounds = net.run_until(avg, 1e-4, 10_000);
+            assert!(
+                (rounds as f64) < 20.0 * (m as f64).log2(),
+                "m={m}: {rounds} rounds"
+            );
+            // Must not blow up disproportionately with m.
+            if previous > 0 {
+                assert!(rounds < previous * 6, "super-log growth: {previous} -> {rounds}");
+            }
+            previous = rounds;
+        }
+    }
+
+    #[test]
+    fn uniform_values_are_instant() {
+        let mut net = PushSumNetwork::new(&[4.0; 10], 1);
+        assert_eq!(net.run_until(4.0, 1e-12, 100), 0);
+    }
+}

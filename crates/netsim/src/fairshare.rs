@@ -1,0 +1,248 @@
+//! Max-min fair bandwidth allocation with demand caps.
+//!
+//! Every server has an uplink and a downlink of fixed capacity; a
+//! background flow `src → dst` consumes bandwidth on `src`'s uplink and
+//! `dst`'s downlink. Rates are assigned by progressive filling: all
+//! unfrozen flows grow at the same pace; a flow freezes when it reaches
+//! its offered demand or when one of its two links saturates. This is
+//! the classic max-min fair allocation and mirrors how parallel TCP
+//! flows share access bottlenecks to a first approximation.
+
+/// A background flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Sending server.
+    pub src: usize,
+    /// Receiving server.
+    pub dst: usize,
+    /// Offered rate (Mb/s).
+    pub demand: f64,
+}
+
+/// Result of the allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Achieved rate per flow (Mb/s), same order as the input.
+    pub rates: Vec<f64>,
+    /// Uplink utilization per server (fraction of capacity).
+    pub up_utilization: Vec<f64>,
+    /// Downlink utilization per server.
+    pub down_utilization: Vec<f64>,
+}
+
+/// Computes the max-min fair allocation for `flows` over `m` servers
+/// with the given uplink/downlink capacities (Mb/s).
+pub fn allocate_max_min(
+    m: usize,
+    flows: &[Flow],
+    up_capacity: f64,
+    down_capacity: f64,
+) -> Allocation {
+    assert!(up_capacity > 0.0 && down_capacity > 0.0);
+    for f in flows {
+        assert!(f.src < m && f.dst < m, "flow endpoint out of range");
+        assert!(f.demand >= 0.0);
+    }
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut up_used = vec![0.0f64; m];
+    let mut down_used = vec![0.0f64; m];
+
+    // Progressive filling. Each pass raises all unfrozen flows by the
+    // largest uniform increment any link or demand allows, then freezes
+    // whoever hit a wall. At most 2m + n freezing events.
+    for _ in 0..(2 * m + n + 2) {
+        let mut up_active = vec![0usize; m];
+        let mut down_active = vec![0usize; m];
+        let mut any_active = false;
+        for (f, fr) in flows.iter().zip(frozen.iter()) {
+            if !fr {
+                up_active[f.src] += 1;
+                down_active[f.dst] += 1;
+                any_active = true;
+            }
+        }
+        if !any_active {
+            break;
+        }
+        let mut inc = f64::INFINITY;
+        for s in 0..m {
+            if up_active[s] > 0 {
+                inc = inc.min((up_capacity - up_used[s]) / up_active[s] as f64);
+            }
+            if down_active[s] > 0 {
+                inc = inc.min((down_capacity - down_used[s]) / down_active[s] as f64);
+            }
+        }
+        for i in 0..n {
+            if !frozen[i] {
+                inc = inc.min(flows[i].demand - rates[i]);
+            }
+        }
+        let inc = inc.max(0.0);
+        for i in 0..n {
+            if !frozen[i] {
+                rates[i] += inc;
+                up_used[flows[i].src] += inc;
+                down_used[flows[i].dst] += inc;
+            }
+        }
+        // Freeze demand-satisfied flows and flows on saturated links.
+        const EPS: f64 = 1e-9;
+        for i in 0..n {
+            if frozen[i] {
+                continue;
+            }
+            let f = &flows[i];
+            if rates[i] >= f.demand - EPS
+                || up_used[f.src] >= up_capacity - EPS
+                || down_used[f.dst] >= down_capacity - EPS
+            {
+                frozen[i] = true;
+            }
+        }
+    }
+    Allocation {
+        rates,
+        up_utilization: up_used.iter().map(|&u| u / up_capacity).collect(),
+        down_utilization: down_used.iter().map(|&u| u / down_capacity).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_is_demand_limited() {
+        let alloc = allocate_max_min(
+            2,
+            &[Flow {
+                src: 0,
+                dst: 1,
+                demand: 3.0,
+            }],
+            10.0,
+            10.0,
+        );
+        assert!((alloc.rates[0] - 3.0).abs() < 1e-9);
+        assert!((alloc.up_utilization[0] - 0.3).abs() < 1e-9);
+        assert!((alloc.down_utilization[1] - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_demand_is_capped_at_capacity() {
+        let alloc = allocate_max_min(
+            2,
+            &[Flow {
+                src: 0,
+                dst: 1,
+                demand: 50.0,
+            }],
+            10.0,
+            20.0,
+        );
+        assert!((alloc.rates[0] - 10.0).abs() < 1e-9, "uplink is the bottleneck");
+    }
+
+    #[test]
+    fn equal_flows_share_bottleneck_equally() {
+        // Two flows out of server 0 (uplink 10) to distinct receivers.
+        let flows = vec![
+            Flow {
+                src: 0,
+                dst: 1,
+                demand: 100.0,
+            },
+            Flow {
+                src: 0,
+                dst: 2,
+                demand: 100.0,
+            },
+        ];
+        let alloc = allocate_max_min(3, &flows, 10.0, 50.0);
+        assert!((alloc.rates[0] - 5.0).abs() < 1e-9);
+        assert!((alloc.rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_flow_unaffected_by_big_neighbor() {
+        // Max-min: the demand-limited small flow keeps its rate; the big
+        // one takes the rest.
+        let flows = vec![
+            Flow {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+            },
+            Flow {
+                src: 0,
+                dst: 2,
+                demand: 100.0,
+            },
+        ];
+        let alloc = allocate_max_min(3, &flows, 10.0, 50.0);
+        assert!((alloc.rates[0] - 1.0).abs() < 1e-9);
+        assert!((alloc.rates[1] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receiver_bottleneck() {
+        // Three senders into one receiver with downlink 9.
+        let flows: Vec<Flow> = (0..3)
+            .map(|s| Flow {
+                src: s,
+                dst: 3,
+                demand: 100.0,
+            })
+            .collect();
+        let alloc = allocate_max_min(4, &flows, 100.0, 9.0);
+        for r in &alloc.rates {
+            assert!((r - 3.0).abs() < 1e-9);
+        }
+        assert!((alloc.down_utilization[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_link_is_overloaded_and_maxmin_holds() {
+        // Random-ish mesh; verify feasibility + max-min certificate:
+        // every flow is demand-limited or crosses a saturated link.
+        let flows = vec![
+            Flow { src: 0, dst: 1, demand: 7.0 },
+            Flow { src: 0, dst: 2, demand: 9.0 },
+            Flow { src: 1, dst: 2, demand: 4.0 },
+            Flow { src: 2, dst: 0, demand: 12.0 },
+            Flow { src: 3, dst: 2, demand: 6.0 },
+        ];
+        let (up, down) = (10.0, 8.0);
+        let alloc = allocate_max_min(4, &flows, up, down);
+        for u in alloc.up_utilization.iter().chain(alloc.down_utilization.iter()) {
+            assert!(*u <= 1.0 + 1e-9, "overloaded link: {u}");
+        }
+        for (i, f) in flows.iter().enumerate() {
+            let demand_limited = alloc.rates[i] >= f.demand - 1e-6;
+            let up_sat = alloc.up_utilization[f.src] >= 1.0 - 1e-6;
+            let down_sat = alloc.down_utilization[f.dst] >= 1.0 - 1e-6;
+            assert!(
+                demand_limited || up_sat || down_sat,
+                "flow {i} is neither satisfied nor bottlenecked"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_demand_flows_get_zero() {
+        let alloc = allocate_max_min(
+            2,
+            &[Flow {
+                src: 0,
+                dst: 1,
+                demand: 0.0,
+            }],
+            10.0,
+            10.0,
+        );
+        assert_eq!(alloc.rates[0], 0.0);
+    }
+}

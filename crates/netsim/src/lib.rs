@@ -1,0 +1,28 @@
+//! # dlb-netsim — flow-level network simulator (Table IV substrate)
+//!
+//! The paper's Appendix validates the constant-latency assumption on
+//! PlanetLab: 60 servers each stream background traffic to 5 random
+//! neighbors at increasing throughputs, and the measured RTTs stay flat
+//! until the access links saturate (~8 Mb/s incoming), after which the
+//! mean and the variance of the relative RTT deviation grow. We cannot
+//! run PlanetLab, so this crate reproduces the *mechanism*:
+//!
+//! * [`fairshare`] — max-min fair bandwidth allocation over
+//!   capacity-constrained access links with per-flow demand caps
+//!   ("if a particular throughput was not achievable, the server was
+//!   just sending with the maximal achievable throughput"),
+//! * [`rtt`] — RTT probes whose queueing delay grows M/M/1-style with
+//!   the utilization of each traversed link,
+//! * [`experiment`] — the full Table IV recreation: 8 background
+//!   throughputs, 300 RTT samples per neighbor pair, 5 % trimming, and
+//!   the per-throughput mean/σ of the relative deviation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod fairshare;
+pub mod rtt;
+
+pub use experiment::{run_table4, Table4Config, Table4Row};
+pub use fairshare::{allocate_max_min, Flow};

@@ -1,0 +1,129 @@
+//! RTT probes with utilization-dependent queueing delay.
+//!
+//! A probe between `a` and `b` traverses four access-link queues:
+//! `a`-up and `b`-down on the way out, `b`-up and `a`-down on the way
+//! back. Each queue adds an exponentially distributed delay whose mean
+//! follows the M/M/1 waiting-time curve `T·u/(1−u)` (packet
+//! transmission time `T`, utilization `u`), capped to model finite
+//! buffers. On an idle network the probe therefore measures the base
+//! RTT plus light jitter — the regime where the paper's constant-latency
+//! assumption holds.
+
+use dlb_core::workload::Exp;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Queueing model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueModel {
+    /// Transmission time of one MTU packet on the link (ms);
+    /// 1500 B at 20 Mb/s ≈ 0.6 ms.
+    pub packet_time_ms: f64,
+    /// Cap on the mean queueing delay per link (finite buffer), ms.
+    pub max_mean_delay_ms: f64,
+    /// Mean of the baseline jitter added per probe (ms), covering OS
+    /// scheduling and path noise present even on idle links.
+    pub base_jitter_ms: f64,
+}
+
+impl Default for QueueModel {
+    fn default() -> Self {
+        Self {
+            packet_time_ms: 0.6,
+            // ~10 packets of buffering per access link: saturated links
+            // add a few ms each, matching the modest (≈ 0.3–0.5×) RTT
+            // inflation the paper measured on saturated PlanetLab nodes.
+            max_mean_delay_ms: 6.0,
+            base_jitter_ms: 0.3,
+        }
+    }
+}
+
+impl QueueModel {
+    /// Mean queueing delay of one link at utilization `u`.
+    pub fn mean_delay(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 0.995);
+        if u <= 0.0 {
+            return 0.0;
+        }
+        (self.packet_time_ms * u / (1.0 - u)).min(self.max_mean_delay_ms)
+    }
+
+    /// Samples one RTT for a probe crossing links with the given
+    /// utilizations.
+    pub fn sample_rtt<R: Rng + ?Sized>(
+        &self,
+        base_rtt_ms: f64,
+        utilizations: &[f64],
+        rng: &mut R,
+    ) -> f64 {
+        let mut rtt = base_rtt_ms + Exp::with_mean(self.base_jitter_ms).sample(rng);
+        for &u in utilizations {
+            let mean = self.mean_delay(u);
+            if mean > 0.0 {
+                rtt += Exp::with_mean(mean).sample(rng);
+            }
+        }
+        rtt
+    }
+
+    /// Mean RTT over `samples` probes.
+    pub fn mean_rtt<R: Rng + ?Sized>(
+        &self,
+        base_rtt_ms: f64,
+        utilizations: &[f64],
+        samples: usize,
+        rng: &mut R,
+    ) -> f64 {
+        (0..samples)
+            .map(|_| self.sample_rtt(base_rtt_ms, utilizations, rng))
+            .sum::<f64>()
+            / samples.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::rngutil::rng_for;
+
+    #[test]
+    fn idle_network_measures_base_rtt() {
+        let model = QueueModel::default();
+        let mut rng = rng_for(1, 0);
+        let mean = model.mean_rtt(40.0, &[0.0; 4], 2000, &mut rng);
+        assert!(
+            (mean - 40.0).abs() < 1.0,
+            "idle mean {mean} should sit near the base RTT"
+        );
+    }
+
+    #[test]
+    fn delay_grows_with_utilization() {
+        let model = QueueModel::default();
+        assert_eq!(model.mean_delay(0.0), 0.0);
+        assert!(model.mean_delay(0.5) < model.mean_delay(0.9));
+        // capped at the buffer limit even as u → 1
+        assert!(model.mean_delay(1.0) <= model.max_mean_delay_ms);
+    }
+
+    #[test]
+    fn loaded_links_raise_measured_rtt() {
+        let model = QueueModel::default();
+        let mut rng = rng_for(2, 0);
+        let idle = model.mean_rtt(40.0, &[0.1; 4], 2000, &mut rng);
+        let loaded = model.mean_rtt(40.0, &[0.97; 4], 2000, &mut rng);
+        assert!(
+            loaded > idle * 1.3,
+            "loaded {loaded} should clearly exceed idle {idle}"
+        );
+    }
+
+    #[test]
+    fn moderate_utilization_is_negligible() {
+        // The constant-latency regime: below ~50 % utilization the
+        // queueing delay is a tiny fraction of a typical base RTT.
+        let model = QueueModel::default();
+        assert!(model.mean_delay(0.4) < 0.5);
+    }
+}

@@ -1,0 +1,221 @@
+//! # dlb-par — minimal data-parallel utilities
+//!
+//! The engines in this workspace need two parallel primitives: a
+//! parallel map over an index range and a parallel fold. `rayon` is
+//! outside the approved dependency set, so this crate provides both on
+//! top of `crossbeam::scope` with static chunking, which is a good fit
+//! for the regular, CPU-bound workloads here (candidate-partner scoring,
+//! per-instance experiment replication).
+//!
+//! All functions degrade gracefully to sequential execution for small
+//! inputs or single-core machines, so results are deterministic for
+//! order-independent combiners.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+
+/// Below this many items the parallel helpers run sequentially: thread
+/// spawn cost would dominate.
+pub const SEQUENTIAL_CUTOFF: usize = 32;
+
+/// Returns the number of worker threads to use: the available
+/// parallelism, overridable with the `DLB_THREADS` environment variable
+/// (values `0`/`1` force sequential execution).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("DLB_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..n` and collects the results in
+/// index order. `f` must be `Sync` because it is shared across workers.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = num_threads();
+    if n < SEQUENTIAL_CUTOFF || threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let mut slices: Vec<&mut [Option<T>]> = Vec::with_capacity(threads);
+    {
+        let mut rest: &mut [Option<T>] = &mut out;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            slices.push(head);
+            rest = tail;
+        }
+    }
+    crossbeam::scope(|scope| {
+        for (t, slice) in slices.into_iter().enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = t * chunk;
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+}
+
+/// Parallel map over a slice, preserving order.
+pub fn par_map_slice<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Parallel fold over `0..n`: each worker folds a chunk starting from
+/// `identity()`, and chunk results are combined with `combine` (which
+/// must be associative and commutative for a deterministic result).
+pub fn par_fold_indexed<T, Id, F, C>(n: usize, identity: Id, fold: F, combine: C) -> T
+where
+    T: Send,
+    Id: Fn() -> T + Sync,
+    F: Fn(T, usize) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    let threads = num_threads();
+    if n < SEQUENTIAL_CUTOFF || threads <= 1 {
+        return (0..n).fold(identity(), fold);
+    }
+    let chunk = n.div_ceil(threads);
+    let results: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(threads));
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            if lo >= n {
+                break;
+            }
+            let hi = (lo + chunk).min(n);
+            let identity = &identity;
+            let fold = &fold;
+            let results = &results;
+            scope.spawn(move |_| {
+                let acc = (lo..hi).fold(identity(), fold);
+                results.lock().push(acc);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .fold(identity(), |a, b| combine(a, b))
+}
+
+/// Finds `argmax` of `score` over `0..n`, breaking ties toward the
+/// smallest index; returns `None` when `n == 0` or every score is NaN.
+pub fn par_argmax<F>(n: usize, score: F) -> Option<(usize, f64)>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let best = par_fold_indexed(
+        n,
+        || (usize::MAX, f64::NEG_INFINITY),
+        |acc, i| {
+            let s = score(i);
+            if s > acc.1 || (s == acc.1 && i < acc.0) {
+                (i, s)
+            } else {
+                acc
+            }
+        },
+        |a, b| {
+            if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
+                b
+            } else {
+                a
+            }
+        },
+    );
+    if best.0 == usize::MAX {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_small_and_large() {
+        // small (sequential path)
+        let v = par_map_indexed(5, |i| i * i);
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+        // large (parallel path)
+        let n = 10_000;
+        let v = par_map_indexed(n, |i| i as u64 * 2);
+        assert_eq!(v.len(), n);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let items: Vec<i64> = (0..5000).collect();
+        let doubled = par_map_slice(&items, |&x| x * 2);
+        assert_eq!(doubled[4999], 9998);
+        assert_eq!(doubled[0], 0);
+    }
+
+    #[test]
+    fn fold_matches_sequential() {
+        let n = 100_000;
+        let par: u64 = par_fold_indexed(n, || 0u64, |a, i| a + i as u64, |a, b| a + b);
+        let seq: u64 = (0..n as u64).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let n = 10_000;
+        let peak = 7654;
+        let best = par_argmax(n, |i| -((i as f64 - peak as f64).abs())).unwrap();
+        assert_eq!(best.0, peak);
+        assert_eq!(best.1, 0.0);
+    }
+
+    #[test]
+    fn argmax_tie_breaks_low_index() {
+        let best = par_argmax(100, |_| 1.0).unwrap();
+        assert_eq!(best.0, 0);
+    }
+
+    #[test]
+    fn argmax_empty_is_none() {
+        assert!(par_argmax(0, |_| 0.0).is_none());
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn map_empty() {
+        let v: Vec<u8> = par_map_indexed(0, |_| 0u8);
+        assert!(v.is_empty());
+    }
+}

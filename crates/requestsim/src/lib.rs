@@ -1,0 +1,33 @@
+//! # dlb-requestsim — request-level discrete-event validation simulator
+//!
+//! The analytic model prices a request executed on server `j` at
+//! `l_j / 2s_j + c_ij` (expected wait under random order plus network
+//! delay). This crate validates that abstraction from first principles
+//! by actually *executing* the requests:
+//!
+//! * [`discretize`] — turns a fractional [`dlb_core::Assignment`] into
+//!   integral per-request placements (largest-remainder rounding),
+//! * [`sim`] — a discrete-event simulator with two service disciplines:
+//!   [`sim::Discipline::RandomOrder`] (the model's assumption: each
+//!   server processes its backlog in a uniformly random order) and
+//!   [`sim::Discipline::FifoArrival`] (requests become available only
+//!   after their network delay and are served first-come-first-served),
+//! * [`validate`] — helpers comparing measured average completion times
+//!   against the closed-form cost, as used by the model-validation
+//!   integration tests,
+//! * [`open_system`] — the paper's *steady-state* reading of `n_i`:
+//!   Poisson request streams routed by the relay fractions, each server
+//!   an FCFS queue; confirms snapshot-optimized assignments also cut
+//!   sojourn times in continuously running systems.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod discretize;
+pub mod open_system;
+pub mod sim;
+pub mod validate;
+
+pub use discretize::discretize;
+pub use open_system::{run_open_system, OpenSystemConfig, OpenSystemResult};
+pub use sim::{Discipline, SimConfig, SimResult};

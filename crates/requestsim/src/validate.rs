@@ -1,0 +1,130 @@
+//! Comparing simulated completions against the analytic cost model.
+
+use dlb_core::cost::total_cost;
+use dlb_core::{Assignment, Instance};
+
+use crate::discretize::discretize;
+use crate::sim::{run, Discipline, SimConfig, SimResult};
+
+/// Result of a model-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Validation {
+    /// Analytic `ΣC` of the (fractional) assignment.
+    pub analytic: f64,
+    /// Mean simulated `ΣC` over the replications.
+    pub simulated_mean: f64,
+    /// Relative discrepancy `|sim − analytic| / analytic`.
+    pub relative_error: f64,
+    /// Individual replication results.
+    pub runs: Vec<SimResult>,
+}
+
+/// Simulates `replications` independent executions of the assignment
+/// and compares the measured mean `ΣC` against the analytic value.
+///
+/// Under [`Discipline::RandomOrder`], the expected measured value is
+/// `ΣC + Σ_j l_j/2s_j` (the discrete random permutation has mean
+/// position `(l+1)/2` rather than `l/2`); the comparison corrects for
+/// this half-request offset, so the residual error reflects only
+/// rounding and sampling noise.
+pub fn validate_against_model(
+    instance: &Instance,
+    assignment: &Assignment,
+    discipline: Discipline,
+    replications: usize,
+    seed: u64,
+) -> Validation {
+    let analytic = total_cost(instance, assignment);
+    let placement = discretize(instance, assignment);
+    let mut runs = Vec::with_capacity(replications);
+    for rep in 0..replications {
+        runs.push(run(
+            instance,
+            &placement,
+            &SimConfig {
+                discipline,
+                seed: seed.wrapping_add(rep as u64),
+            },
+        ));
+    }
+    // Half-request correction for the discrete permutation mean.
+    let correction: f64 = match discipline {
+        Discipline::RandomOrder => (0..instance.len())
+            .map(|j| placement.load(j) as f64 / (2.0 * instance.speed(j)))
+            .sum(),
+        Discipline::FifoArrival => 0.0,
+    };
+    let simulated_mean = runs
+        .iter()
+        .map(|r| r.total_completion - correction)
+        .sum::<f64>()
+        / replications.max(1) as f64;
+    let relative_error = if analytic > 0.0 {
+        (simulated_mean - analytic).abs() / analytic
+    } else {
+        simulated_mean.abs()
+    };
+    Validation {
+        analytic,
+        simulated_mean,
+        relative_error,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::rngutil::rng_for;
+    use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+    use dlb_core::LatencyMatrix;
+
+    fn sample(m: usize, avg: f64, seed: u64) -> Instance {
+        let mut rng = rng_for(seed, 23);
+        WorkloadSpec {
+            loads: LoadDistribution::Uniform,
+            avg_load: avg,
+            speeds: SpeedDistribution::Constant(1.0),
+        }
+        .sample(LatencyMatrix::homogeneous(m, 5.0), &mut rng)
+    }
+
+    #[test]
+    fn random_order_matches_model_closely() {
+        let instance = sample(6, 200.0, 1);
+        let a = Assignment::local(&instance);
+        let v = validate_against_model(&instance, &a, Discipline::RandomOrder, 8, 42);
+        assert!(
+            v.relative_error < 0.02,
+            "random-order relative error {}",
+            v.relative_error
+        );
+    }
+
+    #[test]
+    fn fifo_close_when_loads_dominate_latency() {
+        // With l/s ≫ c the arrival interleaving barely matters.
+        let instance = sample(6, 500.0, 2);
+        let mut a = Assignment::local(&instance);
+        // introduce some relaying
+        a.move_requests(0, 0, 1, instance.own_load(0) * 0.3);
+        let v = validate_against_model(&instance, &a, Discipline::FifoArrival, 4, 7);
+        assert!(
+            v.relative_error < 0.05,
+            "fifo relative error {}",
+            v.relative_error
+        );
+    }
+
+    #[test]
+    fn model_error_shrinks_with_load() {
+        let err_at = |avg: f64| {
+            let instance = sample(5, avg, 3);
+            let a = Assignment::local(&instance);
+            validate_against_model(&instance, &a, Discipline::RandomOrder, 16, 5)
+                .relative_error
+        };
+        // sampling noise scales down as backlog grows
+        assert!(err_at(1000.0) < err_at(20.0) + 0.02);
+    }
+}

@@ -1,0 +1,464 @@
+//! Cluster orchestration: spawns one OS thread per organization plus a
+//! coordinator, wires them with unbounded channels, runs the rounds
+//! and collects the final assignment.
+//!
+//! The coordinator plays two roles the paper assumes as substrates:
+//! the converged *gossip layer* (it rebroadcasts the load vector at
+//! every round start — `dlb-gossip` shows the decentralized version of
+//! this plumbing) and the *termination detector* (it stops once no
+//! request volume has moved for a configurable number of rounds).
+//!
+//! The per-round `ΣC` history is reconstructed exactly from the nodes'
+//! local cost terms: each report carries
+//! `Σ_k r_kj (l_j/2s_j + c_kj)`, and these sum to the system objective
+//! — the coordinator never needs to see a ledger until shutdown.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dlb_core::cost::total_cost;
+use dlb_core::{Assignment, Instance, SparseVec};
+use std::sync::Arc;
+use std::thread;
+
+use crate::message::{wire_to_ledger, Frame, RoundOutcome};
+use crate::node::{run_node, NodeConfig, NodeLinks};
+
+/// Cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOptions {
+    /// Maximum number of rounds to run.
+    pub max_rounds: usize,
+    /// Stop after this many consecutive rounds in which the moved
+    /// request volume stays below [`ClusterOptions::quiescent_volume`].
+    /// With auditing on, `m − 1` quiet rounds certify pairwise
+    /// optimality of the final state; the default is a cheaper
+    /// heuristic that the integration tests show suffices in practice.
+    pub quiescent_rounds: usize,
+    /// Moved volume below which a round counts as quiet.
+    pub quiescent_volume: f64,
+    /// Nodes excluded from every round (crash-faulted from the start;
+    /// the coordinator announces them, so peers neither propose nor
+    /// audit them).
+    pub failed: Vec<u32>,
+    /// Per-node protocol configuration.
+    pub node: NodeConfig,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        Self {
+            max_rounds: 300,
+            quiescent_rounds: 3,
+            quiescent_volume: 1e-9,
+            failed: Vec::new(),
+            node: NodeConfig::default(),
+        }
+    }
+}
+
+impl ClusterOptions {
+    /// Options that run until the audit rotation certifies pairwise
+    /// optimality: `m − 1` consecutive quiet rounds.
+    pub fn certified(m: usize) -> Self {
+        Self {
+            quiescent_rounds: m.saturating_sub(1).max(1),
+            max_rounds: 20 * m + 100,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The final assignment assembled from the nodes' ledgers.
+    pub assignment: Assignment,
+    /// `ΣC` of the final assignment.
+    pub final_cost: f64,
+    /// Exact `ΣC` after every round (index 0 = initial assignment).
+    pub history: Vec<f64>,
+    /// Rounds actually executed.
+    pub rounds: usize,
+    /// Total exchanges across all rounds (including zero-volume audit
+    /// exchanges).
+    pub exchanges: usize,
+    /// Total request volume moved across all rounds.
+    pub moved: f64,
+    /// Proposals that lost to a busy partner.
+    pub lost_proposals: usize,
+    /// Whether the run ended by quiescence (`true`) or by the round
+    /// budget (`false`).
+    pub quiescent: bool,
+}
+
+/// Runs the full message-passing protocol for `instance`, starting
+/// from the all-local assignment.
+pub fn run_cluster(instance: &Instance, options: &ClusterOptions) -> ClusterReport {
+    let m = instance.len();
+    assert!(m >= 1, "cluster needs at least one node");
+    for &f in &options.failed {
+        assert!((f as usize) < m, "failed node {f} out of range");
+    }
+    let shared = Arc::new(instance.clone());
+
+    // Channel mesh: one inbox per node, one for the coordinator.
+    let mut inboxes: Vec<Option<Receiver<Frame>>> = Vec::with_capacity(m);
+    let mut senders: Vec<Sender<Frame>> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (tx, rx) = unbounded::<Frame>();
+        senders.push(tx);
+        inboxes.push(Some(rx));
+    }
+    let (coord_tx, coord_rx) = unbounded::<Frame>();
+
+    let mut handles = Vec::with_capacity(m);
+    for id in 0..m {
+        let inbox = inboxes[id].take().expect("inbox taken once");
+        let links = NodeLinks {
+            peers: senders.clone(),
+            coordinator: coord_tx.clone(),
+        };
+        let instance = Arc::clone(&shared);
+        let mut ledger = SparseVec::new();
+        let own = instance.own_load(id);
+        if own > 0.0 {
+            ledger.set(id as u32, own);
+        }
+        let node_config = options.node;
+        handles.push(
+            thread::Builder::new()
+                .name(format!("dlb-node-{id}"))
+                .spawn(move || run_node(id as u32, instance, ledger, node_config, inbox, links))
+                .expect("spawn node thread"),
+        );
+    }
+    drop(coord_tx); // coordinator keeps only the receiving side
+
+    // Round loop.
+    let mut loads: Vec<f64> = instance.own_loads().to_vec();
+    let initial_cost = total_cost(instance, &Assignment::local(instance));
+    let mut local_costs: Vec<f64> = (0..m).map(|_| 0.0).collect();
+    {
+        // Initial local costs: all requests at home, no latency.
+        for j in 0..m {
+            let l = instance.own_load(j);
+            local_costs[j] = l * l / (2.0 * instance.speed(j));
+        }
+    }
+    let mut history = vec![initial_cost];
+    let mut exchanges = 0usize;
+    let mut moved = 0.0f64;
+    let mut lost = 0usize;
+    let mut quiet = 0usize;
+    let mut rounds = 0usize;
+    let mut quiescent = false;
+    // Forensic log of every report (debug builds): used to diagnose
+    // protocol violations with full context.
+    let mut report_log: Vec<(u64, u32, RoundOutcome)> = Vec::new();
+
+    // Rounds are 1-based on the wire: nodes boot with `round == 0`
+    // meaning "no round joined yet", so a proposal that overtakes the
+    // recipient's own RoundStart is correctly classified as early and
+    // queued (`r > round`) instead of being served with boot state.
+    for round in 1..=options.max_rounds as u64 {
+        for s in &senders {
+            let _ = s.send(Frame::RoundStart {
+                round,
+                loads: loads.clone(),
+                excluded: options.failed.clone(),
+            });
+        }
+        let mut reports = 0usize;
+        let mut round_moved = 0.0f64;
+        let mut seen = vec![false; m];
+        while reports < m {
+            match coord_rx.recv() {
+                Ok(Frame::Report {
+                    from,
+                    round: r,
+                    outcome,
+                    load,
+                    local_cost,
+                    exchange,
+                }) => {
+                    if cfg!(debug_assertions) {
+                        report_log.push((r, from, outcome));
+                        if r != round || seen[from as usize] {
+                            panic!(
+                                "protocol violation: node {from} sent {outcome:?} for round {r} \
+                                 during round {round} (seen={}); log: {report_log:?}",
+                                seen[from as usize]
+                            );
+                        }
+                    }
+                    seen[from as usize] = true;
+                    reports += 1;
+                    loads[from as usize] = load;
+                    local_costs[from as usize] = local_cost;
+                    match outcome {
+                        RoundOutcome::Exchanged => {
+                            let (partner, partner_load, partner_cost, volume) =
+                                exchange.expect("exchange data present");
+                            loads[partner as usize] = partner_load;
+                            local_costs[partner as usize] = partner_cost;
+                            exchanges += 1;
+                            moved += volume;
+                            round_moved += volume;
+                        }
+                        RoundOutcome::Lost => lost += 1,
+                        // Accepted = collision-yield acceptor; the
+                        // initiator's Exchanged report carries the
+                        // exchange itself.
+                        RoundOutcome::Accepted | RoundOutcome::NoProposal => {}
+                    }
+                }
+                Ok(other) => {
+                    debug_assert!(
+                        matches!(other, Frame::FinalLedger { .. }),
+                        "unexpected coordinator frame {other:?}"
+                    );
+                }
+                Err(_) => panic!("all nodes disconnected mid-round"),
+            }
+        }
+        rounds += 1;
+        history.push(local_costs.iter().sum());
+        if round_moved <= options.quiescent_volume {
+            quiet += 1;
+            if quiet >= options.quiescent_rounds {
+                quiescent = true;
+                break;
+            }
+        } else {
+            quiet = 0;
+        }
+    }
+
+    // Shutdown: collect final ledgers.
+    for s in &senders {
+        let _ = s.send(Frame::Shutdown);
+    }
+    let mut ledgers: Vec<Option<SparseVec>> = (0..m).map(|_| None).collect();
+    let mut collected = 0usize;
+    while collected < m {
+        match coord_rx.recv() {
+            Ok(Frame::FinalLedger { from, ledger }) => {
+                if ledgers[from as usize].is_none() {
+                    collected += 1;
+                }
+                ledgers[from as usize] = Some(wire_to_ledger(&ledger));
+            }
+            Ok(_) => {} // late round reports — drop
+            Err(_) => panic!("nodes disconnected before final ledgers arrived"),
+        }
+    }
+    for h in handles {
+        h.join().expect("node thread panicked");
+    }
+
+    let mut assignment = Assignment::local(instance);
+    for (j, ledger) in ledgers.into_iter().enumerate() {
+        assignment.replace_ledger(j, ledger.expect("ledger collected"));
+    }
+    assignment.refresh_loads();
+    let final_cost = total_cost(instance, &assignment);
+    ClusterReport {
+        assignment,
+        final_cost,
+        history,
+        rounds,
+        exchanges,
+        moved,
+        lost_proposals: lost,
+        quiescent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::rngutil::rng_for;
+    use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+    use dlb_core::LatencyMatrix;
+    use dlb_distributed::{Engine, EngineOptions};
+
+    fn engine_fixpoint(instance: &Instance) -> f64 {
+        let mut engine = Engine::new(
+            instance.clone(),
+            EngineOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        engine.run_to_convergence(1e-12, 3, 300).final_cost
+    }
+
+    #[test]
+    fn two_nodes_split_a_peak() {
+        let mut instance = Instance::homogeneous(2, 1.0, 1.0, 0.0);
+        instance.set_own_loads(vec![1000.0, 0.0]);
+        let report = run_cluster(&instance, &ClusterOptions::default());
+        report.assignment.check_invariants(&instance).unwrap();
+        // Lemma 1: optimal transfer is (l_0 − l_1 − c·s)/2 = 499.5.
+        let l0 = report.assignment.load(0);
+        let l1 = report.assignment.load(1);
+        assert!((l0 - 500.5).abs() < 1e-6, "l0 = {l0}");
+        assert!((l1 - 499.5).abs() < 1e-6, "l1 = {l1}");
+        assert!(report.quiescent);
+    }
+
+    #[test]
+    fn cluster_matches_engine_fixpoint() {
+        let mut rng = rng_for(3, 0xC1);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 80.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(12, 20.0), &mut rng);
+        let report = run_cluster(&instance, &ClusterOptions::certified(12));
+        report.assignment.check_invariants(&instance).unwrap();
+        let opt = engine_fixpoint(&instance);
+        assert!(
+            report.final_cost <= opt * 1.01,
+            "cluster {} vs engine fixpoint {}",
+            report.final_cost,
+            opt
+        );
+    }
+
+    #[test]
+    fn history_is_exact_and_decreasing() {
+        let mut rng = rng_for(5, 0xC3);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 60.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(8, 10.0), &mut rng);
+        let report = run_cluster(&instance, &ClusterOptions::default());
+        // Last history entry must equal the exact final cost: the
+        // local cost terms sum to the objective.
+        let last = *report.history.last().unwrap();
+        assert!(
+            (last - report.final_cost).abs() <= 1e-6 * report.final_cost.max(1.0),
+            "reported {last} vs exact {}",
+            report.final_cost
+        );
+        // ΣC never increases: every exchange is a pairwise optimum.
+        for w in report.history.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9 * w[0].max(1.0),
+                "cost rose: {:?}",
+                report.history
+            );
+        }
+    }
+
+    #[test]
+    fn peak_spreads_in_logarithmic_rounds() {
+        let m = 16;
+        let mut instance = Instance::homogeneous(m, 1.0, 0.0, 20.0);
+        let mut loads = vec![0.0; m];
+        loads[0] = 16_000.0;
+        instance.set_own_loads(loads);
+        let report = run_cluster(&instance, &ClusterOptions::default());
+        report.assignment.check_invariants(&instance).unwrap();
+        for j in 0..m {
+            let l = report.assignment.load(j);
+            assert!(
+                (l - 1000.0).abs() < 150.0,
+                "server {j} ended with load {l}"
+            );
+        }
+        assert!(report.quiescent, "should reach quiescence");
+        assert!(
+            (4..=60).contains(&report.rounds),
+            "{} rounds",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn failed_nodes_take_no_part() {
+        let mut instance = Instance::homogeneous(6, 1.0, 1.0, 0.0);
+        instance.set_own_loads(vec![600.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let report = run_cluster(
+            &instance,
+            &ClusterOptions {
+                failed: vec![4, 5],
+                ..Default::default()
+            },
+        );
+        report.assignment.check_invariants(&instance).unwrap();
+        assert_eq!(report.assignment.load(4), 0.0);
+        assert_eq!(report.assignment.load(5), 0.0);
+        // The four live nodes share the peak.
+        for j in 0..4 {
+            assert!(report.assignment.load(j) > 100.0);
+        }
+    }
+
+    #[test]
+    fn conservation_under_concurrency() {
+        // Many owners, many rounds, real threads: every organization's
+        // request total must survive the message storm exactly.
+        let mut rng = rng_for(17, 0xC2);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Uniform,
+            avg_load: 120.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(24, 5.0), &mut rng);
+        let report = run_cluster(&instance, &ClusterOptions::default());
+        report.assignment.check_invariants(&instance).unwrap();
+        for k in 0..24 {
+            let total = report.assignment.owner_total(k);
+            assert!(
+                (total - instance.own_load(k)).abs() < 1e-6,
+                "owner {k}: {total} != {}",
+                instance.own_load(k)
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_is_trivial() {
+        let instance = Instance::homogeneous(1, 1.0, 0.0, 50.0);
+        let report = run_cluster(&instance, &ClusterOptions::default());
+        assert_eq!(report.exchanges, 0);
+        assert!(report.quiescent);
+        assert_eq!(report.assignment.load(0), 50.0);
+    }
+
+    #[test]
+    fn audit_discovers_relabelings() {
+        // Two servers host each other's requests with equal loads: the
+        // load-based score sees nothing, only an audit probe running
+        // Algorithm 1 can untangle it. Build the state by disabling
+        // audits first, then rebalance with audits on.
+        let mut instance = Instance::homogeneous(2, 1.0, 50.0, 0.0);
+        instance.set_own_loads(vec![100.0, 100.0]);
+        let mut crossed = Assignment::local(&instance);
+        // Cross-host everything by hand.
+        let mut l0 = SparseVec::new();
+        l0.set(1, 100.0);
+        let mut l1 = SparseVec::new();
+        l1.set(0, 100.0);
+        crossed.replace_ledger(0, l0);
+        crossed.replace_ledger(1, l1);
+        crossed.refresh_loads();
+        let crossed_cost = total_cost(&instance, &crossed);
+        // The cluster cannot start from a crossed state (nodes start
+        // all-local), so check the primitive directly: an audit
+        // exchange on the crossed ledgers returns everything home.
+        use dlb_distributed::transfer::calc_best_transfer;
+        let out = calc_best_transfer(&instance, crossed.ledger(0), crossed.ledger(1), 0, 1);
+        assert_eq!(out.ledger_i.get(0), 100.0, "own requests return home");
+        assert_eq!(out.ledger_j.get(1), 100.0);
+        let mut fixed = crossed.clone();
+        fixed.replace_ledger(0, out.ledger_i);
+        fixed.replace_ledger(1, out.ledger_j);
+        fixed.refresh_loads();
+        assert!(total_cost(&instance, &fixed) < crossed_cost * 0.6);
+    }
+}

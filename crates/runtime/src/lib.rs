@@ -1,0 +1,47 @@
+//! # dlb-runtime — a message-passing realization of the protocol
+//!
+//! The analytic engine in `dlb-distributed` simulates the paper's
+//! distributed algorithm on shared memory. This crate runs the same
+//! protocol the way the paper deploys it (§IV): every organization is
+//! an independent actor (an OS thread) that only sees
+//!
+//! * its **own request ledger** — who relayed how much to its server,
+//! * the **gossiped load vector** — refreshed once per round,
+//! * the **static configuration** — speeds and its latency column,
+//!
+//! and everything else travels over channels as wire-encoded frames
+//! ([`message::Frame`]): proposals, ledger handoffs, commits.
+//!
+//! Two things make this more than a re-run of the engine:
+//!
+//! 1. **Partner choice uses local information only.** A real
+//!    organization cannot evaluate `impr(i, j)` exactly — Algorithm 1
+//!    needs both ledgers. Nodes rank partners with the closed-form
+//!    score from the gossiped loads and fetch the one ledger they need
+//!    only after the partner accepts. The integration tests verify
+//!    this cheaper selection still reaches the engine's fixpoint.
+//! 2. **Concurrency is real.** Proposal collisions, busy rejections,
+//!    commits racing round boundaries — the protocol handles them the
+//!    way a deployment must, and the conservation tests assert no
+//!    request is ever lost or duplicated in flight.
+//!
+//! ```
+//! use dlb_core::Instance;
+//! use dlb_runtime::{run_cluster, ClusterOptions};
+//!
+//! let mut instance = Instance::homogeneous(4, 1.0, 1.0, 0.0);
+//! instance.set_own_loads(vec![400.0, 0.0, 0.0, 0.0]);
+//! let report = run_cluster(&instance, &ClusterOptions::default());
+//! assert!(report.quiescent);
+//! assert!(report.assignment.load(3) > 90.0); // peak got spread
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod message;
+pub mod node;
+
+pub use cluster::{run_cluster, ClusterOptions, ClusterReport};
+pub use message::{Frame, RoundOutcome};

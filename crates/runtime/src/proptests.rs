@@ -1,0 +1,117 @@
+//! Property-based tests for the wire protocol.
+
+#![cfg(test)]
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use crate::message::{ledger_to_wire, wire_to_ledger, Frame, RoundOutcome};
+use dlb_core::SparseVec;
+
+fn arb_ledger() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    proptest::collection::btree_map(0u32..5000, 0.001f64..1e9, 0..40)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+fn arb_outcome() -> impl Strategy<Value = RoundOutcome> {
+    prop_oneof![
+        Just(RoundOutcome::NoProposal),
+        Just(RoundOutcome::Lost),
+        Just(RoundOutcome::Exchanged),
+        Just(RoundOutcome::Accepted),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            proptest::collection::vec(0.0f64..1e9, 0..50),
+            proptest::collection::vec(0u32..64, 0..8)
+        )
+            .prop_map(|(round, loads, excluded)| Frame::RoundStart {
+                round,
+                loads,
+                excluded
+            }),
+        (any::<u32>(), any::<u64>()).prop_map(|(from, round)| Frame::Propose { from, round }),
+        (any::<u32>(), any::<u64>(), arb_ledger()).prop_map(|(from, round, ledger)| {
+            Frame::Accept {
+                from,
+                round,
+                ledger,
+            }
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(from, round)| Frame::Busy { from, round }),
+        (any::<u32>(), any::<u64>(), arb_ledger()).prop_map(|(from, round, ledger)| {
+            Frame::Commit {
+                from,
+                round,
+                ledger,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            arb_outcome(),
+            0.0f64..1e12,
+            0.0f64..1e12,
+            proptest::option::of((any::<u32>(), 0.0f64..1e12, 0.0f64..1e12, 0.0f64..1e12))
+        )
+            .prop_map(|(from, round, outcome, load, local_cost, exchange)| {
+                Frame::Report {
+                    from,
+                    round,
+                    outcome,
+                    load,
+                    local_cost,
+                    exchange,
+                }
+            }),
+        Just(Frame::Shutdown),
+        (any::<u32>(), arb_ledger())
+            .prop_map(|(from, ledger)| Frame::FinalLedger { from, ledger }),
+    ]
+}
+
+proptest! {
+    /// Every frame survives an encode/decode roundtrip bit-exactly.
+    #[test]
+    fn frame_roundtrip(frame in arb_frame()) {
+        let bytes = frame.encode();
+        let decoded = Frame::decode(bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(frame, decoded);
+    }
+
+    /// Decoding never panics on arbitrary byte soup (it may succeed on
+    /// a valid prefix, but must not crash or loop).
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Frame::decode(Bytes::from(bytes));
+    }
+
+    /// Ledger wire conversion preserves every entry and drops nothing.
+    #[test]
+    fn ledger_wire_roundtrip(entries in arb_ledger()) {
+        let mut v = SparseVec::new();
+        for &(k, x) in &entries {
+            v.set(k, x);
+        }
+        let wire = ledger_to_wire(&v);
+        let back = wire_to_ledger(&wire);
+        prop_assert_eq!(v, back);
+    }
+
+    /// Truncating an encoded frame never decodes to the original
+    /// (no silent data loss from short reads).
+    #[test]
+    fn truncation_never_forges(frame in arb_frame(), cut in 1usize..64) {
+        let bytes = frame.encode();
+        if cut < bytes.len() {
+            let truncated = bytes.slice(0..bytes.len() - cut);
+            if let Some(decoded) = Frame::decode(truncated) {
+                prop_assert_ne!(decoded, frame);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # dlb-solver — centralized optimization of the load-balancing QP
+//!
+//! The paper (§III) shows that minimizing the total processing time
+//! `ΣC = ρᵀQρ + bᵀρ` over the product of per-organization simplexes is a
+//! convex quadratic program, solvable in polynomial time — but with
+//! `O(L m⁶)` standard-solver complexity, which motivates the distributed
+//! algorithm. This crate plays the "standard solver" role:
+//!
+//! * [`qp`] — the explicit sparse `Q` matrix and `b` vector of §III
+//!   (Figure 1), with a matrix-form objective evaluator used to validate
+//!   the model,
+//! * [`dense`] — dense request-matrix representation, objective and
+//!   gradient evaluation, Frank-Wolfe optimality gap,
+//! * [`projection`] — Euclidean projection onto (capped) simplexes,
+//! * [`pgd`] — projected gradient descent with optional FISTA
+//!   acceleration,
+//! * [`frank_wolfe`] — Frank-Wolfe with exact line search,
+//! * [`waterfill`] — the exact KKT water-filling solver for single-row
+//!   quadratic programs (the kernel of selfish best responses),
+//! * [`bruteforce`] — grid-search reference optima for tiny instances
+//!   (test support).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bruteforce;
+pub mod dense;
+pub mod frank_wolfe;
+pub mod pgd;
+pub mod projection;
+pub mod qp;
+pub mod waterfill;
+
+pub use dense::{dense_to_assignment, objective, DenseState};
+pub use frank_wolfe::{solve_frank_wolfe, FwOptions};
+pub use pgd::{solve_bcd, solve_pgd, PgdOptions, SolveReport};
+
+/// Default relative Frank-Wolfe-gap tolerance for the iterative solvers.
+pub const DEFAULT_TOL: f64 = 1e-7;

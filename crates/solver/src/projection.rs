@@ -1,0 +1,259 @@
+//! Euclidean projections onto (capped) scaled simplexes.
+//!
+//! Projected gradient descent needs, per organization row, the
+//! projection onto `{x : x ≥ 0, Σx = budget}` — and, for the
+//! R-replication extension of §VII, onto the *capped* simplex
+//! `{x : 0 ≤ x ≤ u, Σx = budget}`.
+
+/// Projects `v` in place onto `{x ≥ 0, Σ x = budget}` (Euclidean
+/// projection; Held-Wolfe-Crowder sort-based algorithm, `O(m log m)`).
+///
+/// # Panics
+/// Panics when `budget` is negative.
+pub fn project_simplex(v: &mut [f64], budget: f64) {
+    assert!(budget >= 0.0, "budget must be non-negative");
+    if v.is_empty() {
+        return;
+    }
+    if budget == 0.0 {
+        v.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    // Canonical sort-based algorithm: with u sorted descending, the
+    // active-set size is ρ = max{k : u_k − (Σ_{i≤k} u_i − budget)/k > 0}
+    // and τ = (Σ_{i≤ρ} u_i − budget)/ρ.
+    let mut sorted: Vec<f64> = v.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN in projection input"));
+    let mut cumsum = 0.0;
+    let mut tau = (sorted.iter().sum::<f64>() - budget) / sorted.len() as f64;
+    for (idx, &u) in sorted.iter().enumerate() {
+        cumsum += u;
+        let candidate = (cumsum - budget) / (idx as f64 + 1.0);
+        if u - candidate > 0.0 {
+            tau = candidate;
+        } else {
+            break;
+        }
+    }
+    for x in v.iter_mut() {
+        *x = (*x - tau).max(0.0);
+    }
+    // One exact renormalization pass kills accumulated rounding error.
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        let fix = budget / s;
+        v.iter_mut().for_each(|x| *x *= fix);
+    } else {
+        // Degenerate: spread evenly.
+        let each = budget / v.len() as f64;
+        v.iter_mut().for_each(|x| *x = each);
+    }
+}
+
+/// Projects `v` in place onto `{0 ≤ x ≤ caps, Σ x = budget}` by
+/// bisection on the Lagrange multiplier (`x_i = clamp(v_i − τ, 0, u_i)`
+/// with `Σ x_i` non-increasing in `τ`).
+///
+/// # Panics
+/// Panics when the polytope is empty (`Σ caps < budget`) or any cap is
+/// negative.
+pub fn project_capped_simplex(v: &mut [f64], caps: &[f64], budget: f64) {
+    assert_eq!(v.len(), caps.len());
+    assert!(budget >= 0.0);
+    let total_cap: f64 = caps.iter().sum();
+    assert!(
+        total_cap >= budget - 1e-9,
+        "infeasible: caps sum to {total_cap} < budget {budget}"
+    );
+    assert!(caps.iter().all(|&u| u >= 0.0), "caps must be non-negative");
+    if v.is_empty() {
+        return;
+    }
+    let eval = |tau: f64| -> f64 {
+        v.iter()
+            .zip(caps.iter())
+            .map(|(&vi, &ui)| (vi - tau).clamp(0.0, ui))
+            .sum()
+    };
+    // Bracket tau.
+    let mut lo = v
+        .iter()
+        .zip(caps.iter())
+        .map(|(&vi, &ui)| vi - ui)
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let mut hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !hi.is_finite() {
+        hi = 0.0;
+    }
+    // eval(lo) >= budget >= eval(hi) must hold; widen defensively.
+    while eval(lo) < budget {
+        lo -= (hi - lo).abs().max(1.0);
+    }
+    while eval(hi) > budget {
+        hi += (hi - lo).abs().max(1.0);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if eval(mid) > budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-15 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    let tau = 0.5 * (lo + hi);
+    for (x, &ui) in v.iter_mut().zip(caps.iter()) {
+        *x = (*x - tau).clamp(0.0, ui);
+    }
+    // Exact-sum polish: distribute residual over non-saturated entries.
+    let s: f64 = v.iter().sum();
+    let mut residual = budget - s;
+    if residual.abs() > 1e-12 * budget.max(1.0) {
+        for (x, &ui) in v.iter_mut().zip(caps.iter()) {
+            if residual > 0.0 {
+                let room = ui - *x;
+                let add = room.min(residual);
+                *x += add;
+                residual -= add;
+            } else {
+                let take = x.min(-residual);
+                *x -= take;
+                residual += take;
+            }
+            if residual.abs() <= 1e-15 * budget.max(1.0) {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_feasible(x: &[f64], budget: f64) {
+        assert!(x.iter().all(|&v| v >= -1e-12), "negative coordinate");
+        let s: f64 = x.iter().sum();
+        assert!((s - budget).abs() < 1e-9 * budget.max(1.0), "sum {s} != {budget}");
+    }
+
+    #[test]
+    fn already_feasible_is_fixed_point() {
+        let mut v = vec![0.25, 0.25, 0.5];
+        project_simplex(&mut v, 1.0);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        assert!((v[1] - 0.25).abs() < 1e-12);
+        assert!((v[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clips_negative_entries() {
+        let mut v = vec![-1.0, 2.0];
+        project_simplex(&mut v, 1.0);
+        assert_feasible(&v, 1.0);
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_input_spreads_evenly() {
+        let mut v = vec![5.0; 4];
+        project_simplex(&mut v, 2.0);
+        for &x in &v {
+            assert!((x - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_budget_zeroes_out() {
+        let mut v = vec![3.0, -1.0, 2.0];
+        project_simplex(&mut v, 0.0);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn capped_respects_caps() {
+        let mut v = vec![10.0, 10.0, 0.0];
+        let caps = vec![1.0, 1.0, 5.0];
+        project_capped_simplex(&mut v, &caps, 3.0);
+        assert!((v[0] - 1.0).abs() < 1e-9);
+        assert!((v[1] - 1.0).abs() < 1e-9);
+        assert!((v[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_equals_uncapped_when_caps_loose() {
+        let mut a = vec![0.3, -0.2, 0.9, 0.4];
+        let mut b = a.clone();
+        project_simplex(&mut a, 1.0);
+        project_capped_simplex(&mut b, &[10.0; 4], 1.0);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn capped_rejects_infeasible() {
+        let mut v = vec![1.0, 1.0];
+        project_capped_simplex(&mut v, &[0.4, 0.4], 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_projection_is_feasible_and_optimal(
+            v in prop::collection::vec(-10.0f64..10.0, 1..12),
+            budget in 0.1f64..20.0,
+        ) {
+            let mut x = v.clone();
+            project_simplex(&mut x, budget);
+            assert_feasible(&x, budget);
+            // Optimality: projection must be no farther from v than any
+            // random feasible point (checked against vertex points).
+            let dist_x: f64 = x.iter().zip(v.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+            for corner in 0..v.len() {
+                let mut y = vec![0.0; v.len()];
+                y[corner] = budget;
+                let dist_y: f64 =
+                    y.iter().zip(v.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                prop_assert!(dist_x <= dist_y + 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_capped_projection_feasible(
+            v in prop::collection::vec(-5.0f64..5.0, 1..10),
+            caps_raw in prop::collection::vec(0.1f64..3.0, 1..10),
+        ) {
+            let n = v.len().min(caps_raw.len());
+            let v2 = &v[..n];
+            let caps = &caps_raw[..n];
+            let total: f64 = caps.iter().sum();
+            let budget = total * 0.7;
+            let mut x = v2.to_vec();
+            project_capped_simplex(&mut x, caps, budget);
+            let s: f64 = x.iter().sum();
+            prop_assert!((s - budget).abs() < 1e-7 * budget.max(1.0));
+            for (xi, &ui) in x.iter().zip(caps.iter()) {
+                prop_assert!(*xi >= -1e-9 && *xi <= ui + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_projection_idempotent(
+            v in prop::collection::vec(-3.0f64..3.0, 1..8),
+        ) {
+            let mut x = v.clone();
+            project_simplex(&mut x, 1.0);
+            let mut y = x.clone();
+            project_simplex(&mut y, 1.0);
+            for (a, b) in x.iter().zip(y.iter()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The explicit quadratic program of §III.
+//!
+//! `ΣC(ρ) = ρᵀ Q ρ + bᵀ ρ` where `ρ` is the flattened `m²`-vector of
+//! relay fractions, `Q` is the sparse upper-triangular matrix of
+//! Figure 1 (`q_{(i,j),(k,j)} = n_i n_k / s_j` for `i < k`,
+//! `n_i² / 2 s_j` on the diagonal) and `b_{(i,j)} = c_ij n_i`.
+//!
+//! The engines never materialize `Q` — they use the collapsed objective
+//! — but building it here (a) documents the paper's construction
+//! executable-y, (b) lets tests verify the two formulations coincide,
+//! and (c) exposes the eigenvalue structure used for the
+//! positive-definiteness argument.
+
+use dlb_core::Instance;
+
+/// A sparse entry of `Q`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QEntry {
+    /// Flattened row index `i·m + j`.
+    pub row: usize,
+    /// Flattened column index `k·m + l` (here always `l = j`).
+    pub col: usize,
+    /// Matrix value.
+    pub value: f64,
+}
+
+/// The explicit QP data of §III.
+#[derive(Debug, Clone)]
+pub struct QpProblem {
+    m: usize,
+    /// Sparse entries of the upper-triangular `Q`.
+    pub q: Vec<QEntry>,
+    /// Linear term `b` (length `m²`).
+    pub b: Vec<f64>,
+}
+
+impl QpProblem {
+    /// Builds `Q` and `b` for an instance, following Eq. (2) of the
+    /// paper. `Q` has `O(m³)` non-zero entries.
+    pub fn build(instance: &Instance) -> Self {
+        let m = instance.len();
+        let mut q = Vec::new();
+        for j in 0..m {
+            let sj = instance.speed(j);
+            for i in 0..m {
+                let ni = instance.own_load(i);
+                for k in i..m {
+                    let nk = instance.own_load(k);
+                    let value = if i == k {
+                        ni * nk / (2.0 * sj)
+                    } else {
+                        ni * nk / sj
+                    };
+                    if value != 0.0 {
+                        q.push(QEntry {
+                            row: i * m + j,
+                            col: k * m + j,
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+        let mut b = vec![0.0; m * m];
+        for i in 0..m {
+            let ni = instance.own_load(i);
+            for j in 0..m {
+                let c = instance.c(i, j);
+                b[i * m + j] = if c.is_finite() { c * ni } else { f64::INFINITY };
+            }
+        }
+        Self { m, q, b }
+    }
+
+    /// Number of organizations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Returns `true` for the empty problem.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Evaluates `ρᵀQρ + bᵀρ` for a flattened fraction vector.
+    pub fn eval(&self, rho: &[f64]) -> f64 {
+        assert_eq!(rho.len(), self.m * self.m);
+        let mut quad = 0.0;
+        for e in &self.q {
+            quad += rho[e.row] * e.value * rho[e.col];
+        }
+        let mut lin = 0.0;
+        for (bi, &ri) in self.b.iter().zip(rho.iter()) {
+            if ri > 0.0 {
+                lin += bi * ri;
+            }
+        }
+        quad + lin
+    }
+
+    /// The diagonal of `Q`: `n_i²/(2 s_j)` at position `i·m + j`. As an
+    /// upper-triangular matrix these are `Q`'s eigenvalues; they are all
+    /// positive whenever every `n_i > 0`, which is the paper's
+    /// positive-definiteness argument.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.m * self.m];
+        for e in &self.q {
+            if e.row == e.col {
+                d[e.row] = e.value;
+            }
+        }
+        d
+    }
+
+    /// Number of stored non-zero entries of `Q`.
+    pub fn nnz(&self) -> usize {
+        self.q.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{objective, DenseState};
+    use dlb_core::rngutil::rng_for;
+    use dlb_core::LatencyMatrix;
+    use rand::Rng;
+
+    fn random_instance(m: usize, seed: u64) -> Instance {
+        let mut rng = rng_for(seed, 99);
+        let mut lat = LatencyMatrix::zero(m);
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    lat.set(i, j, rng.gen_range(0.5..20.0));
+                }
+            }
+        }
+        Instance::new(
+            (0..m).map(|_| rng.gen_range(1.0..5.0)).collect(),
+            (0..m).map(|_| rng.gen_range(1.0..50.0)).collect(),
+            lat,
+        )
+    }
+
+    fn random_fractions(m: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rng_for(seed, 7);
+        let mut rho = vec![0.0; m * m];
+        for k in 0..m {
+            let raw: Vec<f64> = (0..m).map(|_| rng.gen_range(0.01..1.0)).collect();
+            let s: f64 = raw.iter().sum();
+            for j in 0..m {
+                rho[k * m + j] = raw[j] / s;
+            }
+        }
+        rho
+    }
+
+    #[test]
+    fn matrix_form_matches_direct_objective() {
+        for seed in 0..5 {
+            let m = 6;
+            let instance = random_instance(m, seed);
+            let qp = QpProblem::build(&instance);
+            let rho = random_fractions(m, seed);
+            // Convert fractions to a dense request matrix.
+            let mut r = vec![0.0; m * m];
+            for k in 0..m {
+                for j in 0..m {
+                    r[k * m + j] = rho[k * m + j] * instance.own_load(k);
+                }
+            }
+            let state = DenseState::from_matrix(&instance, r);
+            let direct = objective(&instance, &state);
+            let matrix = qp.eval(&rho);
+            assert!(
+                (direct - matrix).abs() < 1e-6 * direct.max(1.0),
+                "seed {seed}: direct {direct} vs matrix {matrix}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_is_upper_triangular_with_positive_diagonal() {
+        let instance = random_instance(5, 3);
+        let qp = QpProblem::build(&instance);
+        for e in &qp.q {
+            assert!(e.col >= e.row, "lower-triangular entry found");
+            assert!(e.value > 0.0);
+        }
+        let d = qp.diagonal();
+        assert!(d.iter().all(|&v| v > 0.0), "diagonal must be positive");
+    }
+
+    #[test]
+    fn diagonal_values_match_formula() {
+        let instance = random_instance(4, 11);
+        let qp = QpProblem::build(&instance);
+        let d = qp.diagonal();
+        let m = 4;
+        for i in 0..m {
+            for j in 0..m {
+                let expected =
+                    instance.own_load(i).powi(2) / (2.0 * instance.speed(j));
+                assert!((d[i * m + j] - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn nnz_is_o_m_cubed() {
+        let instance = random_instance(6, 4);
+        let qp = QpProblem::build(&instance);
+        // m columns j, and m(m+1)/2 (i,k) pairs per column.
+        assert_eq!(qp.nnz(), 6 * (6 * 7 / 2));
+    }
+
+    #[test]
+    fn zero_load_orgs_drop_out_of_q() {
+        let instance = Instance::new(
+            vec![1.0, 1.0],
+            vec![0.0, 5.0],
+            LatencyMatrix::homogeneous(2, 3.0),
+        );
+        let qp = QpProblem::build(&instance);
+        // Only (k=1, j) diagonal entries survive.
+        assert_eq!(qp.nnz(), 2);
+        for e in &qp.q {
+            assert_eq!(e.row, e.col);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # dlb-topology — latency-matrix substrates
+//!
+//! The paper evaluates on two kinds of networks (§VI-A): a homogeneous
+//! network with `c_ij = 20` ms, and a heterogeneous network whose
+//! latencies come from PlanetLab measurements (the iPlane dataset). That
+//! dataset is not redistributable, so this crate provides:
+//!
+//! * [`homogeneous`] — the paper's constant-latency network,
+//! * [`euclidean`] — random geometric latencies (a standard synthetic
+//!   model),
+//! * [`planetlab`] — a synthetic PlanetLab-like generator with
+//!   geographic clustering, jitter, asymmetry, and *incomplete
+//!   measurements completed via shortest paths*, mirroring the paper's
+//!   footnote 3,
+//! * [`restricted`] — trust-restricted neighbor graphs (forbidden links
+//!   become infinite latencies),
+//! * [`structured`] — star / ring / torus topologies as regular
+//!   counterpoints for sensitivity experiments.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod euclidean;
+pub mod planetlab;
+pub mod restricted;
+pub mod structured;
+
+pub use euclidean::EuclideanConfig;
+pub use planetlab::PlanetLabConfig;
+pub use restricted::{out_degree, restrict_to_k_nearest, restrict_to_neighbors};
+
+use dlb_core::LatencyMatrix;
+
+/// The paper's homogeneous network: `c_ij = c` for all pairs.
+pub fn homogeneous(m: usize, c: f64) -> LatencyMatrix {
+    LatencyMatrix::homogeneous(m, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_is_reexported() {
+        let c = homogeneous(3, 20.0);
+        assert_eq!(c.get(0, 1), 20.0);
+        assert_eq!(c.get(1, 1), 0.0);
+    }
+}

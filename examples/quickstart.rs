@@ -1,0 +1,80 @@
+//! Quickstart: balance a small heterogeneous network and compare the
+//! distributed algorithm against the centralized QP solvers.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use delay_lb::prelude::*;
+use delay_lb::solver::{solve_frank_wolfe, FwOptions};
+
+fn main() {
+    // Ten servers with U(1,5) speeds, exponential loads (mean 50
+    // requests), homogeneous 20 ms latency — the paper's default
+    // evaluation setting (§VI-A).
+    let mut rng = delay_lb::core::rngutil::rng_for(42, 0);
+    let spec = WorkloadSpec {
+        loads: LoadDistribution::Exponential,
+        avg_load: 50.0,
+        speeds: SpeedDistribution::paper_uniform(),
+    };
+    let instance = spec.sample(LatencyMatrix::homogeneous(10, 20.0), &mut rng);
+
+    println!("== instance ==");
+    println!("servers:       {}", instance.len());
+    println!("total load:    {:.1} requests", instance.total_load());
+    println!("total speed:   {:.2} requests/ms", instance.total_speed());
+    println!("mean latency:  {:.1} ms", instance.latency().mean_latency());
+
+    // All-local starting point.
+    let local = Assignment::local(&instance);
+    println!("\nall-local cost:      {:>12.2} request·ms", total_cost(&instance, &local));
+
+    // The paper's distributed algorithm.
+    let mut engine = Engine::new(instance.clone(), EngineOptions::default());
+    let report = engine.run_to_convergence(1e-10, 2, 100);
+    println!(
+        "distributed engine:  {:>12.2} request·ms  ({} iterations)",
+        report.final_cost, report.iterations
+    );
+    for (iter, cost) in engine.history().iter().enumerate() {
+        println!("  after iteration {iter:>2}: {cost:>12.2}");
+        if iter >= 5 {
+            println!("  ...");
+            break;
+        }
+    }
+
+    // Centralized solvers for reference.
+    let (_, pgd) = solve_pgd(&instance, &PgdOptions::default());
+    println!(
+        "projected gradient:  {:>12.2} request·ms  ({} iterations)",
+        pgd.objective, pgd.iters
+    );
+    let (_, fw) = solve_frank_wolfe(
+        &instance,
+        &FwOptions {
+            tol: 1e-6,
+            ..Default::default()
+        },
+    );
+    println!(
+        "frank-wolfe:         {:>12.2} request·ms  ({} iterations)",
+        fw.objective, fw.iters
+    );
+    let (_, bcd) = solve_bcd(&instance, 1_000, 1e-10);
+    println!(
+        "coordinate descent:  {:>12.2} request·ms  ({} sweeps)",
+        bcd.objective, bcd.iters
+    );
+
+    let gap = (report.final_cost - pgd.objective) / pgd.objective;
+    println!("\ndistributed vs centralized gap: {:.4} %", gap * 100.0);
+    println!(
+        "final loads: {:?}",
+        engine
+            .assignment()
+            .loads()
+            .iter()
+            .map(|l| (l * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,81 @@
+//! Continuous rebalancing under diurnally shifting demand.
+//!
+//! The paper motivates the distributed algorithm with "networks with
+//! dynamically changing loads": because convergence takes only a few
+//! iterations, the system can track demand as it moves around the
+//! globe. Here three regions (8 servers each) take turns being busy;
+//! after every shift the engine rebalances *incrementally* from the
+//! previous assignment and we log how many iterations it needs.
+//!
+//! Run with `cargo run --release --example streaming_rebalance`.
+
+use delay_lb::prelude::*;
+
+fn main() {
+    let m = 24;
+    let regions = 3;
+    // Regional topology: 5 ms within a region, 60 ms across.
+    let mut latency = LatencyMatrix::homogeneous(m, 60.0);
+    for i in 0..m {
+        for j in 0..m {
+            if i != j && i % regions == j % regions {
+                latency.set(i, j, 5.0);
+            }
+        }
+    }
+    let speeds = vec![1.0; m];
+    let instance = Instance::new(speeds, region_loads(m, regions, 0), latency);
+
+    let mut engine = Engine::new(
+        instance,
+        EngineOptions {
+            seed: 5,
+            ..Default::default()
+        },
+    );
+
+    println!("== 24 servers, 3 regions, demand rotating every epoch ==\n");
+    println!(
+        "{:<8} {:>14} {:>14} {:>8} {:>10}",
+        "epoch", "cost@shift", "cost@balanced", "iters", "moved"
+    );
+    for epoch in 0..6 {
+        if epoch > 0 {
+            engine.update_loads(region_loads(m, regions, epoch));
+        }
+        let at_shift = engine.current_cost();
+        let mut iters = 0;
+        let mut moved = 0.0;
+        loop {
+            let before = engine.current_cost();
+            let stats = engine.run_iteration();
+            iters += 1;
+            moved += stats.moved;
+            if before - stats.cost <= 1e-9 * before.max(1.0) || iters >= 30 {
+                break;
+            }
+        }
+        println!(
+            "{:<8} {:>14.0} {:>14.0} {:>8} {:>10.0}",
+            epoch,
+            at_shift,
+            engine.current_cost(),
+            iters,
+            moved
+        );
+    }
+    println!(
+        "\nAfter each demand shift the engine re-converges in a handful of \
+         iterations,\nwhich is what makes the distributed algorithm practical \
+         for live systems."
+    );
+}
+
+/// Demand rotates: the "busy" region produces 10× the load of the
+/// others.
+fn region_loads(m: usize, regions: usize, epoch: usize) -> Vec<f64> {
+    let busy = epoch % regions;
+    (0..m)
+        .map(|i| if i % regions == busy { 200.0 } else { 20.0 })
+        .collect()
+}

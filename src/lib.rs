@@ -1,0 +1,98 @@
+//! # delay-lb — network delay-aware load balancing
+//!
+//! A Rust implementation of Skowron & Rzadca, *"Network delay-aware
+//! load balancing in selfish and cooperative distributed systems"*
+//! (IPDPS 2013, arXiv:1212.0421).
+//!
+//! The model: `m` organizations, each owning a server (speed `s_i`) and
+//! producing `n_i` unit requests; constant pairwise network latencies
+//! `c_ij`; the observed latency of a request is the sum of its network
+//! delay and the congestion-dependent handling time `l_j / 2s_j`. The
+//! library covers both the *cooperative* problem (minimize the total
+//! processing time `ΣC`) and the *selfish* one (each organization
+//! minimizes its own `C_i`; we compute Nash equilibria and the price of
+//! anarchy).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use delay_lb::prelude::*;
+//!
+//! // Four servers at latency 20 ms; one overloaded organization.
+//! let instance = Instance::new(
+//!     vec![1.0, 2.0, 1.0, 4.0],
+//!     vec![400.0, 0.0, 0.0, 0.0],
+//!     LatencyMatrix::homogeneous(4, 20.0),
+//! );
+//!
+//! // Run the paper's distributed algorithm to its fixpoint.
+//! let mut engine = Engine::new(instance.clone(), EngineOptions::default());
+//! let report = engine.run_to_convergence(1e-10, 2, 100);
+//! assert!(report.converged);
+//!
+//! // The fast server ends up with the largest share.
+//! let a = engine.assignment();
+//! assert!(a.load(3) > a.load(0));
+//! # let _ = report;
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | instance/assignment model, cost functions, workloads |
+//! | [`topology`] | homogeneous / Euclidean / PlanetLab-like latencies |
+//! | [`solver`] | the §III QP, PGD/FISTA, Frank-Wolfe, water-filling |
+//! | [`distributed`] | Algorithms 1 & 2, the engine, Proposition 1, cycle removal |
+//! | [`game`] | best responses, Nash dynamics, price of anarchy (§V) |
+//! | [`flow`] | min-cost max-flow substrate (paper Appendix) |
+//! | [`gossip`] | load dissemination layer the engine assumes |
+//! | [`requestsim`] | request-level DES validating the cost model |
+//! | [`netsim`] | flow-level network sim (Table IV) |
+//! | [`extensions`] | §VII: heterogeneous tasks, R-replication |
+//! | [`runtime`] | message-passing deployment of the protocol (threads + channels) |
+//! | [`coords`] | Vivaldi network coordinates: the latency-estimation substrate |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dlb_coords as coords;
+pub use dlb_core as core;
+pub use dlb_distributed as distributed;
+pub use dlb_extensions as extensions;
+pub use dlb_flow as flow;
+pub use dlb_game as game;
+pub use dlb_gossip as gossip;
+pub use dlb_netsim as netsim;
+pub use dlb_par as par;
+pub use dlb_requestsim as requestsim;
+pub use dlb_runtime as runtime;
+pub use dlb_solver as solver;
+pub use dlb_topology as topology;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dlb_core::cost::{org_cost, total_cost};
+    pub use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+    pub use dlb_core::{Assignment, Instance, LatencyMatrix};
+    pub use dlb_distributed::{Engine, EngineOptions};
+    pub use dlb_game::{
+        run_best_response_dynamics, DynamicsOptions, epsilon_nash_gap, theorem1_bounds,
+    };
+    pub use dlb_solver::{solve_bcd, solve_pgd, PgdOptions};
+    pub use dlb_runtime::{run_cluster, ClusterOptions};
+    pub use dlb_topology::PlanetLabConfig;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let instance = Instance::homogeneous(3, 1.0, 5.0, 30.0);
+        let mut engine = Engine::new(instance.clone(), EngineOptions::default());
+        engine.run_iteration();
+        assert!(total_cost(&instance, engine.assignment()).is_finite());
+    }
+}

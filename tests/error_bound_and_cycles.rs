@@ -1,0 +1,103 @@
+//! Proposition 1 and the Appendix machinery across crates: the error
+//! bound must dominate true distances once negative cycles are removed,
+//! and engine fixpoints must be cycle-free against the optimum.
+
+use delay_lb::distributed::cycles::remove_negative_cycles;
+use delay_lb::distributed::error_bound::proposition1_bound;
+use delay_lb::distributed::error_graph::{manhattan_distance, ErrorGraph};
+use delay_lb::prelude::*;
+
+fn sample(m: usize, seed: u64) -> Instance {
+    let mut rng = delay_lb::core::rngutil::rng_for(seed, 1200);
+    WorkloadSpec {
+        loads: LoadDistribution::Exponential,
+        avg_load: 50.0,
+        speeds: SpeedDistribution::paper_uniform(),
+    }
+    .sample(LatencyMatrix::homogeneous(m, 20.0), &mut rng)
+}
+
+fn engine_opts(seed: u64) -> EngineOptions {
+    EngineOptions {
+        seed,
+        parallel: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn bound_dominates_distance_along_the_whole_trajectory() {
+    let instance = sample(8, 1);
+    let mut reference = Engine::new(instance.clone(), engine_opts(9));
+    reference.run_to_convergence(1e-12, 3, 300);
+    let optimum = reference.assignment().clone();
+
+    let mut engine = Engine::new(instance.clone(), engine_opts(9));
+    for _ in 0..6 {
+        let mut state = engine.assignment().clone();
+        remove_negative_cycles(&instance, &mut state);
+        let bound = proposition1_bound(&instance, &state);
+        let distance = manhattan_distance(&state, &optimum);
+        assert!(
+            bound.bound_l1 >= distance * 0.999,
+            "bound {} < distance {distance}",
+            bound.bound_l1
+        );
+        engine.run_iteration();
+    }
+}
+
+#[test]
+fn engine_fixpoint_has_no_negative_cycle_vs_optimum() {
+    for seed in 0..3 {
+        let instance = sample(10, seed);
+        let mut a_engine = Engine::new(instance.clone(), engine_opts(seed));
+        a_engine.run_to_convergence(1e-12, 3, 300);
+        let mut b_engine = Engine::new(instance.clone(), engine_opts(seed + 50));
+        b_engine.run_to_convergence(1e-12, 3, 300);
+        let graph = ErrorGraph::build(
+            &instance,
+            a_engine.assignment(),
+            b_engine.assignment(),
+        );
+        assert!(
+            !graph.has_negative_cycle(),
+            "seed {seed}: fixpoints differ by a negative cycle"
+        );
+    }
+}
+
+#[test]
+fn cycle_removal_only_improves_along_trajectory() {
+    let instance = sample(12, 4);
+    let mut engine = Engine::new(instance.clone(), engine_opts(4));
+    for _ in 0..5 {
+        engine.run_iteration();
+        let mut state = engine.assignment().clone();
+        let before = total_cost(&instance, &state);
+        let stats = remove_negative_cycles(&instance, &mut state);
+        let after = total_cost(&instance, &state);
+        assert!(after <= before + 1e-6 * before.max(1.0));
+        assert!(stats.comm_after <= stats.comm_before + 1e-9);
+        state.check_invariants(&instance).unwrap();
+    }
+}
+
+#[test]
+fn prop1_bound_can_drive_a_stopping_rule() {
+    // The bound divided by total load gives a usable "are we done"
+    // signal: large at the start, tiny at the fixpoint.
+    let instance = sample(10, 5);
+    let total_load = instance.total_load();
+    let mut engine = Engine::new(instance.clone(), engine_opts(5));
+    let initial = proposition1_bound(&instance, engine.assignment()).bound_l1 / total_load;
+    engine.run_to_convergence(1e-12, 3, 300);
+    let mut final_state = engine.assignment().clone();
+    remove_negative_cycles(&instance, &mut final_state);
+    let final_signal =
+        proposition1_bound(&instance, &final_state).bound_l1 / total_load;
+    assert!(
+        final_signal < initial * 0.05,
+        "signal did not collapse: {initial} -> {final_signal}"
+    );
+}

@@ -1,0 +1,121 @@
+//! Validating the analytic cost model against the discrete-event
+//! request simulator, and the constant-latency assumption against the
+//! flow-level network simulator.
+
+use delay_lb::netsim::{run_table4, Table4Config};
+use delay_lb::prelude::*;
+use delay_lb::requestsim::validate::validate_against_model;
+use delay_lb::requestsim::Discipline;
+
+fn sampled_instance(m: usize, avg: f64, seed: u64) -> Instance {
+    let mut rng = delay_lb::core::rngutil::rng_for(seed, 1000);
+    WorkloadSpec {
+        loads: LoadDistribution::Uniform,
+        avg_load: avg,
+        speeds: SpeedDistribution::Constant(1.0),
+    }
+    .sample(LatencyMatrix::homogeneous(m, 10.0), &mut rng)
+}
+
+#[test]
+fn analytic_cost_matches_request_level_simulation() {
+    let instance = sampled_instance(8, 300.0, 1);
+    // Balance first so the assignment actually relays requests.
+    let mut engine = Engine::new(
+        instance.clone(),
+        EngineOptions {
+            parallel: false,
+            ..Default::default()
+        },
+    );
+    engine.run_to_convergence(1e-10, 2, 60);
+    let v = validate_against_model(
+        &instance,
+        engine.assignment(),
+        Discipline::RandomOrder,
+        10,
+        77,
+    );
+    assert!(
+        v.relative_error < 0.02,
+        "random-order simulation deviates {:.3}% from the model",
+        v.relative_error * 100.0
+    );
+}
+
+#[test]
+fn fifo_execution_close_to_model_when_loaded() {
+    let instance = sampled_instance(8, 800.0, 2);
+    let mut engine = Engine::new(
+        instance.clone(),
+        EngineOptions {
+            parallel: false,
+            ..Default::default()
+        },
+    );
+    engine.run_to_convergence(1e-10, 2, 60);
+    let v = validate_against_model(
+        &instance,
+        engine.assignment(),
+        Discipline::FifoArrival,
+        4,
+        78,
+    );
+    assert!(
+        v.relative_error < 0.05,
+        "FIFO simulation deviates {:.3}% from the model",
+        v.relative_error * 100.0
+    );
+}
+
+#[test]
+fn optimized_assignment_beats_local_in_simulation_too() {
+    // The cost model's ordering must carry over to actual executions.
+    let instance = sampled_instance(10, 400.0, 3);
+    let local = Assignment::local(&instance);
+    let mut engine = Engine::new(
+        instance.clone(),
+        EngineOptions {
+            parallel: false,
+            ..Default::default()
+        },
+    );
+    engine.run_to_convergence(1e-10, 2, 60);
+    let sim_local =
+        validate_against_model(&instance, &local, Discipline::RandomOrder, 6, 79);
+    let sim_opt = validate_against_model(
+        &instance,
+        engine.assignment(),
+        Discipline::RandomOrder,
+        6,
+        79,
+    );
+    assert!(
+        sim_opt.simulated_mean < sim_local.simulated_mean,
+        "balanced assignment must also win when actually executed: {} vs {}",
+        sim_opt.simulated_mean,
+        sim_local.simulated_mean
+    );
+}
+
+#[test]
+fn constant_latency_assumption_holds_below_saturation() {
+    // Table IV shape: μ ≈ 0 through 0.2 MB/s, growth at ≥ 0.5 MB/s.
+    let rows = run_table4(&Table4Config {
+        samples: 100,
+        servers: 40,
+        ..Default::default()
+    });
+    for row in &rows {
+        if row.throughput_kbps <= 200.0 {
+            assert!(
+                row.mu.abs() < 0.10,
+                "μ = {} at {} KB/s",
+                row.mu,
+                row.throughput_kbps
+            );
+        }
+    }
+    let saturated = rows.last().unwrap();
+    assert!(saturated.mu > 0.15, "saturated μ = {}", saturated.mu);
+}
