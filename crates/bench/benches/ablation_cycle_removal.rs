@@ -82,8 +82,7 @@ fn main() {
                     }
                 }
                 let pa: f64 = plain_iters.iter().sum::<f64>() / plain_iters.len() as f64;
-                let ra: f64 =
-                    removal_iters.iter().sum::<f64>() / removal_iters.len() as f64;
+                let ra: f64 = removal_iters.iter().sum::<f64>() / removal_iters.len() as f64;
                 println!(
                     "{:<30} {:>10.2} {:>10.2} {:>8}",
                     format!("m={m} {} {}", dist.label(), net.label()),

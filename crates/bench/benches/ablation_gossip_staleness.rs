@@ -22,18 +22,11 @@ fn main() {
         let loads: Vec<f64> = (0..m).map(|i| (i % 17) as f64).collect();
         let mut net = GossipNetwork::new(&loads, 3);
         let stats = net.run_until_complete(10_000);
-        println!(
-            "{m:>8} {:>12} {:>14.1}",
-            stats.rounds,
-            (m as f64).log2()
-        );
+        println!("{m:>8} {:>12} {:>14.1}", stats.rounds, (m as f64).log2());
     }
 
     println!("\n== Engine convergence under stale load views ==");
-    println!(
-        "{:>12} {:>14} {:>10}",
-        "staleness", "final ΣC", "iters"
-    );
+    println!("{:>12} {:>14} {:>10}", "staleness", "final ΣC", "iters");
     let instance = sample_instance(
         100,
         NetworkKind::PlanetLab,

@@ -12,11 +12,11 @@
 //! Run: `cargo bench -p dlb-bench --bench ablation_latency_estimation`
 
 use dlb_bench::{print_header, NetworkKind};
+use dlb_coords::{Estimator, EstimatorConfig};
 use dlb_core::cost::total_cost;
 use dlb_core::rngutil::rng_for;
 use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
 use dlb_core::Instance;
-use dlb_coords::{Estimator, EstimatorConfig};
 use dlb_distributed::{Engine, EngineOptions};
 
 fn main() {
@@ -24,10 +24,7 @@ fn main() {
         "Ablation — engine on Vivaldi-estimated vs true latencies",
         "ticks (probes/node = 4)",
     );
-    println!(
-        "{:<26} {:>12} {:>14}",
-        "", "median err", "ΣC vs truth"
-    );
+    println!("{:<26} {:>12} {:>14}", "", "median err", "ΣC vs truth");
     let m = 40;
     let truth = NetworkKind::PlanetLab.build(m, 11);
     let mut rng = rng_for(11, 0xE57);
@@ -49,7 +46,13 @@ fn main() {
     let true_cost = engine.run_to_convergence(1e-12, 3, 200).final_cost;
 
     for &ticks in &[5usize, 15, 40, 100] {
-        let mut est = Estimator::new(m, EstimatorConfig { seed: 11, ..Default::default() });
+        let mut est = Estimator::new(
+            m,
+            EstimatorConfig {
+                seed: 11,
+                ..Default::default()
+            },
+        );
         est.run(&truth, ticks);
         let err = est.median_relative_error(&truth);
         // Balance under the estimated matrix…

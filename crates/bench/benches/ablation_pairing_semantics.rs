@@ -52,7 +52,10 @@ fn main() {
             paired.push(iterations(&instance, true, seed) as f64);
             eager.push(iterations(&instance, false, seed) as f64);
         }
-        println!("{}", format_row(&format!("m={m} pair-once"), &stats(&paired)));
+        println!(
+            "{}",
+            format_row(&format!("m={m} pair-once"), &stats(&paired))
+        );
         println!("{}", format_row(&format!("m={m} eager"), &stats(&eager)));
     }
     println!("\npaper peak rows (avg): m<=50: 4.87, m=100: 6.88 — matches pair-once; eager collapses to ~2");

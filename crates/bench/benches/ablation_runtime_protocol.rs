@@ -26,11 +26,36 @@ fn main() {
         "", "ΣC ratio", "rounds", "exchanges", "lost", "moved"
     );
     let cases = [
-        ("uniform/50 c=20", LoadDistribution::Uniform, 50.0, NetworkKind::Homogeneous),
-        ("exp/50 c=20", LoadDistribution::Exponential, 50.0, NetworkKind::Homogeneous),
-        ("peak c=20", LoadDistribution::Peak, 100_000.0 / 24.0, NetworkKind::Homogeneous),
-        ("uniform/50 PL", LoadDistribution::Uniform, 50.0, NetworkKind::PlanetLab),
-        ("exp/200 PL", LoadDistribution::Exponential, 200.0, NetworkKind::PlanetLab),
+        (
+            "uniform/50 c=20",
+            LoadDistribution::Uniform,
+            50.0,
+            NetworkKind::Homogeneous,
+        ),
+        (
+            "exp/50 c=20",
+            LoadDistribution::Exponential,
+            50.0,
+            NetworkKind::Homogeneous,
+        ),
+        (
+            "peak c=20",
+            LoadDistribution::Peak,
+            100_000.0 / 24.0,
+            NetworkKind::Homogeneous,
+        ),
+        (
+            "uniform/50 PL",
+            LoadDistribution::Uniform,
+            50.0,
+            NetworkKind::PlanetLab,
+        ),
+        (
+            "exp/200 PL",
+            LoadDistribution::Exponential,
+            200.0,
+            NetworkKind::PlanetLab,
+        ),
     ];
     let m = 24;
     for (label, dist, avg, net) in cases {

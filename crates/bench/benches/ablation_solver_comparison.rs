@@ -78,7 +78,11 @@ fn main() {
 
         let t = Instant::now();
         let (_, bcd) = solve_bcd(&instance, 5_000, 1e-9);
-        rows.push(("coordinate descent".into(), bcd.objective, t.elapsed().as_secs_f64() * 1e3));
+        rows.push((
+            "coordinate descent".into(),
+            bcd.objective,
+            t.elapsed().as_secs_f64() * 1e3,
+        ));
 
         let t = Instant::now();
         let (_, pgd) = solve_pgd(
@@ -89,7 +93,11 @@ fn main() {
                 ..Default::default()
             },
         );
-        rows.push(("projected gradient".into(), pgd.objective, t.elapsed().as_secs_f64() * 1e3));
+        rows.push((
+            "projected gradient".into(),
+            pgd.objective,
+            t.elapsed().as_secs_f64() * 1e3,
+        ));
 
         let t = Instant::now();
         let (_, fw) = solve_frank_wolfe(
@@ -99,12 +107,13 @@ fn main() {
                 tol: 1e-7,
             },
         );
-        rows.push(("frank-wolfe (5k iters)".into(), fw.objective, t.elapsed().as_secs_f64() * 1e3));
+        rows.push((
+            "frank-wolfe (5k iters)".into(),
+            fw.objective,
+            t.elapsed().as_secs_f64() * 1e3,
+        ));
 
-        let best = rows
-            .iter()
-            .map(|r| r.1)
-            .fold(f64::INFINITY, f64::min);
+        let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
         for (name, obj, ms_t) in rows {
             println!(
                 "{:<10} {:<26} {:>14.1} {:>12.1} {:>10.5}",

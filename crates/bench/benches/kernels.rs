@@ -91,7 +91,9 @@ fn bench_waterfill(c: &mut Criterion) {
 fn bench_projection(c: &mut Criterion) {
     let mut group = c.benchmark_group("project_simplex");
     for &m in &[100usize, 1000] {
-        let v: Vec<f64> = (0..m).map(|i| ((i * 31) % 100) as f64 / 10.0 - 5.0).collect();
+        let v: Vec<f64> = (0..m)
+            .map(|i| ((i * 31) % 100) as f64 / 10.0 - 5.0)
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             b.iter_batched(
                 || v.clone(),

@@ -11,7 +11,5 @@
 
 fn main() {
     dlb_bench::convergence_table(0.02, "Table I — iterations to <=2% relative error");
-    println!(
-        "\npaper: uniform <= 2.1 avg, exp <= 3.25 avg, peak <= 8 avg; all maxima <= 8"
-    );
+    println!("\npaper: uniform <= 2.1 avg, exp <= 3.25 avg, peak <= 8 avg; all maxima <= 8");
 }

@@ -18,11 +18,7 @@ use dlb_solver::solve_bcd;
 
 fn main() {
     let full = full_scale();
-    let ms: Vec<usize> = if full {
-        vec![20, 30, 50]
-    } else {
-        vec![20, 30]
-    };
+    let ms: Vec<usize> = if full { vec![20, 30, 50] } else { vec![20, 30] };
     let seeds: Vec<u64> = if full {
         vec![1, 2, 3, 4, 5]
     } else {
@@ -73,9 +69,7 @@ fn main() {
                             let (opt, _) = solve_bcd(&instance, 3_000, 1e-10);
                             let opt_cost = dlb_solver::objective(&instance, &opt);
                             if opt_cost > 0.0 {
-                                ratios.push(
-                                    (total_cost(&instance, &nash) / opt_cost).max(1.0),
-                                );
+                                ratios.push((total_cost(&instance, &nash) / opt_cost).max(1.0));
                             }
                         }
                     }
@@ -83,10 +77,7 @@ fn main() {
                 let s = stats(&ratios);
                 println!(
                     "{}",
-                    format_row(
-                        &format!("{speed_label} {bucket} {}", net.label()),
-                        &s
-                    )
+                    format_row(&format!("{speed_label} {bucket} {}", net.label()), &s)
                 );
             }
         }

@@ -172,7 +172,10 @@ mod tests {
     #[test]
     fn choice_getter_validates() {
         let a = Args::parse(["optimize", "--network", "pl"], KEYS).unwrap();
-        assert_eq!(a.get_choice("network", &["homog", "pl"], "homog").unwrap(), "pl");
+        assert_eq!(
+            a.get_choice("network", &["homog", "pl"], "homog").unwrap(),
+            "pl"
+        );
         let a = Args::parse(["optimize", "--network", "wat"], KEYS).unwrap();
         assert!(a.get_choice("network", &["homog", "pl"], "homog").is_err());
     }

@@ -14,15 +14,15 @@
 mod args;
 
 use args::{ArgError, Args};
+use dlb_coords::{Estimator, EstimatorConfig};
 use dlb_core::cost::total_cost;
 use dlb_core::rngutil::rng_for;
 use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
 use dlb_core::{Assignment, Instance, LatencyMatrix};
-use dlb_coords::{Estimator, EstimatorConfig};
 use dlb_distributed::{Engine, EngineOptions};
 use dlb_game::{run_best_response_dynamics, theorem1_bounds, DynamicsOptions};
 use dlb_runtime::{run_cluster, ClusterOptions};
-use dlb_solver::{solve_bcd, objective};
+use dlb_solver::{objective, solve_bcd};
 use dlb_topology::PlanetLabConfig;
 use std::process::ExitCode;
 
@@ -71,7 +71,10 @@ fn instance_from(args: &Args) -> Result<Instance, ArgError> {
         _ => LoadDistribution::Exponential,
     };
     let avg = args.get_f64("avg", 50.0)?;
-    let speeds = match args.get_choice("speeds", &["uniform", "const"], "uniform")?.as_str() {
+    let speeds = match args
+        .get_choice("speeds", &["uniform", "const"], "uniform")?
+        .as_str()
+    {
         "const" => SpeedDistribution::Constant(1.0),
         _ => SpeedDistribution::paper_uniform(),
     };
@@ -96,7 +99,11 @@ fn cmd_optimize(args: &Args) -> Result<(), ArgError> {
         },
     );
     let report = engine.run_to_convergence(1e-10, 3, max_iters);
-    println!("m = {}, initial ΣC = {:.1}", instance.len(), engine.history()[0]);
+    println!(
+        "m = {}, initial ΣC = {:.1}",
+        instance.len(),
+        engine.history()[0]
+    );
     for (i, c) in engine.history().iter().enumerate().skip(1) {
         println!("iteration {i:>3}: ΣC = {c:.1}");
     }
@@ -153,7 +160,10 @@ fn cmd_protocol(args: &Args) -> Result<(), ArgError> {
     println!("final ΣC = {:.1}", report.final_cost);
     let mut engine = Engine::new(instance, EngineOptions::default());
     let coop = engine.run_to_convergence(1e-12, 3, 300).final_cost;
-    println!("engine fixpoint = {coop:.1} (ratio {:.4})", report.final_cost / coop);
+    println!(
+        "engine fixpoint = {coop:.1} (ratio {:.4})",
+        report.final_cost / coop
+    );
     Ok(())
 }
 
@@ -189,7 +199,15 @@ fn run() -> Result<(), ArgError> {
         return Ok(());
     }
     const COMMON: &[&str] = &[
-        "servers", "network", "latency", "load", "avg", "speeds", "seed", "max-iters", "ticks",
+        "servers",
+        "network",
+        "latency",
+        "load",
+        "avg",
+        "speeds",
+        "seed",
+        "max-iters",
+        "ticks",
         "probes",
     ];
     let args = Args::parse(raw, COMMON)?;

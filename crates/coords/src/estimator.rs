@@ -7,8 +7,8 @@
 
 use dlb_core::rngutil::rng_for;
 use dlb_core::LatencyMatrix;
-use rand::Rng;
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::vivaldi::{Coordinate, VivaldiConfig};
 
@@ -50,7 +50,9 @@ impl Estimator {
     /// Creates an estimator for `m` nodes, all at the origin.
     pub fn new(m: usize, config: EstimatorConfig) -> Self {
         Self {
-            coords: (0..m).map(|_| Coordinate::origin(&config.vivaldi)).collect(),
+            coords: (0..m)
+                .map(|_| Coordinate::origin(&config.vivaldi))
+                .collect(),
             rng: rng_for(config.seed, 0xC00D),
             config,
             ticks: 0,

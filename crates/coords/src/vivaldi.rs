@@ -92,8 +92,7 @@ impl Coordinate {
         let dist = self.distance(peer);
         // Relative fit error of this sample, updates the EWMA.
         let es = (dist - rtt).abs() / rtt;
-        self.error = (es * config.ce * w + self.error * (1.0 - config.ce * w))
-            .clamp(0.0, 10.0);
+        self.error = (es * config.ce * w + self.error * (1.0 - config.ce * w)).clamp(0.0, 10.0);
         // Unit vector from peer to self (random when colocated).
         let mut dir = [0.0f64; DIM];
         let mut norm2 = 0.0;
@@ -125,8 +124,8 @@ impl Coordinate {
             self.pos[k] += delta * force * dir[k];
         }
         // The height absorbs a share of the residual, floored.
-        self.height = (self.height + delta * force * self.height / dist.max(1e-9))
-            .max(config.min_height);
+        self.height =
+            (self.height + delta * force * self.height / dist.max(1e-9)).max(config.min_height);
     }
 }
 

@@ -347,11 +347,7 @@ mod tests {
 
     #[test]
     fn zero_load_org_gets_identity_fraction_row() {
-        let instance = Instance::new(
-            vec![1.0, 1.0],
-            vec![0.0, 8.0],
-            LatencyMatrix::zero(2),
-        );
+        let instance = Instance::new(vec![1.0, 1.0], vec![0.0, 8.0], LatencyMatrix::zero(2));
         let a = Assignment::local(&instance);
         let rho = a.to_fractions(&instance);
         assert_eq!(rho, vec![1.0, 0.0, 0.0, 1.0]);

@@ -21,13 +21,23 @@ impl Instance {
     /// Panics when dimensions disagree, any speed is not strictly
     /// positive, or any load is negative.
     pub fn new(speeds: Vec<f64>, own_loads: Vec<f64>, latency: LatencyMatrix) -> Self {
-        assert_eq!(speeds.len(), own_loads.len(), "speeds/loads dimension mismatch");
+        assert_eq!(
+            speeds.len(),
+            own_loads.len(),
+            "speeds/loads dimension mismatch"
+        );
         assert_eq!(speeds.len(), latency.len(), "latency dimension mismatch");
         for (i, &s) in speeds.iter().enumerate() {
-            assert!(s > 0.0 && s.is_finite(), "speed of server {i} must be positive, got {s}");
+            assert!(
+                s > 0.0 && s.is_finite(),
+                "speed of server {i} must be positive, got {s}"
+            );
         }
         for (i, &n) in own_loads.iter().enumerate() {
-            assert!(n >= 0.0 && n.is_finite(), "load of org {i} must be non-negative, got {n}");
+            assert!(
+                n >= 0.0 && n.is_finite(),
+                "load of org {i} must be non-negative, got {n}"
+            );
         }
         Self {
             speeds,
@@ -40,11 +50,7 @@ impl Instance {
     /// latency `c`, every organization holding `load` requests.
     /// This is the setting of the paper's §V-A analysis.
     pub fn homogeneous(m: usize, s: f64, c: f64, load: f64) -> Self {
-        Self::new(
-            vec![s; m],
-            vec![load; m],
-            LatencyMatrix::homogeneous(m, c),
-        )
+        Self::new(vec![s; m], vec![load; m], LatencyMatrix::homogeneous(m, c))
     }
 
     /// Number of organizations / servers.
@@ -88,7 +94,10 @@ impl Instance {
     pub fn set_own_loads(&mut self, loads: Vec<f64>) {
         assert_eq!(loads.len(), self.len());
         for (i, &n) in loads.iter().enumerate() {
-            assert!(n >= 0.0 && n.is_finite(), "load of org {i} must be non-negative");
+            assert!(
+                n >= 0.0 && n.is_finite(),
+                "load of org {i} must be non-negative"
+            );
         }
         self.own_loads = loads;
     }

@@ -217,10 +217,8 @@ mod tests {
     #[test]
     fn metric_close_fixes_violations() {
         // c(0,2) = 100 but 0 -> 1 -> 2 costs 3.
-        let mut c = LatencyMatrix::from_rows(
-            3,
-            vec![0.0, 1.0, 100.0, 1.0, 0.0, 2.0, 100.0, 2.0, 0.0],
-        );
+        let mut c =
+            LatencyMatrix::from_rows(3, vec![0.0, 1.0, 100.0, 1.0, 0.0, 2.0, 100.0, 2.0, 0.0]);
         assert!(!c.is_metric(1e-12));
         c.metric_close();
         assert!(c.is_metric(1e-12));
@@ -242,8 +240,7 @@ mod tests {
     fn restricted_graph_keeps_unreachable_infinite() {
         // 0 and 1 mutually reachable, 2 isolated.
         let inf = f64::INFINITY;
-        let mut c =
-            LatencyMatrix::from_rows(3, vec![0.0, 1.0, inf, 1.0, 0.0, inf, inf, inf, 0.0]);
+        let mut c = LatencyMatrix::from_rows(3, vec![0.0, 1.0, inf, 1.0, 0.0, inf, inf, inf, 0.0]);
         c.metric_close();
         assert!(c.get(0, 2).is_infinite());
         assert!(c.get(2, 1).is_infinite());

@@ -33,9 +33,9 @@ pub mod sparse;
 pub mod workload;
 
 pub use assignment::Assignment;
-pub use sparse::SparseVec;
 pub use instance::Instance;
 pub use latency::LatencyMatrix;
+pub use sparse::SparseVec;
 pub use workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
 
 /// Absolute tolerance used when checking conservation invariants

@@ -220,6 +220,105 @@ mod tests {
         assert_eq!(v.sum(), 6.5);
     }
 
+    #[test]
+    fn sub_epsilon_set_is_never_stored() {
+        let mut v = SparseVec::new();
+        v.set(5, SPARSE_EPS / 2.0);
+        assert!(v.is_empty(), "sub-epsilon set must not create an entry");
+        v.set(5, -SPARSE_EPS);
+        assert!(v.is_empty(), "entries at ±SPARSE_EPS are treated as zero");
+        // Just above the threshold is stored.
+        v.set(5, SPARSE_EPS * 2.0);
+        assert_eq!(v.len(), 1);
+        // And overwriting with a sub-epsilon value evicts it again.
+        v.set(5, SPARSE_EPS / 10.0);
+        assert!(v.is_empty());
+        assert_eq!(v.get(5), 0.0);
+    }
+
+    #[test]
+    fn sub_epsilon_add_cancellation_evicts() {
+        let mut v = SparseVec::new();
+        v.add(3, 1.0);
+        // Drive the value into the epsilon band without hitting zero
+        // exactly: the entry must still be evicted.
+        let new = v.add(3, -1.0 + SPARSE_EPS / 3.0);
+        assert_eq!(new, 0.0, "add reports the post-eviction value");
+        assert!(v.is_empty());
+        // A sub-epsilon delta on an absent key creates nothing.
+        assert_eq!(v.add(8, SPARSE_EPS / 2.0), 0.0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn cleanup_drops_nonpositive_entries() {
+        let mut v = SparseVec::new();
+        v.set(1, 2.0);
+        v.set(2, -1.0); // set keeps it: only |v| ≤ eps is snapped
+        assert_eq!(v.len(), 2);
+        v.cleanup();
+        assert_eq!(v.len(), 1, "cleanup removes negative entries");
+        assert_eq!(v.get(1), 2.0);
+    }
+
+    #[test]
+    fn merge_of_disjoint_keys_is_union() {
+        let mut a: SparseVec = [(1, 1.0), (5, 5.0)].into_iter().collect();
+        let mut b: SparseVec = [(0, 0.5), (3, 3.0), (9, 9.0)].into_iter().collect();
+        a.merge_from(&mut b);
+        assert!(b.is_empty(), "merge consumes the source");
+        assert_eq!(a.len(), 5);
+        let entries: Vec<(u32, f64)> = a.iter().collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0.5), (1, 1.0), (3, 3.0), (5, 5.0), (9, 9.0)],
+            "union stays key-sorted"
+        );
+        assert_eq!(a.sum(), 18.5);
+    }
+
+    #[test]
+    fn merge_cancelling_values_evicts_keys() {
+        let mut a: SparseVec = [(2, 2.0), (4, 4.0)].into_iter().collect();
+        let mut b: SparseVec = [(2, -2.0), (4, 1.0)].into_iter().collect();
+        a.merge_from(&mut b);
+        assert_eq!(a.get(2), 0.0, "exact cancellation evicts the key");
+        assert_eq!(a.get(4), 5.0);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn with_capacity_invariants() {
+        let v = SparseVec::with_capacity(16);
+        // Capacity is an allocation hint only: the vector is born empty
+        // and behaves exactly like `new()`.
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.sum(), 0.0);
+        assert_eq!(v.get(0), 0.0);
+        assert_eq!(v, SparseVec::new(), "capacity does not affect equality");
+        // Zero capacity is valid and usable.
+        let mut z = SparseVec::with_capacity(0);
+        z.set(7, 1.0);
+        assert_eq!(z.get(7), 1.0);
+        // Growing past the reserved capacity keeps all invariants.
+        let mut w = SparseVec::with_capacity(2);
+        for k in 0..50u32 {
+            w.set(k, f64::from(k) + 1.0);
+        }
+        assert_eq!(w.len(), 50);
+        let keys: Vec<u32> = w.iter().map(|e| e.0).collect();
+        assert!(keys.windows(2).all(|p| p[0] < p[1]), "keys stay sorted");
+    }
+
+    #[test]
+    fn drain_empties_and_returns_sorted() {
+        let mut v: SparseVec = [(9, 9.0), (1, 1.0), (4, 4.0)].into_iter().collect();
+        let drained = v.drain();
+        assert!(v.is_empty());
+        assert_eq!(drained, vec![(1, 1.0), (4, 4.0), (9, 9.0)]);
+    }
+
     proptest! {
         #[test]
         fn prop_matches_dense_model(ops in prop::collection::vec((0u32..32, -10.0f64..10.0), 0..200)) {

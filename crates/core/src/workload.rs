@@ -229,8 +229,7 @@ mod tests {
     fn exp_helper_mean() {
         let mut rng = StdRng::seed_from_u64(7);
         let exp = Exp::with_mean(4.0);
-        let mean: f64 =
-            (0..50_000).map(|_| exp.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        let mean: f64 = (0..50_000).map(|_| exp.sample(&mut rng)).sum::<f64>() / 50_000.0;
         assert!((mean - 4.0).abs() < 0.1, "mean was {mean}");
     }
 }

@@ -203,10 +203,7 @@ mod tests {
         // Mis-routed: org 0 → server 2 (cost 50), org 3 → server 1 (50).
         a.move_requests(0, 0, 2, 5.0);
         a.move_requests(3, 3, 1, 5.0);
-        assert_eq!(
-            dlb_core::cost::communication_cost(&instance, &a),
-            500.0
-        );
+        assert_eq!(dlb_core::cost::communication_cost(&instance, &a), 500.0);
         let stats = remove_negative_cycles(&instance, &mut a);
         // Optimal: org 0 → server 1 (1), org 3 → server 2 (1): cost 10.
         assert!((stats.comm_after - 10.0).abs() < 1e-6, "{stats:?}");

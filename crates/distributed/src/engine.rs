@@ -15,8 +15,8 @@
 use dlb_core::cost::total_cost;
 use dlb_core::rngutil::rng_for;
 use dlb_core::{Assignment, Instance};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 
 use crate::cycles::remove_negative_cycles;
 use crate::mine::{
@@ -213,7 +213,9 @@ impl Engine {
             order.shuffle(&mut self.rng);
         }
         if self.options.load_staleness == 0
-            || self.iteration % self.options.load_staleness.max(1) == 0
+            || self
+                .iteration
+                .is_multiple_of(self.options.load_staleness.max(1))
         {
             self.stale_loads.clear();
             self.stale_loads.extend_from_slice(self.assignment.loads());
@@ -282,7 +284,7 @@ impl Engine {
         }
         self.iteration += 1;
         if let Some(every) = self.options.cycle_removal_every {
-            if every > 0 && self.iteration % every == 0 {
+            if every > 0 && self.iteration.is_multiple_of(every) {
                 let _ = remove_negative_cycles(&self.instance, &mut self.assignment);
             }
         }
@@ -440,7 +442,10 @@ mod tests {
         }
         let h = engine.history();
         for w in h.windows(2) {
-            assert!(w[1] <= w[0] + 1e-6 * w[0].max(1.0), "history not monotone: {h:?}");
+            assert!(
+                w[1] <= w[0] + 1e-6 * w[0].max(1.0),
+                "history not monotone: {h:?}"
+            );
         }
         engine
             .assignment()
@@ -630,7 +635,10 @@ mod tests {
             eager <= paired,
             "eager {eager} should need no more iterations than paired {paired}"
         );
-        assert!(eager <= 3, "eager mode should flatten a peak almost at once");
+        assert!(
+            eager <= 3,
+            "eager mode should flatten a peak almost at once"
+        );
     }
 
     #[test]

@@ -160,11 +160,8 @@ mod tests {
     fn pending_transfer_matches_imbalance() {
         // Two idle/loaded equal-speed servers, zero latency: Algorithm 1
         // moves half the load.
-        let instance = dlb_core::Instance::new(
-            vec![1.0, 1.0],
-            vec![10.0, 0.0],
-            LatencyMatrix::zero(2),
-        );
+        let instance =
+            dlb_core::Instance::new(vec![1.0, 1.0], vec![10.0, 0.0], LatencyMatrix::zero(2));
         let a = dlb_core::Assignment::local(&instance);
         assert!((pending_transfer(&instance, &a, 0, 1) - 5.0).abs() < 1e-9);
         assert_eq!(pending_transfer(&instance, &a, 1, 0), 0.0);

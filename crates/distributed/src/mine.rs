@@ -128,7 +128,16 @@ pub fn choose_partner(
     parallel: bool,
     active: Option<&[bool]>,
 ) -> Option<(usize, f64)> {
-    choose_partner_g(instance, a, id, selection, min_improvement, parallel, active, 0.0)
+    choose_partner_g(
+        instance,
+        a,
+        id,
+        selection,
+        min_improvement,
+        parallel,
+        active,
+        0.0,
+    )
 }
 
 /// [`choose_partner`] under a transfer quantum: improvements are
@@ -149,15 +158,38 @@ pub fn choose_partner_g(
     if m < 2 {
         return None;
     }
-    let reachable = |j: usize| j != id && active.map_or(true, |mask| mask[j]);
+    let reachable = |j: usize| j != id && active.is_none_or(|mask| mask[j]);
     let candidates: Vec<usize> = match selection {
         PartnerSelection::Exact => (0..m).filter(|&j| reachable(j)).collect(),
         PartnerSelection::Pruned { top_k } => {
+            // Pre-scoring is the hot loop of the pruned large-network
+            // mode: every server scores all m−1 partners, so one engine
+            // iteration at Figure 2's m = 5000 performs ~25M closed-form
+            // evaluations. Fan it out over the index range; the map
+            // preserves index order (and degrades to the very same
+            // sequential loop under `DLB_THREADS=1` or below the small-n
+            // cutoff), so the ranking — and therefore the fixpoint — is
+            // identical however many workers run.
             let loads = a.loads();
-            let mut scored: Vec<(usize, f64)> = (0..m)
-                .filter(|&j| reachable(j))
-                .map(|j| (j, partner_score(instance, loads, id, j)))
+            let score = |j: usize| {
+                if reachable(j) {
+                    partner_score(instance, loads, id, j)
+                } else {
+                    f64::NEG_INFINITY
+                }
+            };
+            let scores: Vec<f64> = if parallel {
+                dlb_par::par_map_indexed(m, score)
+            } else {
+                (0..m).map(score).collect()
+            };
+            let mut scored: Vec<(usize, f64)> = scores
+                .into_iter()
+                .enumerate()
+                .filter(|&(j, _)| reachable(j))
                 .collect();
+            // Stable descending sort: ties keep index order, matching
+            // the sequential pass bit for bit.
             scored.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("scores comparable"));
             scored
                 .into_iter()
@@ -169,11 +201,14 @@ pub fn choose_partner_g(
     if candidates.is_empty() {
         return None;
     }
-    let evaluate = |j: &usize| improvement_g(instance, a, id, *j, granularity);
-    let improvements: Vec<f64> = if parallel && candidates.len() >= 64 {
-        dlb_par::par_map_slice(&candidates, evaluate)
+    // Exact Algorithm-1 evaluation of the surviving candidates — the
+    // dominant cost in Exact mode (m−1 ledger merges per server).
+    // Index-ordered parallel map keeps results identical to sequential.
+    let evaluate = |j: usize| improvement_g(instance, a, id, j, granularity);
+    let improvements: Vec<f64> = if parallel {
+        dlb_par::par_map_indexed(candidates.len(), |idx| evaluate(candidates[idx]))
     } else {
-        candidates.iter().map(evaluate).collect()
+        candidates.iter().map(|&j| evaluate(j)).collect()
     };
     let mut best: Option<(usize, f64)> = None;
     for (j, &impr) in candidates.iter().zip(improvements.iter()) {
@@ -220,7 +255,16 @@ pub fn mine_step_masked(
     parallel: bool,
     active: Option<&[bool]>,
 ) -> MineOutcome {
-    mine_step_masked_g(instance, a, id, selection, min_improvement, parallel, active, 0.0)
+    mine_step_masked_g(
+        instance,
+        a,
+        id,
+        selection,
+        min_improvement,
+        parallel,
+        active,
+        0.0,
+    )
 }
 
 /// [`mine_step_masked`] under a transfer quantum.
@@ -401,8 +445,22 @@ mod tests {
         let a = Assignment::local(&instance);
         let mut a_seq = a.clone();
         let mut a_par = a.clone();
-        let seq = mine_step(&instance, &mut a_seq, 5, PartnerSelection::Exact, 1e-9, false);
-        let par = mine_step(&instance, &mut a_par, 5, PartnerSelection::Exact, 1e-9, true);
+        let seq = mine_step(
+            &instance,
+            &mut a_seq,
+            5,
+            PartnerSelection::Exact,
+            1e-9,
+            false,
+        );
+        let par = mine_step(
+            &instance,
+            &mut a_par,
+            5,
+            PartnerSelection::Exact,
+            1e-9,
+            true,
+        );
         assert_eq!(seq.partner, par.partner);
         assert!((seq.improvement - par.improvement).abs() < 1e-12);
     }
@@ -421,9 +479,7 @@ mod tests {
         assert!(partner_score(&instance, &loads, 0, 1) > 0.0);
         // symmetric: evaluating from the idle side sees the same gain
         assert!(
-            (partner_score(&instance, &loads, 0, 1)
-                - partner_score(&instance, &loads, 1, 0))
-            .abs()
+            (partner_score(&instance, &loads, 0, 1) - partner_score(&instance, &loads, 1, 0)).abs()
                 < 1e-12
         );
     }

@@ -43,8 +43,7 @@ pub fn pair_cost(
 ) -> f64 {
     let li = ledger_i.sum();
     let lj = ledger_j.sum();
-    let mut cost =
-        li * li / (2.0 * instance.speed(i)) + lj * lj / (2.0 * instance.speed(j));
+    let mut cost = li * li / (2.0 * instance.speed(i)) + lj * lj / (2.0 * instance.speed(j));
     for (k, r) in ledger_i.iter() {
         let c = instance.c(k as usize, i);
         if c > 0.0 {
@@ -236,8 +235,7 @@ pub fn lemma1_delta(
 ) -> f64 {
     let si = instance.speed(i);
     let sj = instance.speed(j);
-    let raw =
-        ((sj * li - si * lj) - si * sj * (instance.c(k, j) - instance.c(k, i))) / (si + sj);
+    let raw = ((sj * li - si * lj) - si * sj * (instance.c(k, j) - instance.c(k, i))) / (si + sj);
     raw.clamp(0.0, rki)
 }
 
@@ -251,11 +249,7 @@ mod tests {
     use rand::Rng;
 
     fn two_server_instance(c: f64, s0: f64, s1: f64, n0: f64, n1: f64) -> Instance {
-        Instance::new(
-            vec![s0, s1],
-            vec![n0, n1],
-            LatencyMatrix::homogeneous(2, c),
-        )
+        Instance::new(vec![s0, s1], vec![n0, n1], LatencyMatrix::homogeneous(2, c))
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The parallel partner-scoring refactor must not change any result:
+//! `dlb_par::par_map_indexed` preserves index order, so the engine's
+//! fixpoint has to be bit-identical whether the scoring loop runs on
+//! one worker (`DLB_THREADS=1`), on every core (the default), or on the
+//! plain sequential path (`parallel: false`).
+//!
+//! This file is its own test binary so the `DLB_THREADS` mutations
+//! cannot race with unrelated tests.
+
+use dlb_core::rngutil::rng_for;
+use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+use dlb_core::{Instance, LatencyMatrix};
+use dlb_distributed::mine::PartnerSelection;
+use dlb_distributed::{Engine, EngineOptions};
+use rand::Rng;
+
+/// A heterogeneous instance big enough to clear `dlb-par`'s sequential
+/// cutoff in both the pre-scoring (`m` items) and, in exact mode, the
+/// candidate-evaluation (`m − 1` items) maps.
+fn instance(m: usize) -> Instance {
+    let mut rng = rng_for(2024, 0xDE7);
+    let mut lat = LatencyMatrix::zero(m);
+    for i in 0..m {
+        for j in 0..m {
+            if i != j {
+                lat.set(i, j, rng.gen_range(1.0..40.0));
+            }
+        }
+    }
+    lat.metric_close();
+    WorkloadSpec {
+        loads: LoadDistribution::Exponential,
+        avg_load: 70.0,
+        speeds: SpeedDistribution::paper_uniform(),
+    }
+    .sample(lat, &mut rng)
+}
+
+/// Runs the engine to convergence and returns its exact final state:
+/// the cost and every server load, both compared bit-for-bit.
+fn fixpoint(instance: &Instance, parallel: bool, selection: PartnerSelection) -> (f64, Vec<f64>) {
+    let mut engine = Engine::new(
+        instance.clone(),
+        EngineOptions {
+            parallel,
+            selection: Some(selection),
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let report = engine.run_to_convergence(1e-12, 2, 80);
+    (report.final_cost, engine.assignment().loads().to_vec())
+}
+
+#[test]
+fn engine_fixpoint_is_thread_count_invariant() {
+    let inst = instance(96);
+    for selection in [
+        PartnerSelection::Exact,
+        PartnerSelection::Pruned { top_k: 8 },
+    ] {
+        let sequential = fixpoint(&inst, false, selection);
+
+        std::env::set_var("DLB_THREADS", "1");
+        let one_thread = fixpoint(&inst, true, selection);
+
+        std::env::set_var("DLB_THREADS", "3");
+        let three_threads = fixpoint(&inst, true, selection);
+
+        std::env::remove_var("DLB_THREADS");
+        let default_threads = fixpoint(&inst, true, selection);
+
+        assert_eq!(
+            one_thread, default_threads,
+            "{selection:?}: DLB_THREADS=1 vs default diverged"
+        );
+        assert_eq!(
+            three_threads, default_threads,
+            "{selection:?}: DLB_THREADS=3 vs default diverged"
+        );
+        assert_eq!(
+            sequential, default_threads,
+            "{selection:?}: parallel path diverged from sequential reference"
+        );
+    }
+}

@@ -116,7 +116,7 @@ mod tests {
         let rho = vec![0.4, 0.3, 0.2, 0.1];
         let r = 2;
         let trials = 40_000;
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for _ in 0..trials {
             for j in place_replicas(&rho, r, &mut rng) {
                 counts[j] += 1;

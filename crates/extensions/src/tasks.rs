@@ -15,7 +15,10 @@ pub struct TaskSet {
 impl TaskSet {
     /// Wraps explicit sizes.
     pub fn new(sizes: Vec<f64>) -> Self {
-        assert!(sizes.iter().all(|&p| p > 0.0), "task sizes must be positive");
+        assert!(
+            sizes.iter().all(|&p| p > 0.0),
+            "task sizes must be positive"
+        );
         Self { sizes }
     }
 

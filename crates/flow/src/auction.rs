@@ -173,7 +173,7 @@ mod tests {
                 res.total_cost
             );
             // assignment must be a permutation
-            let mut seen = vec![false; 6];
+            let mut seen = [false; 6];
             for &j in &res.assignment {
                 assert!(!seen[j], "object {j} assigned twice");
                 seen[j] = true;
@@ -231,10 +231,7 @@ mod tests {
 
     #[test]
     fn handles_negative_costs() {
-        let cost = vec![
-            vec![-5.0, 2.0],
-            vec![3.0, -1.0],
-        ];
+        let cost = vec![vec![-5.0, 2.0], vec![3.0, -1.0]];
         let res = auction_assignment(&cost, 1e-12);
         assert_eq!(res.assignment, vec![0, 1]);
         assert!((res.total_cost - (-6.0)).abs() < 1e-9);

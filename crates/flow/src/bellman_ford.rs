@@ -33,11 +33,7 @@ pub struct BellmanFordResult {
 /// Runs Bellman-Ford from a virtual super-source connected to all
 /// `sources` with zero weight. Detects any negative cycle reachable
 /// from the sources.
-pub fn bellman_ford(
-    n: usize,
-    edges: &[WeightedEdge],
-    sources: &[usize],
-) -> BellmanFordResult {
+pub fn bellman_ford(n: usize, edges: &[WeightedEdge], sources: &[usize]) -> BellmanFordResult {
     let mut dist = vec![f64::INFINITY; n];
     let mut pred: Vec<Option<usize>> = vec![None; n];
     for &s in sources {

@@ -72,9 +72,7 @@ pub fn find_negative_cycle(g: &FlowNetwork) -> Option<Vec<usize>> {
                 last_updated = Some(v);
             }
         }
-        if last_updated.is_none() {
-            return None;
-        }
+        last_updated?;
     }
     let start = last_updated?;
     // Walk back n steps to guarantee we are on the cycle.

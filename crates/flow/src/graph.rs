@@ -118,7 +118,7 @@ impl FlowNetwork {
         let mut net = 0.0;
         for &eid in &self.adj[u] {
             let e = eid as usize;
-            if e % 2 == 0 {
+            if e.is_multiple_of(2) {
                 net += self.flow(EdgeId(e));
             } else {
                 net -= self.flow(EdgeId(e - 1));

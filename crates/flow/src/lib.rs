@@ -23,7 +23,7 @@ pub mod auction;
 pub mod bellman_ford;
 pub mod cycle_cancel;
 pub mod graph;
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;
 pub mod ssp;
 

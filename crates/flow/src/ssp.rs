@@ -52,12 +52,7 @@ impl PartialOrd for HeapItem {
 ///
 /// # Panics
 /// Panics when a negative-cost forward edge is present.
-pub fn min_cost_max_flow(
-    g: &mut FlowNetwork,
-    s: usize,
-    t: usize,
-    limit: f64,
-) -> FlowResult {
+pub fn min_cost_max_flow(g: &mut FlowNetwork, s: usize, t: usize, limit: f64) -> FlowResult {
     let n = g.len();
     for i in (0..g.edges.len()).step_by(2) {
         assert!(

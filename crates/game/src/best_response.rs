@@ -68,12 +68,7 @@ pub fn best_response_capped(
 
 /// `C_i` that organization `i` would obtain by unilaterally playing
 /// `row` against the rest of the current assignment.
-pub fn best_response_cost(
-    instance: &Instance,
-    a: &Assignment,
-    i: usize,
-    row: &[f64],
-) -> f64 {
+pub fn best_response_cost(instance: &Instance, a: &Assignment, i: usize, row: &[f64]) -> f64 {
     let m = instance.len();
     let mut cost = 0.0;
     for j in 0..m {
@@ -115,8 +110,7 @@ mod tests {
         a.move_requests(0, 0, 1, 4.0);
         let row = a.owner_row(0);
         assert!(
-            (best_response_cost(&instance, &a, 0, &row) - org_cost(&instance, &a, 0)).abs()
-                < 1e-9
+            (best_response_cost(&instance, &a, 0, &row) - org_cost(&instance, &a, 0)).abs() < 1e-9
         );
     }
 

@@ -171,10 +171,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(
-            epsilon_nash_gap(&instance, &tight)
-                <= epsilon_nash_gap(&instance, &loose) + 1e-9
-        );
+        assert!(epsilon_nash_gap(&instance, &tight) <= epsilon_nash_gap(&instance, &loose) + 1e-9);
     }
 
     #[test]

@@ -53,11 +53,7 @@ mod tests {
 
     #[test]
     fn imbalanced_state_is_not_nash_at_zero_latency() {
-        let instance = Instance::new(
-            vec![1.0, 1.0],
-            vec![100.0, 0.0],
-            LatencyMatrix::zero(2),
-        );
+        let instance = Instance::new(vec![1.0, 1.0], vec![100.0, 0.0], LatencyMatrix::zero(2));
         let a = Assignment::local(&instance);
         assert!(!is_epsilon_nash(&instance, &a, 0.01));
         assert!(epsilon_nash_gap(&instance, &a) > 0.1);

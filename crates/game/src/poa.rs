@@ -19,7 +19,10 @@ use dlb_core::{Assignment, Instance};
 pub fn theorem1_bounds(c: f64, s: f64, l_av: f64) -> (f64, f64) {
     assert!(l_av > 0.0, "average load must be positive");
     let x = c * s / l_av;
-    ((1.0 + 2.0 * x - 4.0 * x * x).max(1.0), 1.0 + 2.0 * x + x * x)
+    (
+        (1.0 + 2.0 * x - 4.0 * x * x).max(1.0),
+        1.0 + 2.0 * x + x * x,
+    )
 }
 
 /// Lemma 3: in a homogeneous equilibrium, `|l_i − l_j| ≤ c·s`.
@@ -103,7 +106,7 @@ mod tests {
     use dlb_core::rngutil::rng_for;
     use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
     use dlb_core::LatencyMatrix;
-    use dlb_solver::{solve_bcd};
+    use dlb_solver::solve_bcd;
 
     #[test]
     fn bounds_shape() {
@@ -229,6 +232,9 @@ mod tests {
             assert!(ratio >= 1.0 - 1e-6, "nash beat the optimum?! {ratio}");
             worst = worst.max(ratio);
         }
-        assert!(worst < 1.25, "cost of selfishness suspiciously high: {worst}");
+        assert!(
+            worst < 1.25,
+            "cost of selfishness suspiciously high: {worst}"
+        );
     }
 }

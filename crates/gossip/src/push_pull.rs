@@ -121,11 +121,7 @@ impl GossipNetwork {
                 .map(|v| v[origin].version)
                 .max()
                 .unwrap_or(0);
-            if self
-                .views
-                .iter()
-                .any(|v| v[origin].version != newest)
-            {
+            if self.views.iter().any(|v| v[origin].version != newest) {
                 return false;
             }
         }

@@ -134,7 +134,10 @@ mod tests {
             );
             // Must not blow up disproportionately with m.
             if previous > 0 {
-                assert!(rounds < previous * 6, "super-log growth: {previous} -> {rounds}");
+                assert!(
+                    rounds < previous * 6,
+                    "super-log growth: {previous} -> {rounds}"
+                );
             }
             previous = rounds;
         }

@@ -114,6 +114,10 @@ mod tests {
             })
             .collect();
         let bytes = encode(&entries);
-        assert!(bytes.len() < 128 * 1024, "view too large: {} bytes", bytes.len());
+        assert!(
+            bytes.len() < 128 * 1024,
+            "view too large: {} bytes",
+            bytes.len()
+        );
     }
 }

@@ -129,12 +129,9 @@ pub fn run_table4(config: &Table4Config) -> Vec<Table4Row> {
                 alloc.up_utilization[b],
                 alloc.down_utilization[a],
             ];
-            let mean = config.queue.mean_rtt(
-                base_rtt[a * m + b],
-                &links,
-                config.samples,
-                &mut rng,
-            );
+            let mean = config
+                .queue
+                .mean_rtt(base_rtt[a * m + b], &links, config.samples, &mut rng);
             rtts.push(mean);
         }
         mean_rtts.push(rtts);
@@ -157,8 +154,7 @@ pub fn run_table4(config: &Table4Config) -> Vec<Table4Row> {
         let keep = ((deviations.len() as f64) * (1.0 - config.trim)).round() as usize;
         let kept = &deviations[..keep.max(1).min(deviations.len())];
         let mu = kept.iter().sum::<f64>() / kept.len() as f64;
-        let var =
-            kept.iter().map(|d| (d - mu) * (d - mu)).sum::<f64>() / kept.len() as f64;
+        let var = kept.iter().map(|d| (d - mu) * (d - mu)).sum::<f64>() / kept.len() as f64;
         rows.push(Table4Row {
             throughput_kbps: config.throughputs_kbps[t],
             mu,

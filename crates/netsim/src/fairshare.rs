@@ -143,7 +143,10 @@ mod tests {
             10.0,
             20.0,
         );
-        assert!((alloc.rates[0] - 10.0).abs() < 1e-9, "uplink is the bottleneck");
+        assert!(
+            (alloc.rates[0] - 10.0).abs() < 1e-9,
+            "uplink is the bottleneck"
+        );
     }
 
     #[test]
@@ -209,15 +212,39 @@ mod tests {
         // Random-ish mesh; verify feasibility + max-min certificate:
         // every flow is demand-limited or crosses a saturated link.
         let flows = vec![
-            Flow { src: 0, dst: 1, demand: 7.0 },
-            Flow { src: 0, dst: 2, demand: 9.0 },
-            Flow { src: 1, dst: 2, demand: 4.0 },
-            Flow { src: 2, dst: 0, demand: 12.0 },
-            Flow { src: 3, dst: 2, demand: 6.0 },
+            Flow {
+                src: 0,
+                dst: 1,
+                demand: 7.0,
+            },
+            Flow {
+                src: 0,
+                dst: 2,
+                demand: 9.0,
+            },
+            Flow {
+                src: 1,
+                dst: 2,
+                demand: 4.0,
+            },
+            Flow {
+                src: 2,
+                dst: 0,
+                demand: 12.0,
+            },
+            Flow {
+                src: 3,
+                dst: 2,
+                demand: 6.0,
+            },
         ];
         let (up, down) = (10.0, 8.0);
         let alloc = allocate_max_min(4, &flows, up, down);
-        for u in alloc.up_utilization.iter().chain(alloc.down_utilization.iter()) {
+        for u in alloc
+            .up_utilization
+            .iter()
+            .chain(alloc.down_utilization.iter())
+        {
             assert!(*u <= 1.0 + 1e-9, "overloaded link: {u}");
         }
         for (i, f) in flows.iter().enumerate() {

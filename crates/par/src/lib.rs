@@ -70,7 +70,9 @@ where
         }
     })
     .expect("worker thread panicked");
-    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|v| v.expect("all slots filled"))
+        .collect()
 }
 
 /// Parallel map over a slice, preserving order.
@@ -116,10 +118,7 @@ where
         }
     })
     .expect("worker thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .fold(identity(), |a, b| combine(a, b))
+    results.into_inner().into_iter().fold(identity(), combine)
 }
 
 /// Finds `argmax` of `score` over `0..n`, breaking ties toward the

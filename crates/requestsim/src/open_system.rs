@@ -138,7 +138,12 @@ pub fn run_open_system(
     let mut busy = vec![0.0f64; m];
     let mut sojourns: Vec<f64> = Vec::new();
     let mut completed = 0u64;
-    while let Some(Arrival { time, server, owner }) = arrivals.pop() {
+    while let Some(Arrival {
+        time,
+        server,
+        owner,
+    }) = arrivals.pop()
+    {
         let j = server as usize;
         let service = 1.0 / instance.speed(j);
         let start = server_free[j].max(time);
@@ -169,10 +174,7 @@ pub fn run_open_system(
         mean_sojourn_ms: mean,
         p99_sojourn_ms: p99,
         completed,
-        utilization: busy
-            .iter()
-            .map(|b| b / config.horizon_ms)
-            .collect(),
+        utilization: busy.iter().map(|b| b / config.horizon_ms).collect(),
     }
 }
 

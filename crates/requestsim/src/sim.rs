@@ -72,11 +72,7 @@ impl PartialOrd for ArrivalEvent {
 }
 
 /// Runs the simulator over a discrete placement.
-pub fn run(
-    instance: &Instance,
-    placement: &DiscreteAssignment,
-    config: &SimConfig,
-) -> SimResult {
+pub fn run(instance: &Instance, placement: &DiscreteAssignment, config: &SimConfig) -> SimResult {
     let m = instance.len();
     let mut rng = rng_for(config.seed, 0x51E7);
     let mut total = 0.0;

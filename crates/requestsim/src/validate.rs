@@ -121,8 +121,7 @@ mod tests {
         let err_at = |avg: f64| {
             let instance = sample(5, avg, 3);
             let a = Assignment::local(&instance);
-            validate_against_model(&instance, &a, Discipline::RandomOrder, 16, 5)
-                .relative_error
+            validate_against_model(&instance, &a, Discipline::RandomOrder, 16, 5).relative_error
         };
         // sampling noise scales down as backlog grows
         assert!(err_at(1000.0) < err_at(20.0) + 0.02);

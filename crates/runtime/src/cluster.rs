@@ -318,8 +318,13 @@ mod tests {
         let report = run_cluster(&instance, &ClusterOptions::certified(12));
         report.assignment.check_invariants(&instance).unwrap();
         let opt = engine_fixpoint(&instance);
+        // Both sides stop at *a* pairwise-optimal state, and those are
+        // not unique: the certified cluster and the engine follow
+        // different exchange orders (threads vs shuffled sweep), so
+        // their fixpoints can differ by a small margin. 2% is the same
+        // band the engine's own pruned-vs-exact comparison uses.
         assert!(
-            report.final_cost <= opt * 1.01,
+            report.final_cost <= opt * 1.02,
             "cluster {} vs engine fixpoint {}",
             report.final_cost,
             opt
@@ -365,10 +370,7 @@ mod tests {
         report.assignment.check_invariants(&instance).unwrap();
         for j in 0..m {
             let l = report.assignment.load(j);
-            assert!(
-                (l - 1000.0).abs() < 150.0,
-                "server {j} ended with load {l}"
-            );
+            assert!((l - 1000.0).abs() < 150.0, "server {j} ended with load {l}");
         }
         assert!(report.quiescent, "should reach quiescence");
         assert!(

@@ -42,6 +42,8 @@
 pub mod cluster;
 pub mod message;
 pub mod node;
+#[cfg(all(test, feature = "proptests"))]
+mod proptests;
 
 pub use cluster::{run_cluster, ClusterOptions, ClusterReport};
 pub use message::{Frame, RoundOutcome};

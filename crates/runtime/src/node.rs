@@ -427,8 +427,8 @@ mod tests {
         let mut ledger = SparseVec::new();
         ledger.set(0, 6.0); // own requests: no latency
         ledger.set(1, 4.0); // foreign: latency 5
-        // load 10, speed 2 → congestion/request 2.5
-        // cost = 6·2.5 + 4·(2.5 + 5) = 15 + 30 = 45
+                            // load 10, speed 2 → congestion/request 2.5
+                            // cost = 6·2.5 + 4·(2.5 + 5) = 15 + 30 = 45
         let c = local_cost(0, &instance, &ledger);
         assert!((c - 45.0).abs() < 1e-12, "got {c}");
     }

@@ -69,8 +69,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 }
             }),
         Just(Frame::Shutdown),
-        (any::<u32>(), arb_ledger())
-            .prop_map(|(from, ledger)| Frame::FinalLedger { from, ledger }),
+        (any::<u32>(), arb_ledger()).prop_map(|(from, ledger)| Frame::FinalLedger { from, ledger }),
     ]
 }
 

@@ -122,9 +122,7 @@ pub fn objective(instance: &Instance, state: &DenseState) -> f64 {
 pub fn gradient(instance: &Instance, state: &DenseState, grad: &mut [f64]) {
     let m = instance.len();
     assert_eq!(grad.len(), m * m);
-    let mut col: Vec<f64> = (0..m)
-        .map(|j| state.loads[j] / instance.speed(j))
-        .collect();
+    let mut col: Vec<f64> = (0..m).map(|j| state.loads[j] / instance.speed(j)).collect();
     for (j, c) in col.iter_mut().enumerate() {
         debug_assert!(c.is_finite());
         let _ = j;
@@ -164,12 +162,7 @@ pub fn fw_gap(instance: &Instance, state: &DenseState, grad: &[f64]) -> f64 {
 /// the linear minimization oracle greedily fills the cheapest columns
 /// up to their caps. Using the uncapped gap under caps would never
 /// reach zero (its minimizer is infeasible).
-pub fn fw_gap_capped(
-    instance: &Instance,
-    state: &DenseState,
-    grad: &[f64],
-    caps: &[f64],
-) -> f64 {
+pub fn fw_gap_capped(instance: &Instance, state: &DenseState, grad: &[f64], caps: &[f64]) -> f64 {
     let m = instance.len();
     assert_eq!(caps.len(), m * m);
     let mut gap = 0.0;
@@ -284,8 +277,7 @@ mod tests {
                 let mut minus = state.clone();
                 minus.r[k * m + j] -= h;
                 minus.refresh_loads();
-                let fd =
-                    (objective(&instance, &plus) - objective(&instance, &minus)) / (2.0 * h);
+                let fd = (objective(&instance, &plus) - objective(&instance, &minus)) / (2.0 * h);
                 assert!(
                     (grad[k * m + j] - fd).abs() < 1e-5,
                     "grad[{k}][{j}] = {} vs fd {fd}",

@@ -79,9 +79,7 @@ pub fn solve_frank_wolfe(instance: &Instance, opts: &FwOptions) -> (DenseState, 
         let a_coef: f64 = (0..m)
             .map(|j| delta_l[j] * delta_l[j] / (2.0 * instance.speed(j)))
             .sum();
-        let b_coef: f64 = (0..m * m)
-            .map(|i| grad[i] * (vertex[i] - state.r[i]))
-            .sum();
+        let b_coef: f64 = (0..m * m).map(|i| grad[i] * (vertex[i] - state.r[i])).sum();
         let gamma = if a_coef <= 0.0 {
             1.0
         } else {

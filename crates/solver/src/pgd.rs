@@ -262,8 +262,7 @@ mod tests {
             let (_, pgd) = solve_pgd(&instance, &PgdOptions::default());
             let (_, bcd) = solve_bcd(&instance, 500, 1e-9);
             assert!(
-                (pgd.objective - bcd.objective).abs()
-                    < 1e-4 * pgd.objective.max(1.0),
+                (pgd.objective - bcd.objective).abs() < 1e-4 * pgd.objective.max(1.0),
                 "seed {seed}: pgd {} vs bcd {}",
                 pgd.objective,
                 bcd.objective
@@ -287,11 +286,7 @@ mod tests {
     fn two_identical_servers_split_evenly() {
         // Zero latency, equal speeds, load only on org 0: optimum splits
         // the load evenly.
-        let instance = Instance::new(
-            vec![1.0, 1.0],
-            vec![10.0, 0.0],
-            LatencyMatrix::zero(2),
-        );
+        let instance = Instance::new(vec![1.0, 1.0], vec![10.0, 0.0], LatencyMatrix::zero(2));
         let (state, report) = solve_bcd(&instance, 200, 1e-10);
         assert!(report.converged);
         assert!((state.row(0)[0] - 5.0).abs() < 1e-5, "{:?}", state.row(0));
@@ -359,9 +354,7 @@ mod tests {
         let m = 4;
         let instance = random_instance(m, 8);
         let (_, free) = solve_pgd(&instance, &PgdOptions::default());
-        let caps: Vec<f64> = (0..m * m)
-            .map(|i| instance.own_load(i / m) / 2.0)
-            .collect();
+        let caps: Vec<f64> = (0..m * m).map(|i| instance.own_load(i / m) / 2.0).collect();
         let opts = PgdOptions {
             caps: Some(caps),
             ..Default::default()

@@ -138,7 +138,10 @@ mod tests {
     fn assert_feasible(x: &[f64], budget: f64) {
         assert!(x.iter().all(|&v| v >= -1e-12), "negative coordinate");
         let s: f64 = x.iter().sum();
-        assert!((s - budget).abs() < 1e-9 * budget.max(1.0), "sum {s} != {budget}");
+        assert!(
+            (s - budget).abs() < 1e-9 * budget.max(1.0),
+            "sum {s} != {budget}"
+        );
     }
 
     #[test]

@@ -202,8 +202,7 @@ mod tests {
         let m = 4;
         for i in 0..m {
             for j in 0..m {
-                let expected =
-                    instance.own_load(i).powi(2) / (2.0 * instance.speed(j));
+                let expected = instance.own_load(i).powi(2) / (2.0 * instance.speed(j));
                 assert!((d[i * m + j] - expected).abs() < 1e-9);
             }
         }

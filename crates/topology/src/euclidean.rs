@@ -31,7 +31,12 @@ impl EuclideanConfig {
         assert!(self.side_ms >= 0.0 && self.base_ms >= 0.0);
         let mut rng = rng_for(seed, 0xE0C1);
         let points: Vec<(f64, f64)> = (0..m)
-            .map(|_| (rng.gen_range(0.0..=self.side_ms), rng.gen_range(0.0..=self.side_ms)))
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..=self.side_ms),
+                    rng.gen_range(0.0..=self.side_ms),
+                )
+            })
             .collect();
         let mut lat = LatencyMatrix::zero(m);
         for i in 0..m {

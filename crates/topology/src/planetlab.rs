@@ -128,10 +128,7 @@ impl PlanetLabConfig {
         }
         for i in 0..m {
             for j in 0..m {
-                if i != j
-                    && !protected[i * m + j]
-                    && rng.gen::<f64>() < self.missing_fraction
-                {
+                if i != j && !protected[i * m + j] && rng.gen::<f64>() < self.missing_fraction {
                     lat.set(i, j, f64::INFINITY);
                 }
             }
@@ -171,7 +168,10 @@ mod tests {
         assert!(mean > 5.0, "mean {mean} too small for a world-scale matrix");
         assert!(max < 1000.0, "max {max} unrealistically large");
         // heterogeneity: max should clearly exceed the mean
-        assert!(max > 2.0 * mean, "matrix looks homogeneous: mean={mean} max={max}");
+        assert!(
+            max > 2.0 * mean,
+            "matrix looks homogeneous: mean={mean} max={max}"
+        );
     }
 
     #[test]

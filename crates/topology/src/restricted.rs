@@ -26,7 +26,11 @@ pub fn restrict_to_k_nearest(lat: &LatencyMatrix, k: usize) -> LatencyMatrix {
                 .expect("latencies are not NaN")
         });
         for (rank, &j) in order.iter().enumerate() {
-            let v = if rank < k { lat.get(i, j) } else { f64::INFINITY };
+            let v = if rank < k {
+                lat.get(i, j)
+            } else {
+                f64::INFINITY
+            };
             out.set(i, j, v);
         }
     }

@@ -18,7 +18,11 @@ pub fn star(m: usize, hop_ms: f64) -> LatencyMatrix {
             if i == j {
                 continue;
             }
-            let d = if i == 0 || j == 0 { hop_ms } else { 2.0 * hop_ms };
+            let d = if i == 0 || j == 0 {
+                hop_ms
+            } else {
+                2.0 * hop_ms
+            };
             lat.set(i, j, d);
         }
     }
@@ -125,10 +129,8 @@ mod tests {
         let mut a = Assignment::local(&instance);
         // Lemma 1 move to hub vs to a sibling leaf: hub is closer, so
         // the optimal pairwise transfer to the hub is larger.
-        let to_hub =
-            dlb_core::cost::move_cost_delta(&instance, &a, 1, 1, 0, 20.0);
-        let to_leaf =
-            dlb_core::cost::move_cost_delta(&instance, &a, 1, 1, 2, 20.0);
+        let to_hub = dlb_core::cost::move_cost_delta(&instance, &a, 1, 1, 0, 20.0);
+        let to_leaf = dlb_core::cost::move_cost_delta(&instance, &a, 1, 1, 2, 20.0);
         assert!(to_hub < to_leaf);
         a.move_requests(1, 1, 0, 20.0);
         a.check_invariants(&instance).unwrap();

@@ -80,7 +80,5 @@ fn report(name: &str, instance: &Instance, a: &Assignment) {
     let cost = total_cost(instance, a);
     let comm = delay_lb::core::cost::communication_cost(instance, a);
     let cong = delay_lb::core::cost::congestion_cost(instance, a);
-    println!(
-        "{name:<28} ΣC = {cost:>12.0}   (congestion {cong:>12.0}, network {comm:>10.0})"
-    );
+    println!("{name:<28} ΣC = {cost:>12.0}   (congestion {cong:>12.0}, network {comm:>10.0})");
 }

@@ -26,8 +26,17 @@ fn main() {
     let true_cost = engine.run_to_convergence(1e-12, 3, 300).final_cost;
     println!("ΣC with perfect latency knowledge: {true_cost:.0}\n");
 
-    println!("{:>6} {:>14} {:>16} {:>10}", "ticks", "median err", "ΣC (true prices)", "penalty");
-    let mut est = Estimator::new(m, EstimatorConfig { seed: 3, ..Default::default() });
+    println!(
+        "{:>6} {:>14} {:>16} {:>10}",
+        "ticks", "median err", "ΣC (true prices)", "penalty"
+    );
+    let mut est = Estimator::new(
+        m,
+        EstimatorConfig {
+            seed: 3,
+            ..Default::default()
+        },
+    );
     let mut done = 0usize;
     for &target in &[2usize, 5, 10, 20, 40, 80] {
         est.run(&truth, target - done);

@@ -26,7 +26,10 @@ fn main() {
 
     // All-local starting point.
     let local = Assignment::local(&instance);
-    println!("\nall-local cost:      {:>12.2} request·ms", total_cost(&instance, &local));
+    println!(
+        "\nall-local cost:      {:>12.2} request·ms",
+        total_cost(&instance, &local)
+    );
 
     // The paper's distributed algorithm.
     let mut engine = Engine::new(instance.clone(), EngineOptions::default());

@@ -48,8 +48,14 @@ fn main() {
             ..Default::default()
         },
     );
-    println!("fractional optimum (no replication): ΣC = {:.0}", free_rep.objective);
-    println!("fractional optimum (ρ ≤ 1/{r}):       ΣC = {:.0}", capped_rep.objective);
+    println!(
+        "fractional optimum (no replication): ΣC = {:.0}",
+        free_rep.objective
+    );
+    println!(
+        "fractional optimum (ρ ≤ 1/{r}):       ΣC = {:.0}",
+        capped_rep.objective
+    );
     println!(
         "replication overhead: {:.2} %\n",
         (capped_rep.objective / free_rep.objective - 1.0) * 100.0
@@ -79,7 +85,10 @@ fn main() {
         .collect();
     println!(
         "  expected: {:?}",
-        expected.iter().map(|e| e.round() as usize).collect::<Vec<_>>()
+        expected
+            .iter()
+            .map(|e| e.round() as usize)
+            .collect::<Vec<_>>()
     );
 
     // Subset-sum rounding of org 0's *sizes* onto the fractional split.

@@ -77,10 +77,10 @@ pub mod prelude {
     pub use dlb_core::{Assignment, Instance, LatencyMatrix};
     pub use dlb_distributed::{Engine, EngineOptions};
     pub use dlb_game::{
-        run_best_response_dynamics, DynamicsOptions, epsilon_nash_gap, theorem1_bounds,
+        epsilon_nash_gap, run_best_response_dynamics, theorem1_bounds, DynamicsOptions,
     };
-    pub use dlb_solver::{solve_bcd, solve_pgd, PgdOptions};
     pub use dlb_runtime::{run_cluster, ClusterOptions};
+    pub use dlb_solver::{solve_bcd, solve_pgd, PgdOptions};
     pub use dlb_topology::PlanetLabConfig;
 }
 

@@ -55,11 +55,7 @@ fn engine_fixpoint_has_no_negative_cycle_vs_optimum() {
         a_engine.run_to_convergence(1e-12, 3, 300);
         let mut b_engine = Engine::new(instance.clone(), engine_opts(seed + 50));
         b_engine.run_to_convergence(1e-12, 3, 300);
-        let graph = ErrorGraph::build(
-            &instance,
-            a_engine.assignment(),
-            b_engine.assignment(),
-        );
+        let graph = ErrorGraph::build(&instance, a_engine.assignment(), b_engine.assignment());
         assert!(
             !graph.has_negative_cycle(),
             "seed {seed}: fixpoints differ by a negative cycle"
@@ -94,8 +90,7 @@ fn prop1_bound_can_drive_a_stopping_rule() {
     engine.run_to_convergence(1e-12, 3, 300);
     let mut final_state = engine.assignment().clone();
     remove_negative_cycles(&instance, &mut final_state);
-    let final_signal =
-        proposition1_bound(&instance, &final_state).bound_l1 / total_load;
+    let final_signal = proposition1_bound(&instance, &final_state).bound_l1 / total_load;
     assert!(
         final_signal < initial * 0.05,
         "signal did not collapse: {initial} -> {final_signal}"

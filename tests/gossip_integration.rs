@@ -19,7 +19,11 @@ fn gossip_views_converge_to_real_loads() {
     let a = Assignment::local(&instance);
     let mut gossip = GossipNetwork::new(a.loads(), 3);
     let stats = gossip.run_until_complete(1000);
-    assert!(stats.rounds <= 40, "dissemination took {} rounds", stats.rounds);
+    assert!(
+        stats.rounds <= 40,
+        "dissemination took {} rounds",
+        stats.rounds
+    );
     for node in 0..64 {
         assert_eq!(gossip.view(node), a.loads());
     }

@@ -81,8 +81,7 @@ fn optimized_assignment_beats_local_in_simulation_too() {
         },
     );
     engine.run_to_convergence(1e-10, 2, 60);
-    let sim_local =
-        validate_against_model(&instance, &local, Discipline::RandomOrder, 6, 79);
+    let sim_local = validate_against_model(&instance, &local, Discipline::RandomOrder, 6, 79);
     let sim_opt = validate_against_model(
         &instance,
         engine.assignment(),

@@ -75,8 +75,7 @@ fn table3_grid_cost_of_selfishness_is_low() {
                 },
             );
             let (opt, _) = solve_bcd(&instance, 2_000, 1e-10);
-            let ratio =
-                total_cost(&instance, &nash) / delay_lb::solver::objective(&instance, &opt);
+            let ratio = total_cost(&instance, &nash) / delay_lb::solver::objective(&instance, &opt);
             worst = worst.max(ratio);
         }
     }

@@ -92,13 +92,7 @@ fn table2_claim_at_most_eleven_iterations_to_01pct() {
 /// by orders of magnitude within ~20 iterations (exponential decrease).
 #[test]
 fn figure2_claim_exponential_decrease() {
-    let instance = grid_instance(
-        500,
-        LoadDistribution::Peak,
-        100_000.0 / 500.0,
-        7,
-        true,
-    );
+    let instance = grid_instance(500, LoadDistribution::Peak, 100_000.0 / 500.0, 7, true);
     let mut engine = Engine::new(
         instance,
         EngineOptions {
@@ -176,9 +170,7 @@ fn table3_claim_selfishness_cost_small() {
         let mut nash = Assignment::local(&instance);
         run_best_response_dynamics(&instance, &mut nash, &DynamicsOptions::default());
         let (opt, _) = solve_bcd(&instance, 2_000, 1e-10);
-        ratios.push(
-            total_cost(&instance, &nash) / delay_lb::solver::objective(&instance, &opt),
-        );
+        ratios.push(total_cost(&instance, &nash) / delay_lb::solver::objective(&instance, &opt));
     }
     for r in &ratios {
         assert!(*r < 1.2, "ratio {r} above the paper's ≤1.15 regime");

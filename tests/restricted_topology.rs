@@ -6,7 +6,7 @@ use delay_lb::core::rngutil::rng_for;
 use delay_lb::prelude::*;
 use delay_lb::topology::{out_degree, restrict_to_k_nearest, restrict_to_neighbors};
 
-fn pl_instance(m: usize, avg: f64, seed: u64, lat: LatencyMatrix) -> Instance {
+fn pl_instance(_m: usize, avg: f64, seed: u64, lat: LatencyMatrix) -> Instance {
     let mut rng = rng_for(seed, 0x2E57);
     WorkloadSpec {
         loads: LoadDistribution::Exponential,

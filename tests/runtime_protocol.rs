@@ -104,7 +104,11 @@ fn protocol_survives_dead_nodes() {
         },
     );
     for dead in [9usize, 10, 11] {
-        assert_eq!(report.assignment.load(dead), 0.0, "dead node {dead} hosts load");
+        assert_eq!(
+            report.assignment.load(dead),
+            0.0,
+            "dead node {dead} hosts load"
+        );
     }
     let live_avg = 2_400.0 / 9.0;
     for j in 0..9 {

@@ -1,0 +1,270 @@
+//! Offline vendor shim for the subset of the `criterion` 0.5 API used
+//! by `benches/kernels.rs`: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed
+//! over `sample_size` samples; the per-iteration mean, minimum and
+//! maximum across samples are printed in a compact one-line format.
+//! There is no statistical analysis, plotting, or baseline storage —
+//! the point is that `cargo bench` compiles and produces honest wall
+//! times offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-value hint, re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is cheap to build.
+    SmallInput,
+    /// Routine input is expensive to build.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying a function label and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max nanoseconds per iteration, filled by `iter*`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    fn measure(&mut self, mut once: impl FnMut() -> Duration) {
+        // Warmup: a few calls so lazy init and caches settle.
+        let mut warm = Duration::ZERO;
+        let mut warm_iters = 0u32;
+        while warm < Duration::from_millis(20) && warm_iters < 100 {
+            warm += once();
+            warm_iters += 1;
+        }
+        let per_call = (warm / warm_iters.max(1)).max(Duration::from_nanos(1));
+        // Aim each sample at ~2 ms of work, capped for slow routines.
+        let iters_per_sample = (Duration::from_millis(2).as_nanos() / per_call.as_nanos())
+            .clamp(1, 1_000_000) as usize;
+        let (mut sum, mut lo, mut hi) = (0.0f64, f64::INFINITY, f64::NEG_INFINITY);
+        for _ in 0..self.samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                total += once();
+            }
+            let ns = total.as_secs_f64() * 1e9 / iters_per_sample as f64;
+            sum += ns;
+            lo = lo.min(ns);
+            hi = hi.max(ns);
+        }
+        self.result = Some((sum / self.samples as f64, lo, hi));
+    }
+
+    /// Times `routine` called repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.measure(|| {
+            let t = Instant::now();
+            std_black_box(routine());
+            t.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.measure(|| {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            t.elapsed()
+        });
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((mean, lo, hi)) => println!(
+                "{}/{:<24} time: [{} {} {}]",
+                self.name,
+                label,
+                human_ns(lo),
+                human_ns(mean),
+                human_ns(hi)
+            ),
+            None => println!("{}/{:<24} (no measurement)", self.name, label),
+        }
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.label.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a plain closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into();
+        self.run(&label, f);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores CLI arguments (the shim has no filtering).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a plain closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        self.benchmark_group(name.clone()).bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter("v"), &(), |b, _| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

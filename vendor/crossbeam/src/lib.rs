@@ -1,0 +1,156 @@
+//! Offline vendor shim for the subset of the `crossbeam` 0.8 API used
+//! by this workspace: [`scope`] (scoped threads whose closures receive
+//! the scope, so they can spawn nested work) and [`channel`] (cloneable
+//! unbounded MPMC-ish channels — the workspace only ever uses them
+//! MPSC-style).
+//!
+//! Built entirely on `std::thread::scope` and `std::sync::mpsc`;
+//! semantics relevant to this workspace are identical: `scope` joins
+//! every spawned thread before returning and reports child panics as
+//! `Err`, senders can be cloned freely, and `recv` unblocks with an
+//! error once every sender is dropped.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handed to [`scope`]'s closure and to every spawned thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope (ignored
+    /// by every caller in this workspace, but part of the crossbeam
+    /// signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; joins all spawned threads before
+/// returning. Returns `Err` if any spawned thread (or `f` itself)
+/// panicked, mirroring `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Cloneable unbounded channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; fails only when the receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails once every sender is
+        /// dropped and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None`-like error when empty.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Drains all currently queued messages.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![0u64; 8];
+        let r = scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let sum: usize = scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            let mut total = 0;
+            while let Ok(v) = rx.recv() {
+                total += v;
+            }
+            total
+        })
+        .unwrap();
+        assert_eq!(sum, 1 + 2 + 3);
+    }
+}
