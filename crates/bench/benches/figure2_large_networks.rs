@@ -4,41 +4,90 @@
 //!
 //! The paper plots `ΣC_i` (log scale) against the iteration number for
 //! m ∈ {500, 1000, 2000, 3000, 5000} and observes an exponential
-//! decrease. We print the same series; pruned partner selection plus
-//! parallel candidate evaluation keeps the big sizes tractable (the
-//! pruning heuristic is exact for peak workloads — see
-//! `dlb_distributed::mine`).
+//! decrease. We print the same series — run with the batched
+//! propose/match/apply round, which executes one iteration as three
+//! data-parallel phases instead of a serial sweep over servers — and
+//! then record a scaling comparison (network size × round mode ×
+//! thread count → wall-clock per iteration) to `BENCH_figure2.json`
+//! at the workspace root, one JSON record per measurement, so the
+//! perf trajectory of the Figure-2 hot path is tracked across PRs.
 //!
 //! Run: `cargo bench -p dlb-bench --bench figure2_large_networks`
 //! (`DLB_BENCH_SCALE=full` adds m = 3000 and m = 5000).
 
+use dlb_bench::results::{JsonlSink, Record};
 use dlb_bench::{full_scale, sample_instance, NetworkKind};
 use dlb_core::workload::{LoadDistribution, SpeedDistribution};
-use dlb_distributed::{Engine, EngineOptions};
+use dlb_core::Instance;
+use dlb_distributed::{Engine, EngineOptions, RoundMode};
+
+fn peak_instance(m: usize) -> Instance {
+    sample_instance(
+        m,
+        NetworkKind::PlanetLab,
+        LoadDistribution::Peak,
+        100_000.0 / m as f64,
+        SpeedDistribution::paper_uniform(),
+        7,
+    )
+}
+
+fn mode_label(mode: RoundMode) -> &'static str {
+    match mode {
+        RoundMode::Sequential => "sequential",
+        RoundMode::Batched => "batched",
+    }
+}
+
+/// Runs `iters` engine iterations and returns (wall-clock seconds per
+/// iteration, final ΣC).
+fn time_iterations(instance: &Instance, mode: RoundMode, iters: usize) -> (f64, f64) {
+    let mut engine = Engine::new(
+        instance.clone(),
+        EngineOptions {
+            seed: 7,
+            round_mode: mode,
+            ..Default::default()
+        },
+    );
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        engine.run_iteration();
+    }
+    let secs = start.elapsed().as_secs_f64() / iters as f64;
+    (secs, engine.current_cost())
+}
 
 fn main() {
-    let sizes: Vec<usize> = if full_scale() {
+    let full = full_scale();
+    // Every record carries the grid scale and the host's core count so
+    // snapshots from different runs (fast vs full, laptop vs CI) stay
+    // distinguishable in the committed artifact instead of silently
+    // mixing incomparable rows.
+    let scale = if full { "full" } else { "fast" };
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get()) as i64;
+    let tag = |r: Record| r.str("scale", scale).int("host_cores", cores);
+    let sizes: Vec<usize> = if full {
         vec![500, 1000, 2000, 3000, 5000]
     } else {
         vec![500, 1000, 2000]
     };
     let iterations = 20;
+    // Benches run with the package dir as CWD; anchor the committed
+    // artifact at the workspace root regardless.
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_figure2.json");
+    let mut sink = JsonlSink::create_at(out_path).expect("BENCH_figure2.json must be writable");
+
     println!("\n== Figure 2 — ΣC vs iteration, peak load, heterogeneous network ==");
-    println!("(total peak load 100 000 requests; series printed per network size)\n");
+    println!("(total peak load 100 000 requests; batched propose/match/apply rounds)\n");
     for &m in &sizes {
-        let instance = sample_instance(
-            m,
-            NetworkKind::PlanetLab,
-            LoadDistribution::Peak,
-            100_000.0 / m as f64,
-            SpeedDistribution::paper_uniform(),
-            7,
-        );
+        let instance = peak_instance(m);
         let start = std::time::Instant::now();
         let mut engine = Engine::new(
             instance,
             EngineOptions {
                 seed: 7,
+                round_mode: RoundMode::Batched,
                 ..Default::default()
             },
         );
@@ -51,12 +100,66 @@ fn main() {
         println!();
         let initial = engine.history()[0];
         let final_cost = engine.current_cost();
+        let wall = start.elapsed().as_secs_f64();
         println!(
             "               reduction {:.1}x in {} iterations ({:.1} s wall)",
             initial / final_cost,
             iterations,
-            start.elapsed().as_secs_f64()
+            wall
         );
+        sink.record(&tag(Record::new("figure2_series")
+            .int("m", m as i64)
+            .int("iterations", iterations as i64)
+            .num("initial_cost", initial)
+            .num("final_cost", final_cost)
+            .num("wall_secs", wall)));
     }
+
+    // Scaling record: wall-clock per iteration for every round mode ×
+    // thread count on the pruned-mode sizes. The batched round turns
+    // the iteration's serial sweep (one crossbeam scope per server)
+    // into three fan-outs per round, which is where the Figure-2
+    // wall-clock was going. Interpret thread columns against the host:
+    // on a single-core box the threads=8 rows measure oversubscription
+    // overhead (per-server scope spawns in sequential mode), not
+    // parallel speedup.
+    println!("\n== round-mode scaling (secs / iteration) ==");
+    println!(
+        "{:<8} {:<12} {:>8} {:>14} {:>14}",
+        "m", "mode", "threads", "secs/iter", "final ΣC"
+    );
+    let scaling_sizes: Vec<usize> = if full {
+        vec![1000, 2000, 5000]
+    } else {
+        vec![1000, 2000]
+    };
+    for &m in &scaling_sizes {
+        let instance = peak_instance(m);
+        for mode in [RoundMode::Sequential, RoundMode::Batched] {
+            for threads in [1usize, 8] {
+                std::env::set_var("DLB_THREADS", threads.to_string());
+                let iters = 3;
+                let (secs, cost) = time_iterations(&instance, mode, iters);
+                std::env::remove_var("DLB_THREADS");
+                println!(
+                    "{:<8} {:<12} {:>8} {:>14.4} {:>14.4e}",
+                    m,
+                    mode_label(mode),
+                    threads,
+                    secs,
+                    cost
+                );
+                sink.record(&tag(Record::new("scaling")
+                    .int("m", m as i64)
+                    .str("mode", mode_label(mode))
+                    .int("threads", threads as i64)
+                    .int("iters_timed", iters as i64)
+                    .num("secs_per_iter", secs)
+                    .num("cost_after", cost)));
+            }
+        }
+    }
+
     println!("\npaper: total processing time decreases exponentially over ~20 iterations");
+    println!("scaling record written to BENCH_figure2.json");
 }

@@ -1,0 +1,206 @@
+//! Self-describing JSON-lines results output.
+//!
+//! Replaces the old ad-hoc CSV sink (`csv.rs`): every experiment
+//! harness appends one JSON object per measurement, so a single
+//! streaming format serves all 13 benches and downstream tooling can
+//! render the paper tables from it without per-file schemas.
+//! Hand-rolled: the approved dependency set has no JSON crate, and the
+//! needs (flat records of numbers, strings, and booleans) are trivial.
+//!
+//! Two sinks are provided:
+//! * [`JsonlSink::create`] — the environment-driven sink harnesses use:
+//!   writes `<DLB_RESULTS_DIR>/<name>.jsonl`, and is a silent no-op
+//!   when the variable is unset (so benches never fail on read-only
+//!   filesystems),
+//! * [`JsonlSink::create_at`] — an explicit-path sink for committed
+//!   artifacts such as the repo-root `BENCH_figure2.json` scaling
+//!   record.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One flat JSON record under construction. Field order is preserved.
+#[derive(Debug, Clone, Default)]
+pub struct Record {
+    fields: Vec<(String, String)>,
+}
+
+impl Record {
+    /// Starts a record tagged with a `kind` discriminator field.
+    pub fn new(kind: &str) -> Self {
+        let mut r = Self::default();
+        r.push_raw("kind", json_string(kind));
+        r
+    }
+
+    fn push_raw(&mut self, key: &str, rendered: String) {
+        self.fields.push((key.to_string(), rendered));
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.push_raw(key, json_string(value));
+        self
+    }
+
+    /// Adds a numeric field (non-finite values render as `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.push_raw(key, json_number(value));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: i64) -> Self {
+        self.push_raw(key, value.to_string());
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.push_raw(key, value.to_string());
+        self
+    }
+
+    /// Renders the record as one JSON object.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_string(k)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        // `{v}` alone prints integers without a dot, which is still
+        // valid JSON; keep it terse.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON-lines sink for one experiment.
+#[derive(Debug)]
+pub struct JsonlSink {
+    file: Option<fs::File>,
+}
+
+impl JsonlSink {
+    /// Opens (truncates) `<DLB_RESULTS_DIR>/<name>.jsonl`. When the
+    /// variable is unset the sink is a no-op, mirroring the old CSV
+    /// sink's best-effort contract.
+    pub fn create(name: &str) -> Self {
+        let file = std::env::var("DLB_RESULTS_DIR").ok().and_then(|dir| {
+            let mut path = PathBuf::from(dir);
+            if fs::create_dir_all(&path).is_err() {
+                return None;
+            }
+            path.push(format!("{name}.jsonl"));
+            fs::File::create(path).ok()
+        });
+        Self { file }
+    }
+
+    /// Opens (truncates) an explicit path; errors propagate so callers
+    /// producing committed artifacts notice a broken destination.
+    pub fn create_at(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            file: Some(fs::File::create(path)?),
+        })
+    }
+
+    /// Appends one record as a JSON line (best-effort for env sinks).
+    pub fn record(&mut self, record: &Record) {
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{}", record.to_json());
+        }
+    }
+
+    /// Whether records are actually being persisted.
+    pub fn is_active(&self) -> bool {
+        self.file.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_flat_json() {
+        let r = Record::new("scaling")
+            .int("m", 2000)
+            .str("mode", "batched")
+            .num("secs_per_iter", 0.25)
+            .num("bad", f64::NAN)
+            .bool("parallel", true);
+        assert_eq!(
+            r.to_json(),
+            r#"{"kind":"scaling","m":2000,"mode":"batched","secs_per_iter":0.25,"bad":null,"parallel":true}"#
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    /// One sequential test: the env-driven sink depends on a
+    /// process-wide variable, so the no-op and active cases must not
+    /// run as separate (parallel) tests.
+    #[test]
+    fn sink_honours_results_dir_env() {
+        std::env::remove_var("DLB_RESULTS_DIR");
+        let mut sink = JsonlSink::create("unit_noop");
+        assert!(!sink.is_active());
+        sink.record(&Record::new("x")); // must not panic
+
+        let dir = std::env::temp_dir().join("dlb_jsonl_test");
+        std::env::set_var("DLB_RESULTS_DIR", &dir);
+        let mut sink = JsonlSink::create("unit_rows");
+        assert!(sink.is_active());
+        sink.record(&Record::new("row").int("i", 1));
+        sink.record(&Record::new("row").int("i", 2).str("note", "a,b"));
+        drop(sink);
+        let content = fs::read_to_string(dir.join("unit_rows.jsonl")).unwrap();
+        assert_eq!(
+            content,
+            "{\"kind\":\"row\",\"i\":1}\n{\"kind\":\"row\",\"i\":2,\"note\":\"a,b\"}\n"
+        );
+        std::env::remove_var("DLB_RESULTS_DIR");
+    }
+
+    #[test]
+    fn create_at_writes_explicit_path() {
+        let path = std::env::temp_dir().join("dlb_jsonl_explicit.json");
+        let mut sink = JsonlSink::create_at(&path).unwrap();
+        sink.record(&Record::new("scaling").int("m", 500));
+        drop(sink);
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "{\"kind\":\"scaling\",\"m\":500}\n");
+        let _ = fs::remove_file(path);
+    }
+}

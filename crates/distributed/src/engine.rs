@@ -6,22 +6,45 @@
 //! Tables I/II and Figure 2, and supports:
 //!
 //! * exact or pruned partner selection (see [`crate::mine`]),
+//! * two round execution models ([`RoundMode`]):
+//!   [`RoundMode::Sequential`] visits servers one at a time exactly as
+//!   §VI-B prescribes, while [`RoundMode::Batched`] executes the same
+//!   iteration as three data-parallel phases — *propose* (every server
+//!   picks its Algorithm-2 partner against the round-start snapshot,
+//!   outer-parallel over servers), *match* (greedy conflict-free
+//!   pairing in the shuffled priority order), *apply* (the matched,
+//!   ledger-disjoint exchanges execute concurrently) — see
+//!   [`crate::round`],
 //! * periodic negative-cycle removal (paper Appendix; the ablation
 //!   bench reproduces the paper's finding that it does not change the
 //!   iteration counts),
 //! * stale load views, emulating a gossip dissemination layer that
 //!   refreshes every `staleness` iterations.
+//!
+//! `ΣC` is maintained *incrementally*: every applied exchange reports
+//! its exact pair-cost reduction, and the engine accumulates those
+//! deltas instead of re-walking all `m` ledgers each iteration
+//! (an `O(m·nnz)` scan that dominated small-iteration runs). A
+//! [`CostTracker`] resyncs against a fresh [`total_cost`] every
+//! [`COST_RESYNC_EVERY`] iterations — and after structural rewrites
+//! like cycle removal — while debug builds verify every single
+//! iteration against a full recompute to 1e-6 relative.
 
-use dlb_core::cost::total_cost;
+use dlb_core::cost::{total_cost, CostTracker};
 use dlb_core::rngutil::rng_for;
 use dlb_core::{Assignment, Instance};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
 use crate::cycles::remove_negative_cycles;
-use crate::mine::{
-    apply_exchange_g, choose_partner_g, mine_step_masked_g, MineOutcome, PartnerSelection,
-};
+use crate::mine::{apply_exchange_g, choose_partner_scratch_g, PartnerScratch, PartnerSelection};
+use crate::round::{run_batched_round, RoundMode};
+
+/// Iterations between full `ΣC` recomputes that squash accumulated
+/// floating-point drift in the incremental cost tracker. Exchanges are
+/// individually exact to ~1e-15 relative, so even hour-long runs stay
+/// far inside [`CostTracker::DRIFT_TOL`] between resyncs.
+pub const COST_RESYNC_EVERY: usize = 64;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +86,11 @@ pub struct EngineOptions {
     /// converges in fewer, more expensive rounds; kept for the
     /// ablation bench).
     pub pair_once: bool,
+    /// Round execution model: the sequential §VI-B sweep, or the
+    /// batched propose/match/apply round (see [`crate::round`]).
+    /// Batched mode implies `pair_once` semantics — the match phase is
+    /// one-exchange-per-server by construction.
+    pub round_mode: RoundMode,
 }
 
 impl Default for EngineOptions {
@@ -79,6 +107,7 @@ impl Default for EngineOptions {
             load_staleness: 0,
             granularity: 0.0,
             pair_once: true,
+            round_mode: RoundMode::Sequential,
         }
     }
 }
@@ -118,6 +147,8 @@ pub struct Engine {
     iteration: usize,
     cost_scale: f64,
     stale_loads: Vec<f64>,
+    cost: CostTracker,
+    scratch: PartnerScratch,
 }
 
 impl Engine {
@@ -146,6 +177,8 @@ impl Engine {
             iteration: 0,
             cost_scale: initial_cost.abs().max(1.0),
             stale_loads,
+            cost: CostTracker::new(initial_cost, COST_RESYNC_EVERY),
+            scratch: PartnerScratch::default(),
         }
     }
 
@@ -222,8 +255,75 @@ impl Engine {
         }
         let selection = self.selection();
         let min_improvement = self.options.min_improvement_rel * self.cost_scale;
+        let (moved, exchanges, cost_delta) = match self.options.round_mode {
+            RoundMode::Sequential => {
+                self.sequential_round(&order, active, selection, min_improvement)
+            }
+            RoundMode::Batched => {
+                let score_loads = if self.options.load_staleness > 0 {
+                    Some(self.stale_loads.as_slice())
+                } else {
+                    None
+                };
+                let outcome = run_batched_round(
+                    &self.instance,
+                    &mut self.assignment,
+                    &order,
+                    selection,
+                    min_improvement,
+                    self.options.parallel,
+                    active,
+                    self.options.granularity,
+                    score_loads,
+                );
+                (outcome.moved, outcome.exchanges, outcome.cost_delta)
+            }
+        };
+        self.iteration += 1;
+        // Cycle removal rewrites ledgers wholesale; its cost change is
+        // not delta-tracked, so force a resync whenever it runs.
+        let mut structural_resync = false;
+        if let Some(every) = self.options.cycle_removal_every {
+            if every > 0 && self.iteration.is_multiple_of(every) {
+                let _ = remove_negative_cycles(&self.instance, &mut self.assignment);
+                structural_resync = true;
+            }
+        }
+        self.assignment.refresh_loads();
+        self.cost.apply_delta(cost_delta);
+        if structural_resync || self.cost.should_resync() {
+            self.cost
+                .resync(total_cost(&self.instance, &self.assignment));
+        } else {
+            // Debug builds prove the accumulated deltas against a fresh
+            // recompute every iteration; release builds skip the walk.
+            self.cost
+                .debug_assert_in_sync(&self.instance, &self.assignment);
+        }
+        let cost = self.cost.value();
+        self.history.push(cost);
+        IterationStats {
+            iteration: self.iteration,
+            cost,
+            moved,
+            exchanges,
+        }
+    }
+
+    /// The §VI-B sweep: servers act one at a time in `order`, each
+    /// seeing the loads its predecessors left behind. Returns
+    /// `(moved, exchanges, cost_delta)`.
+    fn sequential_round(
+        &mut self,
+        order: &[usize],
+        active: Option<&[bool]>,
+        selection: PartnerSelection,
+        min_improvement: f64,
+    ) -> (f64, usize, f64) {
+        let m = self.instance.len();
         let mut moved = 0.0;
         let mut exchanges = 0usize;
+        let mut cost_delta = 0.0;
         // A pairwise exchange occupies both endpoints for the round
         // (`pair_once`), so every completed exchange removes both of
         // its members from the round. Crucially, the *choice* of
@@ -236,67 +336,49 @@ impl Engine {
             Some(mask) => mask.to_vec(),
             None => vec![true; m],
         };
-        for id in order {
-            if self.options.pair_once {
-                if !free[id] {
+        for &id in order {
+            if self.options.pair_once && !free[id] {
+                continue;
+            }
+            // Gossip emulation: pruned pre-scoring ranks candidates by
+            // the stale snapshot; exact evaluation stays live.
+            let score_loads = if self.options.load_staleness > 0 {
+                Some(self.stale_loads.as_slice())
+            } else {
+                None
+            };
+            let choice = choose_partner_scratch_g(
+                &self.instance,
+                &self.assignment,
+                id,
+                selection,
+                min_improvement,
+                self.options.parallel,
+                active,
+                self.options.granularity,
+                score_loads,
+                &mut self.scratch,
+            );
+            if let Some((j, impr)) = choice {
+                if self.options.pair_once && !free[j] {
                     continue;
                 }
-                let choice = choose_partner_g(
-                    &self.instance,
-                    &self.assignment,
-                    id,
-                    selection,
-                    min_improvement,
-                    self.options.parallel,
-                    active,
-                    self.options.granularity,
-                );
-                if let Some((j, _)) = choice {
-                    if free[j] {
-                        moved += apply_exchange_g(
-                            &self.instance,
-                            &mut self.assignment,
-                            id,
-                            j,
-                            self.options.granularity,
-                        );
-                        exchanges += 1;
-                        free[id] = false;
-                        free[j] = false;
-                    }
-                }
-            } else {
-                let outcome: MineOutcome = mine_step_masked_g(
+                moved += apply_exchange_g(
                     &self.instance,
                     &mut self.assignment,
                     id,
-                    selection,
-                    min_improvement,
-                    self.options.parallel,
-                    active,
+                    j,
                     self.options.granularity,
                 );
-                if outcome.partner.is_some() {
-                    exchanges += 1;
-                    moved += outcome.moved;
+                exchanges += 1;
+                cost_delta -= impr;
+                if self.options.pair_once {
+                    free[id] = false;
+                    free[j] = false;
                 }
             }
         }
-        self.iteration += 1;
-        if let Some(every) = self.options.cycle_removal_every {
-            if every > 0 && self.iteration.is_multiple_of(every) {
-                let _ = remove_negative_cycles(&self.instance, &mut self.assignment);
-            }
-        }
-        self.assignment.refresh_loads();
-        let cost = total_cost(&self.instance, &self.assignment);
-        self.history.push(cost);
-        IterationStats {
-            iteration: self.iteration,
-            cost,
-            moved,
-            exchanges,
-        }
+        (moved, exchanges, cost_delta)
     }
 
     /// Runs until the relative per-iteration improvement stays below
@@ -401,6 +483,7 @@ impl Engine {
         self.instance.set_own_loads(new_loads);
         self.assignment.refresh_loads();
         let cost = total_cost(&self.instance, &self.assignment);
+        self.cost.resync(cost);
         self.history.push(cost);
         self.cost_scale = cost.abs().max(1.0);
     }

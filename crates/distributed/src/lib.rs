@@ -14,7 +14,11 @@
 //! * [`engine`] — the iteration engine used in all experiments: in each
 //!   iteration every server (in random order) executes Algorithm 2;
 //!   includes the pruned partner-selection mode that keeps Figure 2's
-//!   5000-server runs tractable,
+//!   5000-server runs tractable, plus incremental `ΣC` tracking,
+//! * [`round`] — the batched propose/match/apply round
+//!   ([`RoundMode::Batched`]): one outer-parallel partner-choice pass
+//!   over all servers, a deterministic conflict-free matching, and
+//!   concurrent execution of the matched (ledger-disjoint) exchanges,
 //! * [`error_bound`] — **Proposition 1**: the `(4m+1)·ΔR·Σs_i` bound on
 //!   the Manhattan distance to the optimum,
 //! * [`error_graph`] — the error-graph construction used by the bound's
@@ -30,7 +34,9 @@ pub mod engine;
 pub mod error_bound;
 pub mod error_graph;
 pub mod mine;
+pub mod round;
 pub mod transfer;
 
 pub use engine::{ConvergenceReport, Engine, EngineOptions, IterationStats};
+pub use round::{RoundMode, RoundOutcome};
 pub use transfer::{calc_best_transfer, TransferOutcome};

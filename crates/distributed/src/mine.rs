@@ -87,6 +87,20 @@ pub enum PartnerSelection {
     },
 }
 
+/// Reusable per-caller buffers for [`choose_partner_scratch_g`].
+///
+/// One MinE step allocates a candidate list, a score table, and an
+/// improvement table; at Figure-2 scale the engine runs millions of
+/// steps, so the engine (and each propose-phase worker thread) keeps
+/// one `PartnerScratch` alive and reuses the buffers instead of
+/// allocating three fresh `Vec`s per server per iteration.
+#[derive(Debug, Clone, Default)]
+pub struct PartnerScratch {
+    candidates: Vec<usize>,
+    scored: Vec<(usize, f64)>,
+    improvements: Vec<f64>,
+}
+
 /// Outcome of one MinE step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MineOutcome {
@@ -154,23 +168,74 @@ pub fn choose_partner_g(
     active: Option<&[bool]>,
     granularity: f64,
 ) -> Option<(usize, f64)> {
+    let mut scratch = PartnerScratch::default();
+    choose_partner_scratch_g(
+        instance,
+        a,
+        id,
+        selection,
+        min_improvement,
+        parallel,
+        active,
+        granularity,
+        None,
+        &mut scratch,
+    )
+}
+
+/// [`choose_partner_g`] with caller-provided scratch buffers — the
+/// allocation-free form the engine's hot loops use.
+///
+/// `score_loads` optionally overrides the load vector used by the
+/// pruned mode's closed-form *pre-scoring* (the engine passes its
+/// gossip-stale snapshot here when `load_staleness > 0`). The exact
+/// Algorithm-1 evaluation of the surviving candidates always runs on
+/// the live ledgers, so a positive choice still corresponds to a real
+/// improving exchange — staleness can only misrank candidates, exactly
+/// like a real dissemination layer.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_partner_scratch_g(
+    instance: &Instance,
+    a: &Assignment,
+    id: usize,
+    selection: PartnerSelection,
+    min_improvement: f64,
+    parallel: bool,
+    active: Option<&[bool]>,
+    granularity: f64,
+    score_loads: Option<&[f64]>,
+    scratch: &mut PartnerScratch,
+) -> Option<(usize, f64)> {
     let m = instance.len();
     if m < 2 {
         return None;
     }
+    // Inside a fan-out worker (the batched propose phase) the inner
+    // maps would degrade to sequential anyway, but through
+    // `par_map_indexed`, which returns a fresh Vec per call. Take the
+    // scratch-filling sequential arms directly instead, so the propose
+    // hot path stays allocation-free as intended.
+    let parallel = parallel && !dlb_par::in_parallel_region();
+    let PartnerScratch {
+        candidates,
+        scored,
+        improvements,
+    } = scratch;
     let reachable = |j: usize| j != id && active.is_none_or(|mask| mask[j]);
-    let candidates: Vec<usize> = match selection {
-        PartnerSelection::Exact => (0..m).filter(|&j| reachable(j)).collect(),
+    candidates.clear();
+    match selection {
+        PartnerSelection::Exact => candidates.extend((0..m).filter(|&j| reachable(j))),
         PartnerSelection::Pruned { top_k } => {
             // Pre-scoring is the hot loop of the pruned large-network
             // mode: every server scores all m−1 partners, so one engine
             // iteration at Figure 2's m = 5000 performs ~25M closed-form
             // evaluations. Fan it out over the index range; the map
             // preserves index order (and degrades to the very same
-            // sequential loop under `DLB_THREADS=1` or below the small-n
-            // cutoff), so the ranking — and therefore the fixpoint — is
-            // identical however many workers run.
-            let loads = a.loads();
+            // sequential loop under `DLB_THREADS=1`, below the small-n
+            // cutoff, or nested inside the batched round's outer
+            // fan-out), so the ranking — and therefore the fixpoint —
+            // is identical however many workers run.
+            let loads = score_loads.unwrap_or_else(|| a.loads());
             let score = |j: usize| {
                 if reachable(j) {
                     partner_score(instance, loads, id, j)
@@ -178,26 +243,27 @@ pub fn choose_partner_g(
                     f64::NEG_INFINITY
                 }
             };
-            let scores: Vec<f64> = if parallel {
-                dlb_par::par_map_indexed(m, score)
+            scored.clear();
+            if parallel {
+                scored.extend(
+                    dlb_par::par_map_indexed(m, score)
+                        .into_iter()
+                        .enumerate()
+                        .filter(|&(j, _)| reachable(j)),
+                );
             } else {
-                (0..m).map(score).collect()
-            };
-            let mut scored: Vec<(usize, f64)> = scores
-                .into_iter()
-                .enumerate()
-                .filter(|&(j, _)| reachable(j))
-                .collect();
+                scored.extend((0..m).filter(|&j| reachable(j)).map(|j| (j, score(j))));
+            }
             // Stable descending sort: ties keep index order, matching
-            // the sequential pass bit for bit.
-            scored.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("scores comparable"));
-            scored
-                .into_iter()
-                .take(top_k.max(1))
-                .map(|(j, _)| j)
-                .collect()
+            // the sequential pass bit for bit. `total_cmp` orders every
+            // float, so a pathological NaN score can never panic the
+            // run the way `partial_cmp(..).expect(..)` did — a positive
+            // NaN merely wastes one top-k slot and is then rejected by
+            // the exact improvement pass below.
+            scored.sort_by(|x, y| y.1.total_cmp(&x.1));
+            candidates.extend(scored.iter().take(top_k.max(1)).map(|&(j, _)| j));
         }
-    };
+    }
     if candidates.is_empty() {
         return None;
     }
@@ -205,19 +271,30 @@ pub fn choose_partner_g(
     // dominant cost in Exact mode (m−1 ledger merges per server).
     // Index-ordered parallel map keeps results identical to sequential.
     let evaluate = |j: usize| improvement_g(instance, a, id, j, granularity);
-    let improvements: Vec<f64> = if parallel {
-        dlb_par::par_map_indexed(candidates.len(), |idx| evaluate(candidates[idx]))
+    improvements.clear();
+    if parallel {
+        improvements.extend(dlb_par::par_map_indexed(candidates.len(), |idx| {
+            evaluate(candidates[idx])
+        }));
     } else {
-        candidates.iter().map(|&j| evaluate(j)).collect()
-    };
+        improvements.extend(candidates.iter().map(|&j| evaluate(j)));
+    }
     let mut best: Option<(usize, f64)> = None;
     for (j, &impr) in candidates.iter().zip(improvements.iter()) {
+        // Reject NaN improvements up front — a NaN reaching the `match`
+        // below would overwrite a finite best (NaN fails every
+        // comparison) and silently skip a genuinely improving exchange.
+        // For finite values the early threshold filter is equivalent to
+        // filtering the argmax at the end.
+        if impr.is_nan() || impr <= min_improvement {
+            continue;
+        }
         match best {
             Some((_, b)) if impr <= b => {}
             _ => best = Some((*j, impr)),
         }
     }
-    best.filter(|&(_, impr)| impr > min_improvement)
+    best
 }
 
 /// Applies the Algorithm 1 exchange between `id` and `j`, updating both
@@ -463,6 +540,75 @@ mod tests {
         );
         assert_eq!(seq.partner, par.partner);
         assert!((seq.improvement - par.improvement).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        let instance = random_instance(40, 6);
+        let a = Assignment::local(&instance);
+        let mut scratch = PartnerScratch::default();
+        for id in 0..10 {
+            for selection in [
+                PartnerSelection::Exact,
+                PartnerSelection::Pruned { top_k: 5 },
+            ] {
+                let fresh = choose_partner_g(&instance, &a, id, selection, 1e-9, false, None, 0.0);
+                let reused = choose_partner_scratch_g(
+                    &instance,
+                    &a,
+                    id,
+                    selection,
+                    1e-9,
+                    false,
+                    None,
+                    0.0,
+                    None,
+                    &mut scratch,
+                );
+                assert_eq!(fresh, reused, "id {id} {selection:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_score_loads_change_pruned_ranking_only() {
+        // Live loads say server 1 is idle; the stale snapshot says
+        // server 2 is. With top_k = 1 the snapshot decides which single
+        // candidate gets an exact evaluation, so the chosen partner
+        // must follow it — the gossip-staleness emulation the engine
+        // relies on.
+        let mut instance = Instance::homogeneous(3, 1.0, 0.0, 5.0);
+        instance.set_own_loads(vec![100.0, 0.0, 50.0]);
+        let a = Assignment::local(&instance);
+        let stale = vec![100.0, 50.0, 0.0];
+        let selection = PartnerSelection::Pruned { top_k: 1 };
+        let mut scratch = PartnerScratch::default();
+        let live_choice = choose_partner_scratch_g(
+            &instance,
+            &a,
+            0,
+            selection,
+            1e-9,
+            false,
+            None,
+            0.0,
+            None,
+            &mut scratch,
+        );
+        let stale_choice = choose_partner_scratch_g(
+            &instance,
+            &a,
+            0,
+            selection,
+            1e-9,
+            false,
+            None,
+            0.0,
+            Some(&stale),
+            &mut scratch,
+        );
+        assert_eq!(live_choice.map(|(j, _)| j), Some(1));
+        assert_eq!(stale_choice.map(|(j, _)| j), Some(2));
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Batched propose/match/apply rounds.
+//!
+//! The paper's §VI-B iteration visits servers one at a time; the only
+//! parallelism is *inside* one server's Algorithm-2 partner scan. This
+//! module turns the whole iteration into three data-parallel phases,
+//! the model used by the distributed selfish load-balancing literature
+//! (concurrent pairwise rebalancing rounds, cf. Berenbrink et al.) and
+//! by gradient-descent-style balancers that update every server against
+//! a shared load snapshot (Balseiro et al.):
+//!
+//! 1. **Propose** — every active server computes its Algorithm-2
+//!    partner choice against the *round-start* assignment, in one
+//!    outer-parallel pass over servers ([`dlb_par::par_map_slice`]).
+//!    The inner candidate-scoring maps detect the enclosing region and
+//!    degrade to sequential, so the machine is never oversubscribed.
+//! 2. **Match** — proposals are resolved into a conflict-free set of
+//!    pairwise exchanges by greedy matching in the round's shuffled
+//!    priority order: the first proposer (in order) whose partner is
+//!    still free wins the pair; both endpoints then leave the round —
+//!    exactly the `pair_once` semantics of the sequential engine, and
+//!    the graph-coloring step the ROADMAP called for (a greedy maximal
+//!    matching *is* a 1-round colouring of the proposal graph).
+//! 3. **Apply** — the matched exchanges are recomputed and applied
+//!    concurrently. This is safe because matched pairs own disjoint
+//!    ledgers, and it is *exact* because a pairwise exchange only reads
+//!    and writes the two ledgers of its own pair (see
+//!    [`dlb_core::cost::server_cost`]).
+//!
+//! Every phase is deterministic given the round order, so batched
+//! fixpoints are thread-count invariant — covered by
+//! `tests/parallel_determinism.rs`.
+
+use std::cell::RefCell;
+
+use dlb_core::{Assignment, Instance};
+
+use crate::mine::{choose_partner_scratch_g, PartnerScratch, PartnerSelection};
+use crate::transfer::{calc_best_transfer_g, TransferOutcome};
+
+/// How the engine executes one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundMode {
+    /// §VI-B as written: servers act one at a time in the round order,
+    /// each seeing the loads left behind by its predecessors.
+    #[default]
+    Sequential,
+    /// Propose/match/apply: every server proposes against the
+    /// round-start snapshot, proposals are matched conflict-free, and
+    /// the matched exchanges execute concurrently. Implies the
+    /// `pair_once` semantics (the matching is one-exchange-per-server
+    /// by construction).
+    Batched,
+}
+
+/// The exchanges and bookkeeping of one batched round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Total request volume moved.
+    pub moved: f64,
+    /// Number of pairwise exchanges executed.
+    pub exchanges: usize,
+    /// Exact change of `ΣC` (≤ 0 up to rounding): the negated sum of
+    /// the applied exchanges' improvements, feeding the engine's
+    /// incremental cost tracker.
+    pub cost_delta: f64,
+}
+
+thread_local! {
+    /// Per-worker scratch for the propose phase: the fan-out workers
+    /// are plain `Fn(usize)` closures, so per-item `&mut` state is not
+    /// expressible — a thread-local gives every worker its own buffers,
+    /// created once per thread and reused across its whole chunk of
+    /// servers.
+    static PROPOSE_SCRATCH: RefCell<PartnerScratch> = RefCell::new(PartnerScratch::default());
+}
+
+/// Phase 1: every server in `order` computes its Algorithm-2 partner
+/// choice against the current (round-start) assignment. Returns one
+/// `Option<(partner, improvement)>` per `order` entry, in order.
+/// `score_loads` is the engine's gossip-stale load snapshot for the
+/// pruned pre-scoring (`None` = live round-start loads).
+#[allow(clippy::too_many_arguments)]
+pub fn propose(
+    instance: &Instance,
+    a: &Assignment,
+    order: &[usize],
+    selection: PartnerSelection,
+    min_improvement: f64,
+    parallel: bool,
+    active: Option<&[bool]>,
+    granularity: f64,
+    score_loads: Option<&[f64]>,
+) -> Vec<Option<(usize, f64)>> {
+    let choose = |id: usize| {
+        PROPOSE_SCRATCH.with(|scratch| {
+            choose_partner_scratch_g(
+                instance,
+                a,
+                id,
+                selection,
+                min_improvement,
+                parallel,
+                active,
+                granularity,
+                score_loads,
+                &mut scratch.borrow_mut(),
+            )
+        })
+    };
+    if parallel {
+        dlb_par::par_map_slice(order, |&id| choose(id))
+    } else {
+        order.iter().map(|&id| choose(id)).collect()
+    }
+}
+
+/// Phase 2: greedy conflict-free matching in priority order.
+///
+/// `order[p]` proposed `proposals[p]`; walking proposals in priority
+/// order, a proposal is accepted when both endpoints are still free.
+/// This mirrors the sequential `pair_once` rule — a server whose chosen
+/// partner is already taken *waits for the next round* rather than
+/// settling for a worse free partner. Returns the matched pairs as
+/// `(initiator, partner)`.
+pub fn match_proposals(
+    m: usize,
+    order: &[usize],
+    proposals: &[Option<(usize, f64)>],
+    active: Option<&[bool]>,
+) -> Vec<(usize, usize)> {
+    debug_assert_eq!(order.len(), proposals.len());
+    let mut free: Vec<bool> = match active {
+        Some(mask) => mask.to_vec(),
+        None => vec![true; m],
+    };
+    let mut matched = Vec::new();
+    for (&id, proposal) in order.iter().zip(proposals.iter()) {
+        if let Some((j, _)) = *proposal {
+            if free[id] && free[j] {
+                free[id] = false;
+                free[j] = false;
+                matched.push((id, j));
+            }
+        }
+    }
+    matched
+}
+
+/// Phase 3: execute the matched exchanges concurrently and apply them.
+///
+/// The Algorithm-1 transfers are computed in parallel from the
+/// round-start ledgers (matched pairs are disjoint, so each transfer
+/// sees exactly the state it will be applied to), then the resulting
+/// ledgers are swapped in. Each exchange's `improvement` is the exact
+/// `ΣC` reduction of the pair, so their negated sum is the round's
+/// exact cost delta.
+pub fn apply_matches(
+    instance: &Instance,
+    a: &mut Assignment,
+    matches: &[(usize, usize)],
+    granularity: f64,
+    parallel: bool,
+) -> RoundOutcome {
+    let compute = |&(i, j): &(usize, usize)| -> TransferOutcome {
+        calc_best_transfer_g(instance, a.ledger(i), a.ledger(j), i, j, granularity)
+    };
+    let outcomes: Vec<TransferOutcome> = if parallel {
+        dlb_par::par_map_slice(matches, compute)
+    } else {
+        matches.iter().map(compute).collect()
+    };
+    let mut moved = 0.0;
+    let mut cost_delta = 0.0;
+    for (&(i, j), outcome) in matches.iter().zip(outcomes) {
+        moved += outcome.moved;
+        cost_delta -= outcome.improvement;
+        a.replace_ledger(i, outcome.ledger_i);
+        a.replace_ledger(j, outcome.ledger_j);
+    }
+    RoundOutcome {
+        moved,
+        exchanges: matches.len(),
+        cost_delta,
+    }
+}
+
+/// One full batched round: propose, match, apply.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batched_round(
+    instance: &Instance,
+    a: &mut Assignment,
+    order: &[usize],
+    selection: PartnerSelection,
+    min_improvement: f64,
+    parallel: bool,
+    active: Option<&[bool]>,
+    granularity: f64,
+    score_loads: Option<&[f64]>,
+) -> RoundOutcome {
+    let proposals = propose(
+        instance,
+        a,
+        order,
+        selection,
+        min_improvement,
+        parallel,
+        active,
+        granularity,
+        score_loads,
+    );
+    let matches = match_proposals(instance.len(), order, &proposals, active);
+    apply_matches(instance, a, &matches, granularity, parallel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::cost::total_cost;
+    use dlb_core::rngutil::rng_for;
+    use dlb_core::LatencyMatrix;
+    use rand::Rng;
+
+    fn random_instance(m: usize, seed: u64) -> Instance {
+        let mut rng = rng_for(seed, 0x20BD);
+        let mut lat = LatencyMatrix::zero(m);
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    lat.set(i, j, rng.gen_range(0.5..15.0));
+                }
+            }
+        }
+        lat.metric_close();
+        Instance::new(
+            (0..m).map(|_| rng.gen_range(1.0..4.0)).collect(),
+            (0..m).map(|_| rng.gen_range(0.0..80.0)).collect(),
+            lat,
+        )
+    }
+
+    #[test]
+    fn matching_is_conflict_free_and_priority_ordered() {
+        // Server 0 and 2 both propose to 1; only the first in priority
+        // order may win, and 3's self-contained proposal survives.
+        let order = vec![0, 2, 3];
+        let proposals = vec![Some((1, 5.0)), Some((1, 9.0)), Some((4, 1.0))];
+        let matched = match_proposals(5, &order, &proposals, None);
+        assert_eq!(matched, vec![(0, 1), (3, 4)]);
+    }
+
+    #[test]
+    fn matching_respects_reachability_mask() {
+        let order = vec![0, 2];
+        let proposals = vec![Some((1, 5.0)), Some((3, 2.0))];
+        let mut active = vec![true; 4];
+        active[3] = false;
+        let matched = match_proposals(4, &order, &proposals, Some(&active));
+        assert_eq!(matched, vec![(0, 1)], "partner 3 is unreachable");
+    }
+
+    #[test]
+    fn batched_round_reduces_cost_by_its_reported_delta() {
+        let instance = random_instance(24, 3);
+        let mut a = Assignment::local(&instance);
+        let order: Vec<usize> = (0..24).collect();
+        let before = total_cost(&instance, &a);
+        let outcome = run_batched_round(
+            &instance,
+            &mut a,
+            &order,
+            PartnerSelection::Exact,
+            1e-9,
+            false,
+            None,
+            0.0,
+            None,
+        );
+        let after = total_cost(&instance, &a);
+        assert!(outcome.exchanges > 0, "imbalanced instance must exchange");
+        assert!(outcome.cost_delta < 0.0);
+        assert!(
+            (after - before - outcome.cost_delta).abs() < 1e-6 * before.max(1.0),
+            "reported delta {} vs actual {}",
+            outcome.cost_delta,
+            after - before
+        );
+        a.check_invariants(&instance).unwrap();
+    }
+
+    #[test]
+    fn batched_round_parallel_matches_sequential_bitwise() {
+        let instance = random_instance(64, 4);
+        let order: Vec<usize> = (0..64).rev().collect();
+        let mut a_seq = Assignment::local(&instance);
+        let mut a_par = Assignment::local(&instance);
+        let seq = run_batched_round(
+            &instance,
+            &mut a_seq,
+            &order,
+            PartnerSelection::Pruned { top_k: 6 },
+            1e-9,
+            false,
+            None,
+            0.0,
+            None,
+        );
+        let par = run_batched_round(
+            &instance,
+            &mut a_par,
+            &order,
+            PartnerSelection::Pruned { top_k: 6 },
+            1e-9,
+            true,
+            None,
+            0.0,
+            None,
+        );
+        assert_eq!(seq, par);
+        assert_eq!(a_seq, a_par, "batched round must be execution-invariant");
+    }
+
+    #[test]
+    fn each_server_exchanges_at_most_once() {
+        let instance = random_instance(30, 7);
+        let mut a = Assignment::local(&instance);
+        let order: Vec<usize> = (0..30).collect();
+        let proposals = propose(
+            &instance,
+            &a,
+            &order,
+            PartnerSelection::Exact,
+            1e-9,
+            false,
+            None,
+            0.0,
+            None,
+        );
+        let matches = match_proposals(30, &order, &proposals, None);
+        let mut seen = [false; 30];
+        for &(i, j) in &matches {
+            assert!(!seen[i] && !seen[j], "server matched twice");
+            seen[i] = true;
+            seen[j] = true;
+        }
+        let outcome = apply_matches(&instance, &mut a, &matches, 0.0, false);
+        assert_eq!(outcome.exchanges, matches.len());
+        assert!(outcome.exchanges <= 15, "⌊m/2⌋ pairings at most");
+    }
+}

@@ -1,0 +1,231 @@
+//! Fixpoint parity between the two round execution models.
+//!
+//! The batched propose/match/apply round replays §VI-B's iteration
+//! against a round-start snapshot instead of a serial sweep. The
+//! literature's expectation (Balseiro et al.: simultaneous updates
+//! against a shared load snapshot reach the same equilibria) is that
+//! the fixpoints agree — these tests pin that down to 1% of `ΣC`
+//! across seeds, workload shapes, and network substrates.
+//!
+//! Deliberately *not* touching `DLB_THREADS`: CI runs this suite under
+//! several ambient thread counts, which must all pass identically.
+
+use dlb_core::rngutil::rng_for;
+use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+use dlb_core::{Instance, LatencyMatrix};
+use dlb_distributed::{Engine, EngineOptions, RoundMode};
+use rand::Rng;
+
+fn planetlab_like(m: usize, seed: u64) -> LatencyMatrix {
+    let mut rng = rng_for(seed, 0xBA7C);
+    let mut lat = LatencyMatrix::zero(m);
+    for i in 0..m {
+        for j in 0..m {
+            if i != j {
+                lat.set(i, j, rng.gen_range(2.0..80.0));
+            }
+        }
+    }
+    lat.metric_close();
+    lat
+}
+
+fn workload(dist: LoadDistribution, avg: f64, lat: LatencyMatrix, seed: u64) -> Instance {
+    let mut rng = rng_for(seed, 0xF12);
+    WorkloadSpec {
+        loads: dist,
+        avg_load: avg,
+        speeds: SpeedDistribution::paper_uniform(),
+    }
+    .sample(lat, &mut rng)
+}
+
+fn fixpoint_cost(instance: &Instance, mode: RoundMode, seed: u64) -> f64 {
+    let mut engine = Engine::new(
+        instance.clone(),
+        EngineOptions {
+            seed,
+            round_mode: mode,
+            ..Default::default()
+        },
+    );
+    let report = engine.run_to_convergence(1e-10, 3, 150);
+    engine
+        .assignment()
+        .check_invariants(engine.instance())
+        .unwrap();
+    report.final_cost
+}
+
+fn assert_parity(instance: &Instance, seed: u64, label: &str) {
+    let sequential = fixpoint_cost(instance, RoundMode::Sequential, seed);
+    let batched = fixpoint_cost(instance, RoundMode::Batched, seed);
+    assert!(
+        batched <= sequential * 1.01 && sequential <= batched * 1.01,
+        "{label} seed {seed}: batched {batched} vs sequential {sequential}"
+    );
+}
+
+#[test]
+fn parity_uniform_homogeneous() {
+    for seed in 1..=3u64 {
+        let instance = workload(
+            LoadDistribution::Uniform,
+            50.0,
+            LatencyMatrix::homogeneous(40, 20.0),
+            seed,
+        );
+        assert_parity(&instance, seed, "uniform/homogeneous");
+    }
+}
+
+#[test]
+fn parity_exponential_heterogeneous() {
+    for seed in 1..=3u64 {
+        let instance = workload(
+            LoadDistribution::Exponential,
+            60.0,
+            planetlab_like(48, seed),
+            seed,
+        );
+        assert_parity(&instance, seed, "exponential/heterogeneous");
+    }
+}
+
+#[test]
+fn parity_peak_workload() {
+    // The paper's hardest shape: all load on one server, spread by
+    // doubling. Batched rounds must reproduce both the fixpoint and
+    // the doubling-shaped trajectory.
+    for seed in 1..=2u64 {
+        let m = 32;
+        let mut instance = Instance::homogeneous(m, 1.0, 0.0, 20.0);
+        let mut loads = vec![0.0; m];
+        loads[0] = 50_000.0;
+        instance.set_own_loads(loads);
+        assert_parity(&instance, seed, "peak/homogeneous");
+    }
+}
+
+#[test]
+fn parity_pruned_selection_large() {
+    // Above the exact threshold the default policy prunes; this is the
+    // Figure-2 configuration the batched mode exists for.
+    let m = 500;
+    let instance = workload(
+        LoadDistribution::Peak,
+        100_000.0 / m as f64,
+        planetlab_like(m, 11),
+        11,
+    );
+    assert_parity(&instance, 7, "peak/pruned/large");
+}
+
+#[test]
+fn parity_unit_granularity() {
+    for seed in 1..=2u64 {
+        let mut instance = workload(
+            LoadDistribution::Exponential,
+            80.0,
+            planetlab_like(30, seed),
+            seed,
+        );
+        let rounded: Vec<f64> = instance.own_loads().iter().map(|l| l.round()).collect();
+        instance.set_own_loads(rounded);
+        let opts = |mode: RoundMode| EngineOptions {
+            seed,
+            granularity: 1.0,
+            round_mode: mode,
+            ..Default::default()
+        };
+        let sequential = {
+            let mut e = Engine::new(instance.clone(), opts(RoundMode::Sequential));
+            e.run_to_convergence(1e-6, 3, 80).final_cost
+        };
+        let batched = {
+            let mut e = Engine::new(instance.clone(), opts(RoundMode::Batched));
+            let report = e.run_to_convergence(1e-6, 3, 80);
+            // Integrality survives concurrent application.
+            for j in 0..30 {
+                for (_, r) in e.assignment().ledger(j).iter() {
+                    assert!((r - r.round()).abs() < 1e-9, "fractional ledger {r}");
+                }
+            }
+            report.final_cost
+        };
+        assert!(
+            batched <= sequential * 1.01 && sequential <= batched * 1.01,
+            "granularity seed {seed}: batched {batched} vs sequential {sequential}"
+        );
+    }
+}
+
+#[test]
+fn batched_respects_reachability_mask() {
+    let instance = workload(
+        LoadDistribution::Exponential,
+        50.0,
+        planetlab_like(24, 5),
+        5,
+    );
+    let mut engine = Engine::new(
+        instance,
+        EngineOptions {
+            seed: 3,
+            round_mode: RoundMode::Batched,
+            ..Default::default()
+        },
+    );
+    let mut active = vec![true; 24];
+    for dead in [3usize, 7, 18] {
+        active[dead] = false;
+    }
+    let before: Vec<f64> = engine.assignment().loads().to_vec();
+    for _ in 0..5 {
+        engine.run_iteration_masked(Some(&active));
+    }
+    for dead in [3usize, 7, 18] {
+        assert_eq!(
+            engine.assignment().load(dead),
+            before[dead],
+            "failed server {dead} must not participate in batched rounds"
+        );
+    }
+    engine
+        .assignment()
+        .check_invariants(engine.instance())
+        .unwrap();
+}
+
+#[test]
+fn batched_history_is_monotone_and_exchanges_bounded() {
+    let instance = workload(
+        LoadDistribution::Exponential,
+        70.0,
+        planetlab_like(41, 9),
+        9,
+    );
+    let mut engine = Engine::new(
+        instance,
+        EngineOptions {
+            seed: 5,
+            round_mode: RoundMode::Batched,
+            ..Default::default()
+        },
+    );
+    for _ in 0..10 {
+        let stats = engine.run_iteration();
+        assert!(
+            stats.exchanges <= 41 / 2,
+            "{} exchanges exceed ⌊m/2⌋ conflict-free pairings",
+            stats.exchanges
+        );
+    }
+    let h = engine.history();
+    for w in h.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-6 * w[0].max(1.0),
+            "batched history not monotone: {h:?}"
+        );
+    }
+}

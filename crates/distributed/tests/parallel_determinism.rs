@@ -1,8 +1,9 @@
-//! The parallel partner-scoring refactor must not change any result:
-//! `dlb_par::par_map_indexed` preserves index order, so the engine's
-//! fixpoint has to be bit-identical whether the scoring loop runs on
-//! one worker (`DLB_THREADS=1`), on every core (the default), or on the
-//! plain sequential path (`parallel: false`).
+//! The parallel refactors must not change any result:
+//! `dlb_par::par_map_indexed`/`par_map_slice` preserve index order, so
+//! the engine's fixpoint has to be bit-identical whether the scoring
+//! loop — and, in batched mode, the propose/match/apply round — runs
+//! on one worker (`DLB_THREADS=1`), on every core (the default), or on
+//! the plain sequential path (`parallel: false`).
 //!
 //! This file is its own test binary so the `DLB_THREADS` mutations
 //! cannot race with unrelated tests.
@@ -11,8 +12,13 @@ use dlb_core::rngutil::rng_for;
 use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
 use dlb_core::{Instance, LatencyMatrix};
 use dlb_distributed::mine::PartnerSelection;
-use dlb_distributed::{Engine, EngineOptions};
+use dlb_distributed::{Engine, EngineOptions, RoundMode};
 use rand::Rng;
+use std::sync::Mutex;
+
+/// Both tests mutate the process-wide `DLB_THREADS` variable; they must
+/// not interleave within this binary.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// A heterogeneous instance big enough to clear `dlb-par`'s sequential
 /// cutoff in both the pre-scoring (`m` items) and, in exact mode, the
@@ -38,13 +44,19 @@ fn instance(m: usize) -> Instance {
 
 /// Runs the engine to convergence and returns its exact final state:
 /// the cost and every server load, both compared bit-for-bit.
-fn fixpoint(instance: &Instance, parallel: bool, selection: PartnerSelection) -> (f64, Vec<f64>) {
+fn fixpoint_in(
+    instance: &Instance,
+    parallel: bool,
+    selection: PartnerSelection,
+    round_mode: RoundMode,
+) -> (f64, Vec<f64>) {
     let mut engine = Engine::new(
         instance.clone(),
         EngineOptions {
             parallel,
             selection: Some(selection),
             seed: 7,
+            round_mode,
             ..Default::default()
         },
     );
@@ -52,8 +64,13 @@ fn fixpoint(instance: &Instance, parallel: bool, selection: PartnerSelection) ->
     (report.final_cost, engine.assignment().loads().to_vec())
 }
 
+fn fixpoint(instance: &Instance, parallel: bool, selection: PartnerSelection) -> (f64, Vec<f64>) {
+    fixpoint_in(instance, parallel, selection, RoundMode::Sequential)
+}
+
 #[test]
 fn engine_fixpoint_is_thread_count_invariant() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let inst = instance(96);
     for selection in [
         PartnerSelection::Exact,
@@ -81,6 +98,45 @@ fn engine_fixpoint_is_thread_count_invariant() {
         assert_eq!(
             sequential, default_threads,
             "{selection:?}: parallel path diverged from sequential reference"
+        );
+    }
+}
+
+#[test]
+fn batched_round_fixpoint_is_thread_count_invariant() {
+    // The propose/match/apply path adds a second layer of fan-out (the
+    // outer per-server propose map and the concurrent apply of matched
+    // exchanges); its fixpoint must be bit-identical across worker
+    // counts and against the fully sequential execution, for both
+    // selection policies.
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let inst = instance(96);
+    for selection in [
+        PartnerSelection::Exact,
+        PartnerSelection::Pruned { top_k: 8 },
+    ] {
+        let sequential = fixpoint_in(&inst, false, selection, RoundMode::Batched);
+
+        std::env::set_var("DLB_THREADS", "1");
+        let one_thread = fixpoint_in(&inst, true, selection, RoundMode::Batched);
+
+        std::env::set_var("DLB_THREADS", "3");
+        let three_threads = fixpoint_in(&inst, true, selection, RoundMode::Batched);
+
+        std::env::remove_var("DLB_THREADS");
+        let default_threads = fixpoint_in(&inst, true, selection, RoundMode::Batched);
+
+        assert_eq!(
+            one_thread, default_threads,
+            "batched {selection:?}: DLB_THREADS=1 vs default diverged"
+        );
+        assert_eq!(
+            three_threads, default_threads,
+            "batched {selection:?}: DLB_THREADS=3 vs default diverged"
+        );
+        assert_eq!(
+            sequential, default_threads,
+            "batched {selection:?}: parallel path diverged from sequential reference"
         );
     }
 }

@@ -15,10 +15,37 @@
 #![forbid(unsafe_code)]
 
 use parking_lot::Mutex;
+use std::cell::Cell;
 
 /// Below this many items the parallel helpers run sequentially: thread
 /// spawn cost would dominate.
 pub const SEQUENTIAL_CUTOFF: usize = 32;
+
+thread_local! {
+    /// Set on every thread spawned as a fan-out worker. Parallel calls
+    /// issued *from a worker* (nested parallelism — e.g. a propose-phase
+    /// worker running one server's candidate-scoring map) degrade to
+    /// sequential execution instead of spawning a second generation of
+    /// threads, which would oversubscribe the machine `threads²`-fold.
+    /// The flag is per-thread, so independent top-level callers on
+    /// other threads keep their full parallelism.
+    static IS_FANOUT_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns `true` on threads spawned as fan-out workers (in which case
+/// new parallel calls run sequentially on that thread). The maps are
+/// order-preserving pure fan-outs, so the degradation never changes a
+/// result — only where it is computed.
+pub fn in_parallel_region() -> bool {
+    IS_FANOUT_WORKER.with(|f| f.get())
+}
+
+/// Marks the current (freshly spawned, scope-lifetime) thread as a
+/// fan-out worker. The thread dies with the scope, so the flag never
+/// needs resetting.
+fn mark_worker() {
+    IS_FANOUT_WORKER.with(|f| f.set(true));
+}
 
 /// Returns the number of worker threads to use: the available
 /// parallelism, overridable with the `DLB_THREADS` environment variable
@@ -42,7 +69,7 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = num_threads();
-    if n < SEQUENTIAL_CUTOFF || threads <= 1 {
+    if n < SEQUENTIAL_CUTOFF || threads <= 1 || in_parallel_region() {
         return (0..n).map(f).collect();
     }
     let chunk = n.div_ceil(threads);
@@ -62,6 +89,7 @@ where
         for (t, slice) in slices.into_iter().enumerate() {
             let f = &f;
             scope.spawn(move |_| {
+                mark_worker();
                 let base = t * chunk;
                 for (off, slot) in slice.iter_mut().enumerate() {
                     *slot = Some(f(base + off));
@@ -96,7 +124,7 @@ where
     C: Fn(T, T) -> T,
 {
     let threads = num_threads();
-    if n < SEQUENTIAL_CUTOFF || threads <= 1 {
+    if n < SEQUENTIAL_CUTOFF || threads <= 1 || in_parallel_region() {
         return (0..n).fold(identity(), fold);
     }
     let chunk = n.div_ceil(threads);
@@ -112,6 +140,7 @@ where
             let fold = &fold;
             let results = &results;
             scope.spawn(move |_| {
+                mark_worker();
                 let acc = (lo..hi).fold(identity(), fold);
                 results.lock().push(acc);
             });
@@ -210,6 +239,26 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_maps_degrade_to_sequential_and_stay_correct() {
+        // An outer fan-out (the engine's propose phase) with an inner
+        // parallel map per item: the inner calls must fall back to the
+        // sequential path instead of spawning threads² workers, and the
+        // results must be identical either way.
+        let n = 2 * SEQUENTIAL_CUTOFF;
+        let outer = par_map_indexed(n, |i| {
+            let inner = par_map_indexed(n, |j| i * n + j);
+            inner.iter().sum::<usize>()
+        });
+        for (i, &v) in outer.iter().enumerate() {
+            let expect: usize = (0..n).map(|j| i * n + j).sum();
+            assert_eq!(v, expect, "nested map diverged at {i}");
+        }
+        // The worker flag is thread-local, so this (non-worker) thread
+        // is never marked — concurrent sibling tests can't interfere.
+        assert!(!in_parallel_region());
     }
 
     #[test]

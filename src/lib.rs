@@ -75,7 +75,7 @@ pub mod prelude {
     pub use dlb_core::cost::{org_cost, total_cost};
     pub use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
     pub use dlb_core::{Assignment, Instance, LatencyMatrix};
-    pub use dlb_distributed::{Engine, EngineOptions};
+    pub use dlb_distributed::{Engine, EngineOptions, RoundMode};
     pub use dlb_game::{
         epsilon_nash_gap, run_best_response_dynamics, theorem1_bounds, DynamicsOptions,
     };
