@@ -4,32 +4,33 @@
 //!
 //! The paper plots `ΣC_i` (log scale) against the iteration number for
 //! m ∈ {500, 1000, 2000, 3000, 5000} and observes an exponential
-//! decrease. We print the same series — run with the batched
-//! propose/match/apply round, which executes one iteration as three
-//! data-parallel phases instead of a serial sweep over servers — and
-//! then record a scaling comparison (network size × round mode ×
-//! thread count → wall-clock per iteration) to `BENCH_figure2.json`
-//! at the workspace root, one JSON record per measurement, so the
-//! perf trajectory of the Figure-2 hot path is tracked across PRs.
+//! decrease. We run the same series through the shared scenario API —
+//! `algo=batched net=pl load=peak`, the propose/match/apply round that
+//! executes one iteration as three data-parallel phases — and record
+//! each series' `RunRecord` plus a scaling comparison (network size ×
+//! round mode × thread count → wall-clock per iteration) to
+//! `BENCH_figure2.json` at the workspace root, one JSON record per
+//! measurement, so the perf trajectory of the Figure-2 hot path is
+//! tracked across PRs (`dlb report BENCH_figure2.json` renders it).
 //!
 //! Run: `cargo bench -p dlb-bench --bench figure2_large_networks`
 //! (`DLB_BENCH_SCALE=full` adds m = 3000 and m = 5000).
 
+use dlb_bench::full_scale;
 use dlb_bench::results::{JsonlSink, Record};
-use dlb_bench::{full_scale, sample_instance, NetworkKind};
-use dlb_core::workload::{LoadDistribution, SpeedDistribution};
-use dlb_core::Instance;
+use dlb_core::workload::LoadDistribution;
 use dlb_distributed::{Engine, EngineOptions, RoundMode};
+use dlb_scenario::{AlgoSpec, NetSpec, ScenarioSpec};
 
-fn peak_instance(m: usize) -> Instance {
-    sample_instance(
-        m,
-        NetworkKind::PlanetLab,
-        LoadDistribution::Peak,
-        100_000.0 / m as f64,
-        SpeedDistribution::paper_uniform(),
-        7,
-    )
+/// The Figure-2 scenario: total peak load of 100 000 requests on one
+/// server of a PlanetLab-like network.
+fn peak_spec(m: usize) -> ScenarioSpec {
+    ScenarioSpec::new()
+        .net(NetSpec::Pl)
+        .servers(m)
+        .load(LoadDistribution::Peak)
+        .avg_load(100_000.0 / m as f64)
+        .seed(7)
 }
 
 fn mode_label(mode: RoundMode) -> &'static str {
@@ -41,11 +42,11 @@ fn mode_label(mode: RoundMode) -> &'static str {
 
 /// Runs `iters` engine iterations and returns (wall-clock seconds per
 /// iteration, final ΣC).
-fn time_iterations(instance: &Instance, mode: RoundMode, iters: usize) -> (f64, f64) {
+fn time_iterations(spec: &ScenarioSpec, mode: RoundMode, iters: usize) -> (f64, f64) {
     let mut engine = Engine::new(
-        instance.clone(),
+        spec.build_instance(),
         EngineOptions {
-            seed: 7,
+            seed: spec.seed,
             round_mode: mode,
             ..Default::default()
         },
@@ -81,38 +82,25 @@ fn main() {
     println!("\n== Figure 2 — ΣC vs iteration, peak load, heterogeneous network ==");
     println!("(total peak load 100 000 requests; batched propose/match/apply rounds)\n");
     for &m in &sizes {
-        let instance = peak_instance(m);
-        let start = std::time::Instant::now();
-        let mut engine = Engine::new(
-            instance,
-            EngineOptions {
-                seed: 7,
-                round_mode: RoundMode::Batched,
-                ..Default::default()
-            },
-        );
+        // `eps=0` with `patience > budget` runs exactly `budget`
+        // iterations — the fixed-length series the figure plots.
+        let spec =
+            peak_spec(m)
+                .algo(AlgoSpec::Batched)
+                .termination(0.0, iterations + 1, iterations);
+        let run = spec.run();
         print!("#servers = {m:<5} ΣC:");
-        print!(" {:.3e}", engine.current_cost());
-        for _ in 0..iterations {
-            let stats = engine.run_iteration();
-            print!(" {:.3e}", stats.cost);
+        for cost in &run.history {
+            print!(" {cost:.3e}");
         }
         println!();
-        let initial = engine.history()[0];
-        let final_cost = engine.current_cost();
-        let wall = start.elapsed().as_secs_f64();
         println!(
             "               reduction {:.1}x in {} iterations ({:.1} s wall)",
-            initial / final_cost,
-            iterations,
-            wall
+            run.initial_cost() / run.final_cost(),
+            run.iterations,
+            run.wall_secs
         );
-        sink.record(&tag(Record::new("figure2_series")
-            .int("m", m as i64)
-            .int("iterations", iterations as i64)
-            .num("initial_cost", initial)
-            .num("final_cost", final_cost)
-            .num("wall_secs", wall)));
+        sink.record(&tag(Record::from_run("figure2_series", &run)));
     }
 
     // Scaling record: wall-clock per iteration for every round mode ×
@@ -134,12 +122,12 @@ fn main() {
         vec![1000, 2000]
     };
     for &m in &scaling_sizes {
-        let instance = peak_instance(m);
+        let spec = peak_spec(m);
         for mode in [RoundMode::Sequential, RoundMode::Batched] {
             for threads in [1usize, 8] {
                 std::env::set_var("DLB_THREADS", threads.to_string());
                 let iters = 3;
-                let (secs, cost) = time_iterations(&instance, mode, iters);
+                let (secs, cost) = time_iterations(&spec, mode, iters);
                 std::env::remove_var("DLB_THREADS");
                 println!(
                     "{:<8} {:<12} {:>8} {:>14.4} {:>14.4e}",
@@ -149,7 +137,12 @@ fn main() {
                     secs,
                     cost
                 );
+                let timed_algo = match mode {
+                    RoundMode::Sequential => AlgoSpec::Sequential,
+                    RoundMode::Batched => AlgoSpec::Batched,
+                };
                 sink.record(&tag(Record::new("scaling")
+                    .str("scenario", &spec.algo(timed_algo).to_string())
                     .int("m", m as i64)
                     .str("mode", mode_label(mode))
                     .int("threads", threads as i64)

@@ -10,6 +10,10 @@
 //! (set `DLB_BENCH_SCALE=full` for the paper-sized grid).
 
 fn main() {
-    dlb_bench::convergence_table(0.02, "Table I — iterations to <=2% relative error");
+    dlb_bench::convergence_table(
+        0.02,
+        "Table I — iterations to <=2% relative error",
+        "table1",
+    );
     println!("\npaper: uniform <= 2.1 avg, exp <= 3.25 avg, peak <= 8 avg; all maxima <= 8");
 }

@@ -8,6 +8,10 @@
 //! Run: `cargo bench -p dlb-bench --bench table2_convergence`.
 
 fn main() {
-    dlb_bench::convergence_table(0.001, "Table II — iterations to <=0.1% relative error");
+    dlb_bench::convergence_table(
+        0.001,
+        "Table II — iterations to <=0.1% relative error",
+        "table2",
+    );
     println!("\npaper: all averages <= 10, all maxima <= 11");
 }

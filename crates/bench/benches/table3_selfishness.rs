@@ -7,14 +7,18 @@
 //! `l_av ≥ 200`: 1.024/1.055, 1.003/1.022. Uniform `s_i`: everything
 //! ≤ 1.062 and mostly ≈ 1.000.
 //!
+//! Every grid point is two scenarios over one sampled instance —
+//! `algo=nash` (best-response dynamics with the paper's 1 % rule) and
+//! `algo=bcd` (the cooperative optimum) — run through the shared
+//! scenario API; every run and every table row is recorded through the
+//! JSON-lines sink (`<DLB_RESULTS_DIR>/table3.jsonl`).
+//!
 //! Run: `cargo bench -p dlb-bench --bench table3_selfishness`.
 
-use dlb_bench::{format_row, full_scale, print_header, sample_instance, stats, NetworkKind};
-use dlb_core::cost::total_cost;
+use dlb_bench::results::{JsonlSink, Record};
+use dlb_bench::{format_row, full_scale, print_header, scenario_for, stats, NetworkKind};
 use dlb_core::workload::{LoadDistribution, SpeedDistribution};
-use dlb_core::Assignment;
-use dlb_game::{run_best_response_dynamics, DynamicsOptions};
-use dlb_solver::solve_bcd;
+use dlb_scenario::AlgoSpec;
 
 fn main() {
     let full = full_scale();
@@ -34,6 +38,7 @@ fn main() {
         ("uniform s", SpeedDistribution::paper_uniform()),
     ];
     let networks = [NetworkKind::Homogeneous, NetworkKind::PlanetLab];
+    let mut sink = JsonlSink::create("table3");
 
     print_header(
         "Table III — selfish/cooperative total processing-time ratio",
@@ -46,35 +51,41 @@ fn main() {
                 for &m in &ms {
                     for &avg in avgs {
                         for &seed in &seeds {
-                            let instance = sample_instance(
-                                m,
-                                net,
-                                LoadDistribution::Uniform,
-                                avg,
-                                speeds,
-                                seed,
-                            );
+                            let base =
+                                scenario_for(m, net, LoadDistribution::Uniform, avg, speeds, seed);
                             // Nash equilibrium via best-response dynamics
                             // with the paper's 1% termination rule.
-                            let mut nash = Assignment::local(&instance);
-                            run_best_response_dynamics(
-                                &instance,
-                                &mut nash,
-                                &DynamicsOptions {
-                                    seed,
-                                    ..Default::default()
-                                },
-                            );
+                            let nash = base.algo(AlgoSpec::Nash).termination(0.01, 2, 10_000).run();
                             // Cooperative optimum.
-                            let (opt, _) = solve_bcd(&instance, 3_000, 1e-10);
-                            let opt_cost = dlb_solver::objective(&instance, &opt);
-                            if opt_cost > 0.0 {
-                                ratios.push((total_cost(&instance, &nash) / opt_cost).max(1.0));
+                            let opt = base.algo(AlgoSpec::Bcd).termination(1e-10, 3, 3_000).run();
+                            sink.record(&Record::from_run("run", &nash));
+                            sink.record(&Record::from_run("run", &opt));
+                            if opt.final_cost() > 0.0 {
+                                let ratio = (nash.final_cost() / opt.final_cost()).max(1.0);
+                                sink.record(
+                                    &Record::new("selfishness")
+                                        .str("scenario", &nash.scenario)
+                                        .num("nash_cost", nash.final_cost())
+                                        .num("opt_cost", opt.final_cost())
+                                        .num("ratio", ratio),
+                                );
+                                ratios.push(ratio);
                             }
                         }
                     }
                 }
                 let s = stats(&ratios);
+                sink.record(
+                    &Record::new("table_row")
+                        .str("table", "table3")
+                        .str("speeds", speed_label)
+                        .str("bucket", bucket)
+                        .str("network", net.label())
+                        .num("avg", s.mean)
+                        .num("max", s.max)
+                        .num("std", s.std)
+                        .int("n", s.n as i64),
+                );
                 println!(
                     "{}",
                     format_row(&format!("{speed_label} {bucket} {}", net.label()), &s)

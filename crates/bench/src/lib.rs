@@ -15,13 +15,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
 pub mod results;
 
-use dlb_core::rngutil::rng_for;
-use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+use dlb_core::workload::{LoadDistribution, SpeedDistribution};
 use dlb_core::{Instance, LatencyMatrix};
-use dlb_distributed::{Engine, EngineOptions};
-use dlb_topology::PlanetLabConfig;
+use dlb_scenario::{NetSpec, ScenarioSpec, SpeedKind};
+
+use crate::results::{JsonlSink, Record};
 
 /// Which latency substrate an experiment runs on (§VI-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,12 +42,21 @@ impl NetworkKind {
         }
     }
 
-    /// Builds the latency matrix.
-    pub fn build(&self, m: usize, seed: u64) -> LatencyMatrix {
+    /// The scenario substrate this grid axis names.
+    pub fn net_spec(&self) -> NetSpec {
         match self {
-            NetworkKind::Homogeneous => LatencyMatrix::homogeneous(m, 20.0),
-            NetworkKind::PlanetLab => PlanetLabConfig::default().generate(m, seed),
+            NetworkKind::Homogeneous => NetSpec::Homog,
+            NetworkKind::PlanetLab => NetSpec::Pl,
         }
+    }
+
+    /// Builds the latency matrix (via the shared scenario path).
+    pub fn build(&self, m: usize, seed: u64) -> LatencyMatrix {
+        ScenarioSpec::new()
+            .net(self.net_spec())
+            .servers(m)
+            .seed(seed)
+            .build_latency()
     }
 }
 
@@ -93,7 +103,32 @@ pub fn stats(xs: &[f64]) -> Stats {
     }
 }
 
-/// Draws one §VI-A instance.
+/// Maps one §VI-A grid point onto the shared declarative spec — the
+/// single sampling path ([`ScenarioSpec::build_instance`]) every
+/// harness, the CLI, and the examples draw instances from.
+pub fn scenario_for(
+    m: usize,
+    network: NetworkKind,
+    loads: LoadDistribution,
+    avg_load: f64,
+    speeds: SpeedDistribution,
+    seed: u64,
+) -> ScenarioSpec {
+    let speeds = match speeds {
+        SpeedDistribution::Constant(1.0) => SpeedKind::Const,
+        SpeedDistribution::UniformRange { lo: 1.0, hi: 5.0 } => SpeedKind::Uniform,
+        other => panic!("grid speed distribution {other:?} has no spec form"),
+    };
+    ScenarioSpec::new()
+        .net(network.net_spec())
+        .servers(m)
+        .load(loads)
+        .avg_load(avg_load)
+        .speeds(speeds)
+        .seed(seed)
+}
+
+/// Draws one §VI-A instance (via the shared scenario path).
 pub fn sample_instance(
     m: usize,
     network: NetworkKind,
@@ -102,48 +137,38 @@ pub fn sample_instance(
     speeds: SpeedDistribution,
     seed: u64,
 ) -> Instance {
-    let latency = network.build(m, seed);
-    let mut rng = rng_for(seed, 0xBE7C);
-    WorkloadSpec {
-        loads,
-        avg_load,
-        speeds,
-    }
-    .sample(latency, &mut rng)
+    scenario_for(m, network, loads, avg_load, speeds, seed).build_instance()
 }
 
-/// Runs the distributed engine to its fixpoint and reports the number
-/// of iterations needed to come within `rel_err` of that fixpoint —
-/// the measurement behind Tables I and II (the paper approximates the
-/// optimum with the distributed algorithm itself, §VI-A).
-pub fn iterations_to_rel_error(instance: &Instance, seed: u64, rel_err: f64) -> usize {
-    let mut engine = Engine::new(
-        instance.clone(),
-        EngineOptions {
-            seed,
-            // The paper's load is discrete unit requests (§II); its
-            // simulation therefore stops when no whole request is
-            // worth moving. Measuring the continuous relaxation
-            // instead stretches the 0.1% tail by chasing sub-request
-            // refinements no discrete system would perform.
-            granularity: 1.0,
-            ..Default::default()
-        },
-    );
-    // Oracle stall tolerance: 1e-6 relative per iteration, two
+/// The Tables I/II measurement protocol for one scenario: run the
+/// engine with unit granularity to its oracle fixpoint and report how
+/// many iterations its trajectory needed to come within `rel_err` of
+/// it (the paper approximates the optimum with the distributed
+/// algorithm itself, §VI-A). Returns the run record alongside so
+/// callers can sink it.
+pub fn iterations_to_rel_error(
+    spec: &ScenarioSpec,
+    rel_err: f64,
+) -> (usize, dlb_scenario::RunRecord) {
+    // The paper's load is discrete unit requests (§II); its simulation
+    // therefore stops when no whole request is worth moving. The
+    // oracle stall tolerance, 1e-6 relative per iteration, is two
     // orders tighter than the finest measured threshold (0.1 %), so
-    // the oracle is converged for measurement purposes without
-    // chasing sub-request-scale improvements forever.
-    engine.run_to_convergence(1e-6, 3, 60);
-    let optimum = engine.current_cost();
-    engine
-        .iterations_to_reach(optimum, rel_err)
-        .unwrap_or(engine.iterations())
+    // the oracle is converged for measurement purposes without chasing
+    // sub-request-scale improvements forever.
+    let run = spec.granularity(1.0).termination(1e-6, 3, 60).run();
+    let iters = run
+        .iterations_to_reach(run.final_cost(), rel_err)
+        .unwrap_or(run.iterations);
+    (iters, run)
 }
 
 /// Shared runner for Tables I and II: sweeps the §VI-A grid and prints
 /// iterations-to-`rel_err` statistics per (size bucket, distribution).
-pub fn convergence_table(rel_err: f64, title: &str) {
+/// Every sample's [`dlb_scenario::RunRecord`] and every printed row
+/// are also emitted as JSON lines through the environment-driven sink
+/// (`<DLB_RESULTS_DIR>/<sink_name>.jsonl`).
+pub fn convergence_table(rel_err: f64, title: &str, sink_name: &str) {
     let full = full_scale();
     let size_buckets: Vec<(&str, Vec<usize>)> = if full {
         vec![
@@ -172,6 +197,7 @@ pub fn convergence_table(rel_err: f64, title: &str) {
         LoadDistribution::Peak,
     ];
 
+    let mut sink = JsonlSink::create(sink_name);
     print_header(title, "bucket / distribution");
     for (bucket, ms) in &size_buckets {
         for dist in dists {
@@ -187,7 +213,7 @@ pub fn convergence_table(rel_err: f64, title: &str) {
                 for &avg in &loads_grid {
                     for &net in &networks {
                         for &seed in &seeds {
-                            let instance = sample_instance(
+                            let spec = scenario_for(
                                 m,
                                 net,
                                 dist,
@@ -195,13 +221,29 @@ pub fn convergence_table(rel_err: f64, title: &str) {
                                 SpeedDistribution::paper_uniform(),
                                 seed,
                             );
-                            let iters = iterations_to_rel_error(&instance, seed, rel_err);
+                            let (iters, run) = iterations_to_rel_error(&spec, rel_err);
+                            sink.record(
+                                &Record::from_run("run", &run)
+                                    .num("rel_err", rel_err)
+                                    .int("iters_to_target", iters as i64),
+                            );
                             samples.push(iters as f64);
                         }
                     }
                 }
             }
             let s = stats(&samples);
+            sink.record(
+                &Record::new("table_row")
+                    .str("table", sink_name)
+                    .str("bucket", bucket)
+                    .str("dist", dist.label())
+                    .num("rel_err", rel_err)
+                    .num("avg", s.mean)
+                    .num("max", s.max)
+                    .num("std", s.std)
+                    .int("n", s.n as i64),
+            );
             println!("{}", format_row(&format!("{bucket} {}", dist.label()), &s));
         }
     }
@@ -250,7 +292,7 @@ mod tests {
 
     #[test]
     fn iterations_measurement_is_small_on_easy_instances() {
-        let instance = sample_instance(
+        let spec = scenario_for(
             20,
             NetworkKind::Homogeneous,
             LoadDistribution::Uniform,
@@ -258,8 +300,32 @@ mod tests {
             SpeedDistribution::paper_uniform(),
             3,
         );
-        let iters = iterations_to_rel_error(&instance, 3, 0.02);
+        let (iters, run) = iterations_to_rel_error(&spec, 0.02);
         assert!(iters <= 10, "{iters} iterations for an easy instance");
+        assert_eq!(run.m, 20);
+        assert!(run.final_cost() <= run.initial_cost());
+    }
+
+    #[test]
+    fn scenario_for_and_sample_instance_share_one_path() {
+        let spec = scenario_for(
+            12,
+            NetworkKind::PlanetLab,
+            LoadDistribution::Exponential,
+            40.0,
+            SpeedDistribution::Constant(1.0),
+            9,
+        );
+        let inst = sample_instance(
+            12,
+            NetworkKind::PlanetLab,
+            LoadDistribution::Exponential,
+            40.0,
+            SpeedDistribution::Constant(1.0),
+            9,
+        );
+        assert_eq!(spec.build_instance(), inst);
+        assert_eq!(spec.speeds, SpeedKind::Const);
     }
 
     #[test]

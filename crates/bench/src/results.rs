@@ -62,6 +62,32 @@ impl Record {
         self
     }
 
+    /// Adds a JSON array of numbers (non-finite entries render as
+    /// `null`).
+    pub fn nums(mut self, key: &str, values: &[f64]) -> Self {
+        let body: Vec<String> = values.iter().map(|&v| json_number(v)).collect();
+        self.push_raw(key, format!("[{}]", body.join(",")));
+        self
+    }
+
+    /// Flattens a runner's [`RunRecord`](dlb_scenario::RunRecord) —
+    /// scenario text, summary costs, and the full cost trajectory —
+    /// under the given `kind` tag. This is the one shape every CLI
+    /// command and ported harness emits, so `dlb report` renders them
+    /// all the same way.
+    pub fn from_run(kind: &str, run: &dlb_scenario::RunRecord) -> Self {
+        Record::new(kind)
+            .str("scenario", &run.scenario)
+            .str("algo", run.algo)
+            .int("m", run.m as i64)
+            .num("initial_cost", run.initial_cost())
+            .num("final_cost", run.final_cost())
+            .int("iterations", run.iterations as i64)
+            .bool("converged", run.converged)
+            .num("wall_secs", run.wall_secs)
+            .nums("history", &run.history)
+    }
+
     /// Renders the record as one JSON object.
     pub fn to_json(&self) -> String {
         let body: Vec<String> = self

@@ -1,17 +1,22 @@
 //! A small, dependency-free argument parser for the `dlb` binary.
 //!
-//! Grammar: `dlb <command> [--key value]... [--flag]...`. Keys are
+//! Grammar: `dlb <command> [POSITIONAL | --key value]...`. Keys are
 //! declared per command; unknown keys produce an error listing the
-//! valid ones. Values are parsed on access with typed getters.
+//! valid ones. Values are parsed on access with typed getters. Bare
+//! tokens after the command are collected as positionals — `dlb run`
+//! takes scenario `key=value` tokens there, `dlb report` file paths.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed command line: the subcommand and its `--key value` pairs.
+/// A parsed command line: the subcommand, its `--key value` pairs, and
+/// the bare positional tokens.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// Bare tokens after the command, in order.
+    pub positionals: Vec<String>,
     options: BTreeMap<String, String>,
 }
 
@@ -45,11 +50,15 @@ impl Args {
             )));
         }
         let mut options = BTreeMap::new();
+        let mut positionals = Vec::new();
         while let Some(tok) = iter.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| ArgError(format!("expected --option, found '{tok}'")))?
-                .to_string();
+            let key = match tok.strip_prefix("--") {
+                Some(key) => key.to_string(),
+                None => {
+                    positionals.push(tok);
+                    continue;
+                }
+            };
             if key.is_empty() {
                 return Err(ArgError("empty option name '--'".into()));
             }
@@ -70,7 +79,11 @@ impl Args {
                 return Err(ArgError(format!("option '--{key}' given twice")));
             }
         }
-        Ok(Args { command, options })
+        Ok(Args {
+            command,
+            positionals,
+            options,
+        })
     }
 
     /// Returns the raw string value of `key`, if present.
@@ -98,42 +111,6 @@ impl Args {
                 .map_err(|_| ArgError(format!("--{key}: '{v}' is not a non-negative integer"))),
         }
     }
-
-    /// Typed getter with a default; rejects NaN and negatives.
-    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgError> {
-        match self.options.get(key) {
-            None => Ok(default),
-            Some(v) => {
-                let x: f64 = v
-                    .parse()
-                    .map_err(|_| ArgError(format!("--{key}: '{v}' is not a number")))?;
-                if !x.is_finite() || x < 0.0 {
-                    return Err(ArgError(format!(
-                        "--{key}: '{v}' must be finite and non-negative"
-                    )));
-                }
-                Ok(x)
-            }
-        }
-    }
-
-    /// String getter constrained to an enumeration of choices.
-    pub fn get_choice(
-        &self,
-        key: &str,
-        choices: &[&str],
-        default: &str,
-    ) -> Result<String, ArgError> {
-        let v = self.options.get(key).map(String::as_str).unwrap_or(default);
-        if choices.contains(&v) {
-            Ok(v.to_string())
-        } else {
-            Err(ArgError(format!(
-                "--{key}: '{v}' is not one of {}",
-                choices.join("|")
-            )))
-        }
-    }
 }
 
 #[cfg(test)]
@@ -149,6 +126,15 @@ mod tests {
         assert_eq!(a.get_usize("servers", 0).unwrap(), 50);
         assert_eq!(a.get("network"), Some("pl"));
         assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+        assert!(a.positionals.is_empty());
+    }
+
+    #[test]
+    fn collects_positionals_interleaved_with_options() {
+        let a = Args::parse(["run", "m=50", "--avg", "30", "seed=7"], KEYS).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.positionals, vec!["m=50", "seed=7"]);
+        assert_eq!(a.get("avg"), Some("30"));
     }
 
     #[test]
@@ -163,21 +149,8 @@ mod tests {
     fn rejects_missing_value_and_bad_numbers() {
         let e = Args::parse(["optimize", "--servers"], KEYS).unwrap_err();
         assert!(e.0.contains("needs a value"), "{e}");
-        let a = Args::parse(["optimize", "--avg", "abc"], KEYS).unwrap();
-        assert!(a.get_f64("avg", 1.0).is_err());
-        let a = Args::parse(["optimize", "--avg", "-5"], KEYS).unwrap();
-        assert!(a.get_f64("avg", 1.0).is_err());
-    }
-
-    #[test]
-    fn choice_getter_validates() {
-        let a = Args::parse(["optimize", "--network", "pl"], KEYS).unwrap();
-        assert_eq!(
-            a.get_choice("network", &["homog", "pl"], "homog").unwrap(),
-            "pl"
-        );
-        let a = Args::parse(["optimize", "--network", "wat"], KEYS).unwrap();
-        assert!(a.get_choice("network", &["homog", "pl"], "homog").is_err());
+        let a = Args::parse(["optimize", "--servers", "abc"], KEYS).unwrap();
+        assert!(a.get_usize("servers", 1).is_err());
     }
 
     #[test]

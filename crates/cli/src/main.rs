@@ -1,168 +1,235 @@
 //! `dlb` — run the paper's systems from a shell.
 //!
 //! ```text
-//! dlb optimize  --servers 50 --network pl --load exp --avg 50
-//! dlb nash      --servers 24 --avg 50 --latency 20 --speeds const
-//! dlb protocol  --servers 16 --avg 80
-//! dlb estimate  --servers 40 --ticks 50
+//! dlb run algo=batched net=pl m=500 load=peak avg=200 seed=7
+//! dlb run --scenario "algo=nash m=24 eps=0.01 patience=2" --out nash.jsonl
+//! dlb report BENCH_figure2.json
+//! dlb optimize --servers 50 --network pl --load exp --avg 50
 //! ```
 //!
-//! Every command samples a §VI-A instance (deterministic per
-//! `--seed`), runs the relevant system and prints a compact report.
-//! The full experiment grids live in `cargo bench -p dlb-bench`.
+//! Every command names its experiment through one
+//! [`dlb_scenario::ScenarioSpec`] (deterministic per `seed`), runs it
+//! through the shared [`dlb_scenario::Runner`] layer, prints a compact
+//! report, and emits the run as a JSON-lines record through
+//! [`dlb_bench::results::JsonlSink`] — `--out FILE` writes to an
+//! explicit file, otherwise `DLB_RESULTS_DIR` selects the directory
+//! (unset = no record). `dlb report` renders those records (and the
+//! committed bench artifacts) as aligned tables. The full experiment
+//! grids live in `cargo bench -p dlb-bench`.
 
 mod args;
 
 use args::{ArgError, Args};
+use dlb_bench::report::render_report;
+use dlb_bench::results::{JsonlSink, Record};
 use dlb_coords::{Estimator, EstimatorConfig};
-use dlb_core::cost::total_cost;
-use dlb_core::rngutil::rng_for;
-use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
-use dlb_core::{Assignment, Instance, LatencyMatrix};
-use dlb_distributed::{Engine, EngineOptions};
-use dlb_game::{run_best_response_dynamics, theorem1_bounds, DynamicsOptions};
-use dlb_runtime::{run_cluster, ClusterOptions};
-use dlb_solver::{objective, solve_bcd};
-use dlb_topology::PlanetLabConfig;
+use dlb_scenario::{AlgoSpec, NetSpec, RunRecord, ScenarioSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 dlb — network delay-aware load balancing (Skowron & Rzadca, IPDPS'13)
 
 commands:
-  optimize   run the distributed engine to its fixpoint
-  nash       run selfish best-response dynamics; report the cost of selfishness
-  protocol   run the message-passing cluster (threads + wire frames)
+  run        run one declaratively named scenario
+  report     render tables from JSON-lines result files
+  optimize   alias for `run algo=sequential` (+ BCD reference on small nets)
+  nash       alias for `run algo=nash` vs the cooperative engine
+  protocol   alias for `run algo=protocol` (threads + wire frames)
   estimate   run Vivaldi latency estimation against a synthetic network
   help       show this text
 
-common options:
-  --servers N     number of organizations            [default 20]
-  --network K     homog | pl                         [default homog]
-  --latency C     homogeneous latency in ms          [default 20]
-  --load D        uniform | exp | peak               [default exp]
-  --avg L         average initial load               [default 50]
-  --speeds S      uniform | const                    [default uniform]
-  --seed N        RNG seed                           [default 1]
+run:
+  dlb run [KEY=VALUE]... [--scenario TEXT] [--out FILE]
+  scenario keys (defaults shown):
+    algo=sequential   sequential | batched | nash | protocol | bcd
+    net=homog         homog | euclid | pl
+    m=20              number of organizations
+    lat=20            homogeneous latency in ms (net=homog only)
+    load=exp          const | uniform | exp | peak
+    avg=50            average initial load per server
+    speeds=uniform    uniform | const
+    seed=1            RNG seed (sampling + iteration order)
+    gran=0            transfer quantum (0 = continuous)
+    eps=1e-10         termination tolerance
+    patience=3        consecutive calm rounds to stop
+    budget=200        iteration/round/sweep budget
 
-optimize/protocol options:
-  --max-iters N   iteration/round budget             [default 200]
+report:
+  dlb report FILE...          (e.g. dlb report BENCH_figure2.json)
+
+alias options (translated onto a scenario):
+  --servers N   --network homog|euclid|pl   --latency C   --load D
+  --avg L       --speeds uniform|const      --seed N      --max-iters N
+  --out FILE
+
 estimate options:
-  --ticks N       estimation ticks                   [default 50]
-  --probes N      probes per node per tick           [default 4]
+  --servers N  --ticks N  --probes N  --seed N  --out FILE
 ";
 
-fn instance_from(args: &Args) -> Result<Instance, ArgError> {
-    let m = args.get_usize("servers", 20)?;
-    if m == 0 {
-        return Err(ArgError("--servers must be at least 1".into()));
+/// Opens the run sink: `--out FILE` explicitly, the
+/// `DLB_RESULTS_DIR`-driven sink otherwise.
+fn open_sink(args: &Args) -> Result<JsonlSink, ArgError> {
+    match args.get("out") {
+        Some(path) => JsonlSink::create_at(path)
+            .map_err(|e| ArgError(format!("--out {path}: cannot create ({e})"))),
+        None => Ok(JsonlSink::create("cli")),
     }
-    let seed = args.get_u64("seed", 1)?;
-    let network = args.get_choice("network", &["homog", "pl"], "homog")?;
-    let c = args.get_f64("latency", 20.0)?;
-    let latency = match network.as_str() {
-        "pl" => PlanetLabConfig::default().generate(m, seed),
-        _ => LatencyMatrix::homogeneous(m, c),
-    };
-    let load = args.get_choice("load", &["uniform", "exp", "peak"], "exp")?;
-    let loads = match load.as_str() {
-        "uniform" => LoadDistribution::Uniform,
-        "peak" => LoadDistribution::Peak,
-        _ => LoadDistribution::Exponential,
-    };
-    let avg = args.get_f64("avg", 50.0)?;
-    let speeds = match args
-        .get_choice("speeds", &["uniform", "const"], "uniform")?
-        .as_str()
-    {
-        "const" => SpeedDistribution::Constant(1.0),
-        _ => SpeedDistribution::paper_uniform(),
-    };
-    let mut rng = rng_for(seed, 0xC11);
-    Ok(WorkloadSpec {
-        loads,
-        avg_load: avg,
-        speeds,
+}
+
+/// Runs one scenario through the shared runner layer on a prebuilt
+/// instance (aliases sample one grid point and share it across their
+/// comparison runs), prints the compact report, and emits the
+/// `RunRecord` through the sink.
+fn execute(spec: &ScenarioSpec, instance: dlb_core::Instance, sink: &mut JsonlSink) -> RunRecord {
+    let run = spec.run_on(instance);
+    sink.record(&Record::from_run("run", &run));
+    println!("scenario: {}", run.scenario);
+    println!("m = {}, initial ΣC = {:.1}", run.m, run.initial_cost());
+    let trajectory = &run.history[1..];
+    let shown = 12usize;
+    for (i, c) in trajectory.iter().take(shown).enumerate() {
+        println!("iteration {:>3}: ΣC = {c:.1}", i + 1);
     }
-    .sample(latency, &mut rng))
+    if trajectory.len() > shown {
+        println!("... ({} more)", trajectory.len() - shown);
+    }
+    println!(
+        "converged: {} after {} iterations; final ΣC = {:.1} ({:.3} s wall)\n",
+        run.converged,
+        run.iterations,
+        run.final_cost(),
+        run.wall_secs
+    );
+    run
+}
+
+/// Translates the legacy alias flags onto a scenario spec by mapping
+/// each flag to its spec key and going through [`ScenarioSpec::parse`]
+/// — one token vocabulary, defined once in `dlb-scenario`.
+fn spec_from_flags(args: &Args, algo: AlgoSpec) -> Result<ScenarioSpec, ArgError> {
+    let mut text = format!("algo={}", algo.label());
+    for (flag, key) in [
+        ("servers", "m"),
+        ("network", "net"),
+        ("latency", "lat"),
+        ("load", "load"),
+        ("avg", "avg"),
+        ("speeds", "speeds"),
+        ("seed", "seed"),
+    ] {
+        if let Some(value) = args.get(flag) {
+            text.push_str(&format!(" {key}={value}"));
+        }
+    }
+    ScenarioSpec::parse(&text).map_err(|e| ArgError(e.0))
+}
+
+fn cmd_run(args: &Args) -> Result<(), ArgError> {
+    let mut text = args.positionals.join(" ");
+    if let Some(flag) = args.get("scenario") {
+        if !text.is_empty() {
+            text.push(' ');
+        }
+        text.push_str(flag);
+    }
+    let spec = ScenarioSpec::parse(&text).map_err(|e| ArgError(e.0))?;
+    let mut sink = open_sink(args)?;
+    execute(&spec, spec.build_instance(), &mut sink);
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), ArgError> {
+    if args.positionals.is_empty() {
+        return Err(ArgError(
+            "report needs at least one JSON-lines file (try 'dlb report BENCH_figure2.json')"
+                .into(),
+        ));
+    }
+    for path in &args.positionals {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("{path}: cannot read ({e})")))?;
+        if args.positionals.len() > 1 {
+            println!("-- {path} --");
+        }
+        println!(
+            "{}",
+            render_report(&text).map_err(|e| ArgError(format!("{path}: {e}")))?
+        );
+    }
+    Ok(())
 }
 
 fn cmd_optimize(args: &Args) -> Result<(), ArgError> {
-    let instance = instance_from(args)?;
-    let max_iters = args.get_usize("max-iters", 200)?;
-    let seed = args.get_u64("seed", 1)?;
-    let mut engine = Engine::new(
-        instance.clone(),
-        EngineOptions {
-            seed,
-            ..Default::default()
-        },
+    let spec = spec_from_flags(args, AlgoSpec::Sequential)?.termination(
+        1e-10,
+        3,
+        args.get_usize("max-iters", 200)?,
     );
-    let report = engine.run_to_convergence(1e-10, 3, max_iters);
-    println!(
-        "m = {}, initial ΣC = {:.1}",
-        instance.len(),
-        engine.history()[0]
-    );
-    for (i, c) in engine.history().iter().enumerate().skip(1) {
-        println!("iteration {i:>3}: ΣC = {c:.1}");
-    }
-    println!(
-        "\nconverged: {} after {} iterations; final ΣC = {:.1}",
-        report.converged, report.iterations, report.final_cost
-    );
-    if instance.len() <= 30 {
-        let (rho, _) = solve_bcd(&instance, 2_000, 1e-10);
-        println!("solver optimum (BCD): {:.1}", objective(&instance, &rho));
+    let mut sink = open_sink(args)?;
+    let instance = spec.build_instance();
+    let run = execute(&spec, instance.clone(), &mut sink);
+    if spec.m <= 30 {
+        let opt = execute(
+            &spec.algo(AlgoSpec::Bcd).termination(1e-10, 3, 2_000),
+            instance,
+            &mut sink,
+        );
+        println!(
+            "solver optimum (BCD): {:.1} (engine ratio {:.4})",
+            opt.final_cost(),
+            run.final_cost() / opt.final_cost()
+        );
     }
     Ok(())
 }
 
 fn cmd_nash(args: &Args) -> Result<(), ArgError> {
-    let instance = instance_from(args)?;
-    let mut nash = Assignment::local(&instance);
-    let report = run_best_response_dynamics(&instance, &mut nash, &DynamicsOptions::default());
-    let nash_cost = total_cost(&instance, &nash);
-    let mut engine = Engine::new(instance.clone(), EngineOptions::default());
-    let coop = engine.run_to_convergence(1e-12, 3, 300).final_cost;
-    println!(
-        "Nash ΣC = {nash_cost:.1} after {} rounds (converged: {})",
-        report.rounds, report.converged
+    // The paper's §VI-C termination rule: all organizations change by
+    // < 1 % for two consecutive rounds.
+    let spec = spec_from_flags(args, AlgoSpec::Nash)?.termination(0.01, 2, 10_000);
+    let mut sink = open_sink(args)?;
+    let instance = spec.build_instance();
+    let nash = execute(&spec, instance.clone(), &mut sink);
+    let coop = execute(
+        &spec.algo(AlgoSpec::Sequential).termination(1e-12, 3, 300),
+        instance.clone(),
+        &mut sink,
     );
-    println!("cooperative ΣC = {coop:.1}");
-    println!("cost of selfishness = {:.4}", nash_cost / coop);
+    println!(
+        "cost of selfishness = {:.4}",
+        nash.final_cost() / coop.final_cost()
+    );
     if instance.is_homogeneous(1e-9) {
         let c = instance.c(0, 1.min(instance.len() - 1));
         let s = instance.speed(0);
         let lav = instance.average_load();
-        let (lo, hi) = theorem1_bounds(c, s, lav);
+        let (lo, hi) = dlb_game::theorem1_bounds(c, s, lav);
         println!("Theorem 1 PoA band (c={c}, s={s}, l_av={lav:.1}): [{lo:.4}, {hi:.4}]");
     }
     Ok(())
 }
 
 fn cmd_protocol(args: &Args) -> Result<(), ArgError> {
-    let instance = instance_from(args)?;
-    let m = instance.len();
-    let max_rounds = args.get_usize("max-iters", 200)?;
-    let report = run_cluster(
-        &instance,
-        &ClusterOptions {
-            max_rounds,
-            ..ClusterOptions::certified(m)
-        },
+    let m = args.get_usize("servers", 20)?;
+    // `m − 1` quiet rounds certify pairwise optimality (the audit
+    // rotation has then re-examined every pair).
+    let spec = spec_from_flags(args, AlgoSpec::Protocol)?.termination(
+        1e-9,
+        m.saturating_sub(1).max(1),
+        args.get_usize("max-iters", 200)?,
+    );
+    let mut sink = open_sink(args)?;
+    let instance = spec.build_instance();
+    let protocol = execute(&spec, instance.clone(), &mut sink);
+    let engine = execute(
+        &spec.algo(AlgoSpec::Sequential).termination(1e-12, 3, 300),
+        instance,
+        &mut sink,
     );
     println!(
-        "rounds: {} (quiescent: {}), exchanges: {}, lost proposals: {}",
-        report.rounds, report.quiescent, report.exchanges, report.lost_proposals
-    );
-    println!("volume moved: {:.0} requests", report.moved);
-    println!("final ΣC = {:.1}", report.final_cost);
-    let mut engine = Engine::new(instance, EngineOptions::default());
-    let coop = engine.run_to_convergence(1e-12, 3, 300).final_cost;
-    println!(
-        "engine fixpoint = {coop:.1} (ratio {:.4})",
-        report.final_cost / coop
+        "engine fixpoint = {:.1} (protocol ratio {:.4})",
+        engine.final_cost(),
+        protocol.final_cost() / engine.final_cost()
     );
     Ok(())
 }
@@ -172,7 +239,11 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
     let seed = args.get_u64("seed", 1)?;
     let ticks = args.get_usize("ticks", 50)?;
     let probes = args.get_usize("probes", 4)?;
-    let truth = PlanetLabConfig::default().generate(m, seed);
+    let truth = ScenarioSpec::new()
+        .net(NetSpec::Pl)
+        .servers(m)
+        .seed(seed)
+        .build_latency();
     let mut est = Estimator::new(
         m,
         EstimatorConfig {
@@ -181,14 +252,29 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
             ..Default::default()
         },
     );
+    let mut sink = open_sink(args)?;
     println!("tick  median relative error");
     let step = (ticks / 10).max(1);
+    let mut errors = Vec::with_capacity(ticks);
     for t in 0..ticks {
         est.tick(&truth);
+        errors.push(est.median_relative_error(&truth));
         if t % step == 0 || t + 1 == ticks {
-            println!("{:>4}  {:.4}", t + 1, est.median_relative_error(&truth));
+            println!("{:>4}  {:.4}", t + 1, errors[t]);
         }
     }
+    sink.record(
+        &Record::new("estimate")
+            .int("m", m as i64)
+            .int("ticks", ticks as i64)
+            .int("probes", probes as i64)
+            .int("seed", seed as i64)
+            .num(
+                "final_median_rel_error",
+                errors.last().copied().unwrap_or(f64::NAN),
+            )
+            .nums("history", &errors),
+    );
     Ok(())
 }
 
@@ -198,7 +284,7 @@ fn run() -> Result<(), ArgError> {
         print!("{USAGE}");
         return Ok(());
     }
-    const COMMON: &[&str] = &[
+    const ALIAS_KEYS: &[&str] = &[
         "servers",
         "network",
         "latency",
@@ -207,11 +293,30 @@ fn run() -> Result<(), ArgError> {
         "speeds",
         "seed",
         "max-iters",
-        "ticks",
-        "probes",
+        "out",
     ];
-    let args = Args::parse(raw, COMMON)?;
+    let allowed: &[&str] = match raw[0].as_str() {
+        "run" => &["scenario", "out"],
+        "report" => &[],
+        "estimate" => &["servers", "ticks", "probes", "seed", "out"],
+        _ => ALIAS_KEYS,
+    };
+    let args = Args::parse(raw, allowed)?;
+    // Only `run` (scenario tokens) and `report` (file paths) take bare
+    // positionals; everywhere else a stray token is an error, not a
+    // silently ignored flag.
+    if !matches!(args.command.as_str(), "run" | "report") {
+        if let Some(tok) = args.positionals.first() {
+            return Err(ArgError(format!(
+                "unexpected argument '{tok}' for '{}' (key=value scenario tokens only work \
+                 with 'dlb run')",
+                args.command
+            )));
+        }
+    }
     match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "report" => cmd_report(&args),
         "optimize" => cmd_optimize(&args),
         "nash" => cmd_nash(&args),
         "protocol" => cmd_protocol(&args),

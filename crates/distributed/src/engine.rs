@@ -37,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
 use crate::cycles::remove_negative_cycles;
-use crate::mine::{apply_exchange_g, choose_partner_scratch_g, PartnerScratch, PartnerSelection};
+use crate::mine::{choose_partner_outcome_scratch_g, PartnerScratch, PartnerSelection};
 use crate::round::{run_batched_round, RoundMode};
 
 /// Iterations between full `ΣC` recomputes that squash accumulated
@@ -347,7 +347,7 @@ impl Engine {
             } else {
                 None
             };
-            let choice = choose_partner_scratch_g(
+            let choice = choose_partner_outcome_scratch_g(
                 &self.instance,
                 &self.assignment,
                 id,
@@ -359,19 +359,18 @@ impl Engine {
                 score_loads,
                 &mut self.scratch,
             );
-            if let Some((j, impr)) = choice {
+            if let Some((j, outcome)) = choice {
                 if self.options.pair_once && !free[j] {
                     continue;
                 }
-                moved += apply_exchange_g(
-                    &self.instance,
-                    &mut self.assignment,
-                    id,
-                    j,
-                    self.options.granularity,
-                );
+                // The partner evaluation already ran Algorithm 1 on the
+                // very ledgers the exchange applies to; install its
+                // outcome instead of recomputing the transfer.
+                moved += outcome.moved;
+                cost_delta -= outcome.improvement;
+                self.assignment.replace_ledger(id, outcome.ledger_i);
+                self.assignment.replace_ledger(j, outcome.ledger_j);
                 exchanges += 1;
-                cost_delta -= impr;
                 if self.options.pair_once {
                     free[id] = false;
                     free[j] = false;

@@ -12,7 +12,7 @@
 
 use dlb_core::{Assignment, Instance};
 
-use crate::transfer::calc_best_transfer_g;
+use crate::transfer::{calc_best_transfer_g, TransferOutcome};
 
 /// Exact improvement `impr(i, j)`: the `ΣC` reduction Algorithm 1 would
 /// achieve on the pair, computed on scratch copies.
@@ -206,6 +206,42 @@ pub fn choose_partner_scratch_g(
     score_loads: Option<&[f64]>,
     scratch: &mut PartnerScratch,
 ) -> Option<(usize, f64)> {
+    choose_partner_outcome_scratch_g(
+        instance,
+        a,
+        id,
+        selection,
+        min_improvement,
+        parallel,
+        active,
+        granularity,
+        score_loads,
+        scratch,
+    )
+    .map(|(j, outcome)| (j, outcome.improvement))
+}
+
+/// [`choose_partner_scratch_g`] returning the winning exchange's full
+/// [`TransferOutcome`] instead of just its improvement.
+///
+/// Algorithm 2's evaluation already runs Algorithm 1 against every
+/// candidate, so the chosen partner's post-exchange ledgers exist the
+/// moment the argmax is known; returning them lets callers (the
+/// engine's sequential sweep and the batched round's apply phase)
+/// install the exchange without recomputing it.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_partner_outcome_scratch_g(
+    instance: &Instance,
+    a: &Assignment,
+    id: usize,
+    selection: PartnerSelection,
+    min_improvement: f64,
+    parallel: bool,
+    active: Option<&[bool]>,
+    granularity: f64,
+    score_loads: Option<&[f64]>,
+    scratch: &mut PartnerScratch,
+) -> Option<(usize, TransferOutcome)> {
     let m = instance.len();
     if m < 2 {
         return None;
@@ -270,31 +306,53 @@ pub fn choose_partner_scratch_g(
     // Exact Algorithm-1 evaluation of the surviving candidates — the
     // dominant cost in Exact mode (m−1 ledger merges per server).
     // Index-ordered parallel map keeps results identical to sequential.
-    let evaluate = |j: usize| improvement_g(instance, a, id, j, granularity);
-    improvements.clear();
+    // NaN improvements are rejected up front — a NaN reaching the
+    // argmax `match` would overwrite a finite best (NaN fails every
+    // comparison) and silently skip a genuinely improving exchange.
+    // For finite values the early threshold filter is equivalent to
+    // filtering the argmax at the end.
     if parallel {
+        let evaluate = |j: usize| improvement_g(instance, a, id, j, granularity);
+        improvements.clear();
         improvements.extend(dlb_par::par_map_indexed(candidates.len(), |idx| {
             evaluate(candidates[idx])
         }));
+        let mut best: Option<(usize, f64)> = None;
+        for (j, &impr) in candidates.iter().zip(improvements.iter()) {
+            if impr.is_nan() || impr <= min_improvement {
+                continue;
+            }
+            match best {
+                Some((_, b)) if impr <= b => {}
+                _ => best = Some((*j, impr)),
+            }
+        }
+        // The fan-out keeps only the scalar improvements; one extra
+        // Algorithm-1 run materializes the winner's ledgers.
+        let (j, impr) = best?;
+        let outcome = calc_best_transfer_g(instance, a.ledger(id), a.ledger(j), id, j, granularity);
+        debug_assert!(
+            (outcome.improvement - impr).abs() <= 1e-9 * impr.abs().max(1.0),
+            "winner re-evaluation drifted: {impr} vs {}",
+            outcome.improvement
+        );
+        Some((j, outcome))
     } else {
-        improvements.extend(candidates.iter().map(|&j| evaluate(j)));
-    }
-    let mut best: Option<(usize, f64)> = None;
-    for (j, &impr) in candidates.iter().zip(improvements.iter()) {
-        // Reject NaN improvements up front — a NaN reaching the `match`
-        // below would overwrite a finite best (NaN fails every
-        // comparison) and silently skip a genuinely improving exchange.
-        // For finite values the early threshold filter is equivalent to
-        // filtering the argmax at the end.
-        if impr.is_nan() || impr <= min_improvement {
-            continue;
+        // The sequential scan keeps the best outcome as it goes, so the
+        // winning exchange's ledgers are never computed twice.
+        let mut best: Option<(usize, TransferOutcome)> = None;
+        for &j in candidates.iter() {
+            let out = calc_best_transfer_g(instance, a.ledger(id), a.ledger(j), id, j, granularity);
+            if out.improvement.is_nan() || out.improvement <= min_improvement {
+                continue;
+            }
+            match &best {
+                Some((_, b)) if out.improvement <= b.improvement => {}
+                _ => best = Some((j, out)),
+            }
         }
-        match best {
-            Some((_, b)) if impr <= b => {}
-            _ => best = Some((*j, impr)),
-        }
+        best
     }
-    best
 }
 
 /// Applies the Algorithm 1 exchange between `id` and `j`, updating both
@@ -356,7 +414,8 @@ pub fn mine_step_masked_g(
     active: Option<&[bool]>,
     granularity: f64,
 ) -> MineOutcome {
-    match choose_partner_g(
+    let mut scratch = PartnerScratch::default();
+    match choose_partner_outcome_scratch_g(
         instance,
         a,
         id,
@@ -365,12 +424,17 @@ pub fn mine_step_masked_g(
         parallel,
         active,
         granularity,
+        None,
+        &mut scratch,
     ) {
-        Some((j, impr)) => {
-            let moved = apply_exchange_g(instance, a, id, j, granularity);
+        Some((j, outcome)) => {
+            let moved = outcome.moved;
+            let improvement = outcome.improvement;
+            a.replace_ledger(id, outcome.ledger_i);
+            a.replace_ledger(j, outcome.ledger_j);
             MineOutcome {
                 partner: Some(j),
-                improvement: impr,
+                improvement,
                 moved,
             }
         }

@@ -20,11 +20,15 @@
 //!    exactly the `pair_once` semantics of the sequential engine, and
 //!    the graph-coloring step the ROADMAP called for (a greedy maximal
 //!    matching *is* a 1-round colouring of the proposal graph).
-//! 3. **Apply** — the matched exchanges are recomputed and applied
-//!    concurrently. This is safe because matched pairs own disjoint
-//!    ledgers, and it is *exact* because a pairwise exchange only reads
-//!    and writes the two ledgers of its own pair (see
-//!    [`dlb_core::cost::server_cost`]).
+//! 3. **Apply** — the matched exchanges are installed directly from
+//!    the propose phase's [`TransferOutcome`]s. No recomputation is
+//!    needed: proposals were evaluated against the round-start ledgers,
+//!    and matched pairs own disjoint ledgers, so the outcome computed
+//!    at propose time is exactly the outcome the apply phase would
+//!    recompute (debug builds assert this). A pairwise exchange only
+//!    reads and writes the two ledgers of its own pair (see
+//!    [`dlb_core::cost::server_cost`]), which is what makes both the
+//!    concurrent propose evaluation and the reuse sound.
 //!
 //! Every phase is deterministic given the round order, so batched
 //! fixpoints are thread-count invariant — covered by
@@ -34,8 +38,8 @@ use std::cell::RefCell;
 
 use dlb_core::{Assignment, Instance};
 
-use crate::mine::{choose_partner_scratch_g, PartnerScratch, PartnerSelection};
-use crate::transfer::{calc_best_transfer_g, TransferOutcome};
+use crate::mine::{choose_partner_outcome_scratch_g, PartnerScratch, PartnerSelection};
+use crate::transfer::TransferOutcome;
 
 /// How the engine executes one iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,11 +78,24 @@ thread_local! {
     static PROPOSE_SCRATCH: RefCell<PartnerScratch> = RefCell::new(PartnerScratch::default());
 }
 
+/// One server's resolved Algorithm-2 choice: the partner it wants to
+/// exchange with and the full [`TransferOutcome`] of that exchange,
+/// computed against the round-start ledgers. Carrying the outcome lets
+/// the apply phase install matched exchanges without re-running
+/// Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proposal {
+    /// The chosen partner.
+    pub partner: usize,
+    /// The exchange Algorithm 1 would perform on the pair.
+    pub outcome: TransferOutcome,
+}
+
 /// Phase 1: every server in `order` computes its Algorithm-2 partner
 /// choice against the current (round-start) assignment. Returns one
-/// `Option<(partner, improvement)>` per `order` entry, in order.
-/// `score_loads` is the engine's gossip-stale load snapshot for the
-/// pruned pre-scoring (`None` = live round-start loads).
+/// `Option<Proposal>` per `order` entry, in order. `score_loads` is
+/// the engine's gossip-stale load snapshot for the pruned pre-scoring
+/// (`None` = live round-start loads).
 #[allow(clippy::too_many_arguments)]
 pub fn propose(
     instance: &Instance,
@@ -90,10 +107,10 @@ pub fn propose(
     active: Option<&[bool]>,
     granularity: f64,
     score_loads: Option<&[f64]>,
-) -> Vec<Option<(usize, f64)>> {
+) -> Vec<Option<Proposal>> {
     let choose = |id: usize| {
         PROPOSE_SCRATCH.with(|scratch| {
-            choose_partner_scratch_g(
+            choose_partner_outcome_scratch_g(
                 instance,
                 a,
                 id,
@@ -105,6 +122,7 @@ pub fn propose(
                 score_loads,
                 &mut scratch.borrow_mut(),
             )
+            .map(|(partner, outcome)| Proposal { partner, outcome })
         })
     };
     if parallel {
@@ -120,58 +138,80 @@ pub fn propose(
 /// order, a proposal is accepted when both endpoints are still free.
 /// This mirrors the sequential `pair_once` rule — a server whose chosen
 /// partner is already taken *waits for the next round* rather than
-/// settling for a worse free partner. Returns the matched pairs as
-/// `(initiator, partner)`.
+/// settling for a worse free partner. Returns the accepted proposals'
+/// positions in `order`.
 pub fn match_proposals(
     m: usize,
     order: &[usize],
-    proposals: &[Option<(usize, f64)>],
+    proposals: &[Option<Proposal>],
     active: Option<&[bool]>,
-) -> Vec<(usize, usize)> {
+) -> Vec<usize> {
     debug_assert_eq!(order.len(), proposals.len());
     let mut free: Vec<bool> = match active {
         Some(mask) => mask.to_vec(),
         None => vec![true; m],
     };
-    let mut matched = Vec::new();
-    for (&id, proposal) in order.iter().zip(proposals.iter()) {
-        if let Some((j, _)) = *proposal {
+    let mut accepted = Vec::new();
+    for (p, (&id, proposal)) in order.iter().zip(proposals.iter()).enumerate() {
+        if let Some(Proposal { partner: j, .. }) = *proposal {
             if free[id] && free[j] {
                 free[id] = false;
                 free[j] = false;
-                matched.push((id, j));
+                accepted.push(p);
             }
         }
     }
-    matched
+    accepted
 }
 
-/// Phase 3: execute the matched exchanges concurrently and apply them.
+/// Phase 3: install the accepted exchanges.
 ///
-/// The Algorithm-1 transfers are computed in parallel from the
-/// round-start ledgers (matched pairs are disjoint, so each transfer
-/// sees exactly the state it will be applied to), then the resulting
-/// ledgers are swapped in. Each exchange's `improvement` is the exact
-/// `ΣC` reduction of the pair, so their negated sum is the round's
-/// exact cost delta.
+/// Each accepted proposal already carries the [`TransferOutcome`] its
+/// propose-phase evaluation computed from the round-start ledgers;
+/// matched pairs are disjoint, so that is exactly the state the
+/// exchange applies to and the outcome is *reused* instead of being
+/// recomputed (debug builds re-run Algorithm 1 and assert the reused
+/// outcome matches). Each exchange's `improvement` is the exact `ΣC`
+/// reduction of its pair, so their negated sum is the round's exact
+/// cost delta.
 pub fn apply_matches(
     instance: &Instance,
     a: &mut Assignment,
-    matches: &[(usize, usize)],
+    order: &[usize],
+    proposals: Vec<Option<Proposal>>,
+    accepted: &[usize],
     granularity: f64,
-    parallel: bool,
 ) -> RoundOutcome {
-    let compute = |&(i, j): &(usize, usize)| -> TransferOutcome {
-        calc_best_transfer_g(instance, a.ledger(i), a.ledger(j), i, j, granularity)
-    };
-    let outcomes: Vec<TransferOutcome> = if parallel {
-        dlb_par::par_map_slice(matches, compute)
-    } else {
-        matches.iter().map(compute).collect()
-    };
+    // The recompute-free apply phase has no per-pair computation left
+    // to fan out; `instance` and `granularity` feed the debug check.
+    let _ = (instance, granularity);
+    let mut proposals = proposals;
     let mut moved = 0.0;
     let mut cost_delta = 0.0;
-    for (&(i, j), outcome) in matches.iter().zip(outcomes) {
+    for &p in accepted {
+        let Proposal {
+            partner: j,
+            outcome,
+        } = proposals[p]
+            .take()
+            .expect("accepted positions index real proposals");
+        let i = order[p];
+        #[cfg(debug_assertions)]
+        {
+            let fresh = crate::transfer::calc_best_transfer_g(
+                instance,
+                a.ledger(i),
+                a.ledger(j),
+                i,
+                j,
+                granularity,
+            );
+            assert_eq!(
+                fresh, outcome,
+                "propose-phase outcome for pair ({i}, {j}) does not match a fresh \
+                 round-start recomputation"
+            );
+        }
         moved += outcome.moved;
         cost_delta -= outcome.improvement;
         a.replace_ledger(i, outcome.ledger_i);
@@ -179,7 +219,7 @@ pub fn apply_matches(
     }
     RoundOutcome {
         moved,
-        exchanges: matches.len(),
+        exchanges: accepted.len(),
         cost_delta,
     }
 }
@@ -208,8 +248,8 @@ pub fn run_batched_round(
         granularity,
         score_loads,
     );
-    let matches = match_proposals(instance.len(), order, &proposals, active);
-    apply_matches(instance, a, &matches, granularity, parallel)
+    let accepted = match_proposals(instance.len(), order, &proposals, active);
+    apply_matches(instance, a, order, proposals, &accepted, granularity)
 }
 
 #[cfg(test)]
@@ -238,24 +278,38 @@ mod tests {
         )
     }
 
+    /// A placeholder proposal for matching-only tests (the match phase
+    /// never reads the outcome).
+    fn prop(partner: usize) -> Option<Proposal> {
+        Some(Proposal {
+            partner,
+            outcome: TransferOutcome {
+                ledger_i: dlb_core::SparseVec::new(),
+                ledger_j: dlb_core::SparseVec::new(),
+                improvement: 1.0,
+                moved: 0.0,
+            },
+        })
+    }
+
     #[test]
     fn matching_is_conflict_free_and_priority_ordered() {
         // Server 0 and 2 both propose to 1; only the first in priority
         // order may win, and 3's self-contained proposal survives.
         let order = vec![0, 2, 3];
-        let proposals = vec![Some((1, 5.0)), Some((1, 9.0)), Some((4, 1.0))];
-        let matched = match_proposals(5, &order, &proposals, None);
-        assert_eq!(matched, vec![(0, 1), (3, 4)]);
+        let proposals = vec![prop(1), prop(1), prop(4)];
+        let accepted = match_proposals(5, &order, &proposals, None);
+        assert_eq!(accepted, vec![0, 2], "positions of (0→1) and (3→4)");
     }
 
     #[test]
     fn matching_respects_reachability_mask() {
         let order = vec![0, 2];
-        let proposals = vec![Some((1, 5.0)), Some((3, 2.0))];
+        let proposals = vec![prop(1), prop(3)];
         let mut active = vec![true; 4];
         active[3] = false;
-        let matched = match_proposals(4, &order, &proposals, Some(&active));
-        assert_eq!(matched, vec![(0, 1)], "partner 3 is unreachable");
+        let accepted = match_proposals(4, &order, &proposals, Some(&active));
+        assert_eq!(accepted, vec![0], "partner 3 is unreachable");
     }
 
     #[test]
@@ -335,15 +389,18 @@ mod tests {
             0.0,
             None,
         );
-        let matches = match_proposals(30, &order, &proposals, None);
+        let accepted = match_proposals(30, &order, &proposals, None);
         let mut seen = [false; 30];
-        for &(i, j) in &matches {
+        for &p in &accepted {
+            let i = order[p];
+            let j = proposals[p].as_ref().unwrap().partner;
             assert!(!seen[i] && !seen[j], "server matched twice");
             seen[i] = true;
             seen[j] = true;
         }
-        let outcome = apply_matches(&instance, &mut a, &matches, 0.0, false);
-        assert_eq!(outcome.exchanges, matches.len());
+        let n_accepted = accepted.len();
+        let outcome = apply_matches(&instance, &mut a, &order, proposals, &accepted, 0.0);
+        assert_eq!(outcome.exchanges, n_accepted);
         assert!(outcome.exchanges <= 15, "⌊m/2⌋ pairings at most");
     }
 }

@@ -18,7 +18,7 @@ use dlb_core::sparse::SparseVec;
 use dlb_core::{Assignment, Instance};
 
 /// Result of running Algorithm 1 on a pair of servers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferOutcome {
     /// New ledger of the first server.
     pub ledger_i: SparseVec,

@@ -1,0 +1,41 @@
+//! # dlb-scenario — one declarative spec drives every system
+//!
+//! The paper evaluates a single model under many regimes: cooperative
+//! vs. selfish (§V), sequential vs. batched rounds, a message-passing
+//! deployment, homogeneous vs. PlanetLab-like topologies. This crate
+//! gives every such regime a *name*:
+//!
+//! * [`ScenarioSpec`] declaratively describes an experiment — topology,
+//!   workload, algorithm, termination — with a builder API and a
+//!   dependency-free text round-trip
+//!   (`"algo=batched net=pl m=500 load=peak seed=7"` parses to a spec
+//!   and a spec [`Display`](std::fmt::Display)s back to that text), so
+//!   the same value travels through CLI flags, bench grids, and
+//!   committed JSON records identically.
+//! * [`ScenarioSpec::build_instance`] is the **single sampling path**:
+//!   the CLI, every bench harness, and the examples draw their §VI-A
+//!   instances here, so equal seeds mean equal instances everywhere.
+//! * [`Runner`] executes a spec on the system its `algo` names — the
+//!   iteration engine (sequential or batched rounds), best-response
+//!   dynamics, the message-passing cluster, or the BCD solver baseline
+//!   — and every runner emits the same [`RunRecord`] (cost trajectory,
+//!   iterations, convergence flag, wall time).
+//!
+//! ```
+//! use dlb_scenario::{AlgoSpec, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::new().algo(AlgoSpec::Batched).servers(30).seed(7);
+//! let text = spec.to_string();
+//! assert_eq!(text.parse::<ScenarioSpec>().unwrap(), spec);
+//! let run = spec.run();
+//! assert!(run.final_cost() <= run.initial_cost());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod runner;
+pub mod spec;
+
+pub use runner::{runner_for, RunRecord, Runner};
+pub use spec::{AlgoSpec, NetSpec, ScenarioSpec, SpecError, SpeedKind};

@@ -1,0 +1,371 @@
+//! Runners: execute a [`ScenarioSpec`] on the system its `algo` names.
+//!
+//! Every runner produces the same [`RunRecord`] — the scenario's text
+//! form, the cost trajectory, the iteration count, whether the
+//! termination criterion was met, and the wall time — so downstream
+//! tooling (the `dlb` CLI, the bench harnesses, `dlb report`) handles
+//! all four systems through one shape.
+
+use std::time::Instant;
+
+use dlb_core::cost::total_cost;
+use dlb_core::Assignment;
+use dlb_distributed::{Engine, EngineOptions, RoundMode};
+use dlb_game::{run_best_response_dynamics, DynamicsOptions};
+use dlb_runtime::{run_cluster, ClusterOptions};
+use dlb_solver::solve_bcd;
+
+use crate::spec::{AlgoSpec, ScenarioSpec};
+use dlb_core::Instance;
+
+/// The uniform result of running any scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The scenario's canonical text form.
+    pub scenario: String,
+    /// Algorithm label (`sequential`, `batched`, `nash`, `protocol`,
+    /// `bcd`).
+    pub algo: &'static str,
+    /// Network size.
+    pub m: usize,
+    /// `ΣC` trajectory; index 0 is the initial (all-local) cost, the
+    /// last entry the final cost. Runners without per-step cost
+    /// observability record `[initial, final]`.
+    pub history: Vec<f64>,
+    /// Iterations / rounds / sweeps executed.
+    pub iterations: usize,
+    /// Whether the termination criterion was met within the budget.
+    pub converged: bool,
+    /// Wall-clock seconds of the run (excluding instance sampling).
+    pub wall_secs: f64,
+}
+
+impl RunRecord {
+    /// `ΣC` of the initial (all-local) assignment.
+    pub fn initial_cost(&self) -> f64 {
+        self.history.first().copied().unwrap_or(f64::NAN)
+    }
+
+    /// `ΣC` when the run stopped.
+    pub fn final_cost(&self) -> f64 {
+        self.history.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// First trajectory index within `rel_err` of `optimum` (`None`
+    /// when never reached) — the Tables I/II measurement.
+    pub fn iterations_to_reach(&self, optimum: f64, rel_err: f64) -> Option<usize> {
+        let target = optimum * (1.0 + rel_err);
+        self.history.iter().position(|&c| c <= target + 1e-12)
+    }
+}
+
+/// Executes scenarios for one algorithm family.
+pub trait Runner {
+    /// Stable name of the runner (for diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario and reports its [`RunRecord`].
+    fn run(&self, spec: &ScenarioSpec) -> RunRecord {
+        self.run_on(spec, spec.build_instance())
+    }
+
+    /// Runs the scenario on a prebuilt instance — callers holding
+    /// several scenarios over one grid point (the CLI aliases, bench
+    /// sweeps) sample once and share it. `instance` must be what
+    /// [`ScenarioSpec::build_instance`] would produce (or an
+    /// intentional override with the same size).
+    fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord;
+}
+
+/// Runs [`dlb_distributed::Engine`] (both round modes) to convergence.
+pub struct EngineRunner;
+
+impl Runner for EngineRunner {
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
+        let round_mode = match spec.algo {
+            AlgoSpec::Batched => RoundMode::Batched,
+            _ => RoundMode::Sequential,
+        };
+        let mut engine = Engine::new(
+            instance,
+            EngineOptions {
+                seed: spec.seed,
+                granularity: spec.gran,
+                round_mode,
+                ..Default::default()
+            },
+        );
+        let start = Instant::now();
+        let report = engine.run_to_convergence(spec.eps, spec.patience, spec.budget);
+        RunRecord {
+            scenario: spec.to_string(),
+            algo: spec.algo.label(),
+            m: spec.m,
+            history: engine.history().to_vec(),
+            iterations: report.iterations,
+            converged: report.converged,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Runs selfish best-response dynamics
+/// ([`dlb_game::run_best_response_dynamics`]). `eps` is the paper's
+/// per-organization change threshold (§VI-C uses `0.01`), `patience`
+/// the calm-round count, `budget` the round budget.
+pub struct NashRunner;
+
+impl Runner for NashRunner {
+    fn name(&self) -> &'static str {
+        "nash"
+    }
+
+    fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
+        let mut assignment = Assignment::local(&instance);
+        let initial = total_cost(&instance, &assignment);
+        let start = Instant::now();
+        let report = run_best_response_dynamics(
+            &instance,
+            &mut assignment,
+            &DynamicsOptions {
+                change_threshold: spec.eps,
+                calm_rounds: spec.patience,
+                max_rounds: spec.budget,
+                seed: spec.seed,
+                ..Default::default()
+            },
+        );
+        RunRecord {
+            scenario: spec.to_string(),
+            algo: spec.algo.label(),
+            m: spec.m,
+            history: vec![initial, total_cost(&instance, &assignment)],
+            iterations: report.rounds,
+            converged: report.converged,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Runs the message-passing cluster ([`dlb_runtime::run_cluster`]).
+/// `eps` is the quiescent-volume threshold, `patience` the quiet-round
+/// count (`m − 1` certifies pairwise optimality), `budget` the round
+/// budget.
+pub struct ProtocolRunner;
+
+impl Runner for ProtocolRunner {
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+
+    fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
+        let start = Instant::now();
+        let report = run_cluster(
+            &instance,
+            &ClusterOptions {
+                max_rounds: spec.budget,
+                quiescent_rounds: spec.patience.max(1),
+                quiescent_volume: spec.eps,
+                ..Default::default()
+            },
+        );
+        RunRecord {
+            scenario: spec.to_string(),
+            algo: spec.algo.label(),
+            m: spec.m,
+            history: report.history,
+            iterations: report.rounds,
+            converged: report.quiescent,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Runs the centralized BCD solver baseline ([`dlb_solver::solve_bcd`])
+/// with `budget` sweeps and tolerance `eps`.
+pub struct BcdRunner;
+
+impl Runner for BcdRunner {
+    fn name(&self) -> &'static str {
+        "bcd"
+    }
+
+    fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
+        let initial = total_cost(&instance, &Assignment::local(&instance));
+        let start = Instant::now();
+        let (_, report) = solve_bcd(&instance, spec.budget, spec.eps);
+        RunRecord {
+            scenario: spec.to_string(),
+            algo: spec.algo.label(),
+            m: spec.m,
+            history: vec![initial, report.objective],
+            iterations: report.iters,
+            converged: report.converged,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// The runner responsible for an algorithm.
+pub fn runner_for(algo: AlgoSpec) -> &'static dyn Runner {
+    match algo {
+        AlgoSpec::Sequential | AlgoSpec::Batched => &EngineRunner,
+        AlgoSpec::Nash => &NashRunner,
+        AlgoSpec::Protocol => &ProtocolRunner,
+        AlgoSpec::Bcd => &BcdRunner,
+    }
+}
+
+impl ScenarioSpec {
+    /// Runs this scenario on the system its `algo` names.
+    pub fn run(&self) -> RunRecord {
+        runner_for(self.algo).run(self)
+    }
+
+    /// Runs this scenario on a prebuilt instance (one sample shared
+    /// across several scenarios — see [`Runner::run_on`]).
+    pub fn run_on(&self, instance: Instance) -> RunRecord {
+        runner_for(self.algo).run_on(self, instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetSpec;
+
+    /// The engine runners must reproduce a direct
+    /// `Engine::run_to_convergence` call bit for bit — the scenario
+    /// layer adds naming, not behavior.
+    #[test]
+    fn engine_runners_match_direct_engine_exactly() {
+        for (algo, mode) in [
+            (AlgoSpec::Sequential, RoundMode::Sequential),
+            (AlgoSpec::Batched, RoundMode::Batched),
+        ] {
+            let spec = ScenarioSpec::new()
+                .algo(algo)
+                .servers(15)
+                .seed(3)
+                .termination(1e-10, 3, 80);
+            let run = spec.run();
+            let mut engine = Engine::new(
+                spec.build_instance(),
+                EngineOptions {
+                    seed: 3,
+                    round_mode: mode,
+                    ..Default::default()
+                },
+            );
+            let report = engine.run_to_convergence(1e-10, 3, 80);
+            assert_eq!(run.history, engine.history(), "{algo:?}");
+            assert_eq!(run.final_cost(), report.final_cost, "{algo:?}");
+            assert_eq!(run.iterations, report.iterations);
+            assert_eq!(run.converged, report.converged);
+        }
+    }
+
+    /// One spec value, round-tripped through its text form, must drive
+    /// every deterministic runner to identical results.
+    #[test]
+    fn text_round_trip_preserves_results() {
+        for algo in [AlgoSpec::Sequential, AlgoSpec::Batched, AlgoSpec::Bcd] {
+            let spec = ScenarioSpec::new()
+                .algo(algo)
+                .net(NetSpec::Pl)
+                .servers(12)
+                .seed(9)
+                .termination(1e-8, 2, 60);
+            let reparsed: ScenarioSpec = spec.to_string().parse().unwrap();
+            assert_eq!(reparsed, spec);
+            assert_eq!(reparsed.run().history, spec.run().history, "{algo:?}");
+        }
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Nash)
+            .servers(10)
+            .seed(4)
+            .termination(0.01, 2, 500);
+        let reparsed: ScenarioSpec = spec.to_string().parse().unwrap();
+        assert_eq!(reparsed.run().history, spec.run().history);
+    }
+
+    #[test]
+    fn nash_runner_matches_direct_dynamics() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Nash)
+            .servers(10)
+            .seed(2)
+            .termination(0.01, 2, 1_000);
+        let run = spec.run();
+        let instance = spec.build_instance();
+        let mut nash = Assignment::local(&instance);
+        let report = run_best_response_dynamics(
+            &instance,
+            &mut nash,
+            &DynamicsOptions {
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(run.final_cost(), total_cost(&instance, &nash));
+        assert_eq!(run.iterations, report.rounds);
+        assert!(run.converged);
+    }
+
+    /// The cluster's collision resolution races on real threads, so
+    /// protocol runs are compared against the engine fixpoint rather
+    /// than against a second run.
+    #[test]
+    fn protocol_runner_lands_near_the_engine_fixpoint() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .servers(8)
+            .avg_load(80.0)
+            .seed(5)
+            .termination(1e-9, 7, 300);
+        let run = spec.run();
+        assert_eq!(run.history.len(), run.iterations + 1);
+        let coop = spec.algo(AlgoSpec::Sequential).termination(1e-12, 3, 300);
+        let fixpoint = coop.run().final_cost();
+        assert!(
+            run.final_cost() <= fixpoint * 1.05,
+            "protocol {} vs engine {fixpoint}",
+            run.final_cost()
+        );
+    }
+
+    #[test]
+    fn bcd_runner_reports_a_converged_optimum() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Bcd)
+            .servers(10)
+            .seed(6)
+            .termination(1e-10, 3, 2_000);
+        let run = spec.run();
+        assert!(run.converged);
+        assert!(run.final_cost() <= run.initial_cost());
+        let engine = spec.algo(AlgoSpec::Sequential).run();
+        assert!(
+            engine.final_cost() <= run.final_cost() * 1.01,
+            "engine {} vs solver {}",
+            engine.final_cost(),
+            run.final_cost()
+        );
+    }
+
+    #[test]
+    fn iterations_to_reach_matches_engine_semantics() {
+        let spec = ScenarioSpec::new()
+            .servers(15)
+            .seed(5)
+            .termination(1e-12, 2, 80);
+        let run = spec.run();
+        let exact = run.iterations_to_reach(run.final_cost(), 0.0).unwrap();
+        let loose = run.iterations_to_reach(run.final_cost(), 0.02).unwrap();
+        assert!(loose <= exact);
+    }
+}

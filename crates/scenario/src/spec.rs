@@ -1,0 +1,553 @@
+//! The declarative scenario specification and its text form.
+//!
+//! A [`ScenarioSpec`] names one experiment of the paper's evaluation:
+//! which algorithm runs (`algo`), on which latency substrate (`net`),
+//! over which sampled workload (`m`, `load`, `avg`, `speeds`, `seed`),
+//! and when it stops (`eps`, `patience`, `budget`). The text form is a
+//! flat list of `key=value` tokens in a fixed key order with default
+//! values omitted, e.g.
+//!
+//! ```text
+//! algo=batched net=pl m=500 load=peak avg=200 seed=7
+//! ```
+//!
+//! [`ScenarioSpec::parse`] and the [`Display`] impl round-trip exactly,
+//! so specs can travel through shell flags, bench grids, and committed
+//! JSON-lines records without a serialization dependency.
+
+use std::fmt;
+use std::str::FromStr;
+
+use dlb_core::rngutil::rng_for;
+use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+use dlb_core::{Instance, LatencyMatrix};
+use dlb_topology::{EuclideanConfig, PlanetLabConfig};
+
+/// RNG stream salt of the single instance-sampling path. This is the
+/// salt the bench harnesses have always used, so the committed
+/// `BENCH_figure2.json` series remain comparable across PRs.
+pub const SAMPLE_SALT: u64 = 0xBE7C;
+
+/// A spec parse/validation error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Which system a scenario runs (the `algo=` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlgoSpec {
+    /// The distributed engine with the §VI-B sequential sweep.
+    #[default]
+    Sequential,
+    /// The distributed engine with batched propose/match/apply rounds.
+    Batched,
+    /// Selfish best-response dynamics (§VI-C).
+    Nash,
+    /// The message-passing cluster runtime (threads + wire frames).
+    Protocol,
+    /// The centralized block-coordinate-descent solver baseline (§III).
+    Bcd,
+}
+
+impl AlgoSpec {
+    /// All algorithms, in spec-text order.
+    pub const ALL: [AlgoSpec; 5] = [
+        AlgoSpec::Sequential,
+        AlgoSpec::Batched,
+        AlgoSpec::Nash,
+        AlgoSpec::Protocol,
+        AlgoSpec::Bcd,
+    ];
+
+    /// The `algo=` token value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgoSpec::Sequential => "sequential",
+            AlgoSpec::Batched => "batched",
+            AlgoSpec::Nash => "nash",
+            AlgoSpec::Protocol => "protocol",
+            AlgoSpec::Bcd => "bcd",
+        }
+    }
+
+    fn parse(v: &str) -> Result<Self, SpecError> {
+        Self::ALL
+            .into_iter()
+            .find(|a| a.label() == v)
+            .ok_or_else(|| {
+                SpecError(format!(
+                    "algo: '{v}' is not one of sequential|batched|nash|protocol|bcd"
+                ))
+            })
+    }
+}
+
+/// Which latency substrate a scenario runs on (the `net=` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetSpec {
+    /// Homogeneous `c_ij = lat` network (the paper's `c = 20`).
+    #[default]
+    Homog,
+    /// Random geometric latencies (points in a plane).
+    Euclid,
+    /// Synthetic PlanetLab-like matrix (see `dlb-topology`).
+    Pl,
+}
+
+impl NetSpec {
+    /// The `net=` token value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetSpec::Homog => "homog",
+            NetSpec::Euclid => "euclid",
+            NetSpec::Pl => "pl",
+        }
+    }
+
+    fn parse(v: &str) -> Result<Self, SpecError> {
+        match v {
+            "homog" => Ok(NetSpec::Homog),
+            "euclid" => Ok(NetSpec::Euclid),
+            "pl" => Ok(NetSpec::Pl),
+            _ => Err(SpecError(format!(
+                "net: '{v}' is not one of homog|euclid|pl"
+            ))),
+        }
+    }
+}
+
+/// Which speed distribution a scenario samples (the `speeds=` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpeedKind {
+    /// All servers at speed 1 (the paper's "const s_i" rows).
+    Const,
+    /// Speeds uniform on `⟨1, 5⟩` (the paper's default).
+    #[default]
+    Uniform,
+}
+
+impl SpeedKind {
+    /// The `speeds=` token value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpeedKind::Const => "const",
+            SpeedKind::Uniform => "uniform",
+        }
+    }
+
+    /// The sampling distribution this kind names.
+    pub fn distribution(&self) -> SpeedDistribution {
+        match self {
+            SpeedKind::Const => SpeedDistribution::Constant(1.0),
+            SpeedKind::Uniform => SpeedDistribution::paper_uniform(),
+        }
+    }
+
+    fn parse(v: &str) -> Result<Self, SpecError> {
+        match v {
+            "const" => Ok(SpeedKind::Const),
+            "uniform" => Ok(SpeedKind::Uniform),
+            _ => Err(SpecError(format!(
+                "speeds: '{v}' is not one of const|uniform"
+            ))),
+        }
+    }
+}
+
+fn parse_load(v: &str) -> Result<LoadDistribution, SpecError> {
+    match v {
+        "const" => Ok(LoadDistribution::Constant),
+        "uniform" => Ok(LoadDistribution::Uniform),
+        "exp" => Ok(LoadDistribution::Exponential),
+        "peak" => Ok(LoadDistribution::Peak),
+        _ => Err(SpecError(format!(
+            "load: '{v}' is not one of const|uniform|exp|peak"
+        ))),
+    }
+}
+
+/// One declaratively named experiment: topology + workload + algorithm
+/// + termination. See the [module docs](self) for the text form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// Algorithm to run (`algo=`).
+    pub algo: AlgoSpec,
+    /// Latency substrate (`net=`).
+    pub net: NetSpec,
+    /// Number of organizations/servers (`m=`).
+    pub m: usize,
+    /// Homogeneous pairwise latency in ms (`lat=`; only `net=homog`
+    /// reads it — the generated substrates have their own scales).
+    pub lat: f64,
+    /// Initial-load distribution (`load=`).
+    pub load: LoadDistribution,
+    /// Average initial load per server (`avg=`).
+    pub avg: f64,
+    /// Speed distribution (`speeds=`).
+    pub speeds: SpeedKind,
+    /// RNG seed for sampling and iteration order (`seed=`).
+    pub seed: u64,
+    /// Transfer quantum for the engine runners; `0` = continuous
+    /// (`gran=`).
+    pub gran: f64,
+    /// Termination tolerance (`eps=`): engine stall tolerance, dynamics
+    /// change threshold, cluster quiescent volume, or solver tolerance.
+    pub eps: f64,
+    /// Consecutive calm/quiet rounds required to stop (`patience=`).
+    pub patience: usize,
+    /// Hard iteration/round/sweep budget (`budget=`).
+    pub budget: usize,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        Self {
+            algo: AlgoSpec::Sequential,
+            net: NetSpec::Homog,
+            m: 20,
+            lat: 20.0,
+            load: LoadDistribution::Exponential,
+            avg: 50.0,
+            speeds: SpeedKind::Uniform,
+            seed: 1,
+            gran: 0.0,
+            eps: 1e-10,
+            patience: 3,
+            budget: 200,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// The default scenario (equivalent to parsing an empty string).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the algorithm.
+    pub fn algo(mut self, algo: AlgoSpec) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Sets the latency substrate.
+    pub fn net(mut self, net: NetSpec) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the network size.
+    pub fn servers(mut self, m: usize) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Sets the homogeneous pairwise latency (ms).
+    pub fn latency_ms(mut self, lat: f64) -> Self {
+        self.lat = lat;
+        self
+    }
+
+    /// Sets the initial-load distribution.
+    pub fn load(mut self, load: LoadDistribution) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Sets the average initial load per server.
+    pub fn avg_load(mut self, avg: f64) -> Self {
+        self.avg = avg;
+        self
+    }
+
+    /// Sets the speed distribution.
+    pub fn speeds(mut self, speeds: SpeedKind) -> Self {
+        self.speeds = speeds;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the transfer quantum (0 = continuous).
+    pub fn granularity(mut self, gran: f64) -> Self {
+        self.gran = gran;
+        self
+    }
+
+    /// Sets the termination triple: tolerance, calm rounds, budget.
+    pub fn termination(mut self, eps: f64, patience: usize, budget: usize) -> Self {
+        self.eps = eps;
+        self.patience = patience;
+        self.budget = budget;
+        self
+    }
+
+    /// Parses the text form. Empty input yields the default scenario;
+    /// unknown keys, malformed values, and duplicate keys are errors.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut spec = Self::default();
+        let mut seen: Vec<&str> = Vec::new();
+        for token in text.split_whitespace() {
+            let (key, value) = token.split_once('=').ok_or_else(|| {
+                SpecError(format!("'{token}' is not a key=value token (try 'm=50')"))
+            })?;
+            if seen.contains(&key) {
+                return Err(SpecError(format!("key '{key}' given twice")));
+            }
+            match key {
+                "algo" => spec.algo = AlgoSpec::parse(value)?,
+                "net" => spec.net = NetSpec::parse(value)?,
+                "m" => {
+                    spec.m = parse_int(key, value)?;
+                    if spec.m == 0 {
+                        return Err(SpecError("m must be at least 1".into()));
+                    }
+                }
+                "lat" => spec.lat = parse_float(key, value)?,
+                "load" => spec.load = parse_load(value)?,
+                "avg" => spec.avg = parse_float(key, value)?,
+                "speeds" => spec.speeds = SpeedKind::parse(value)?,
+                "seed" => {
+                    spec.seed = value.parse().map_err(|_| {
+                        SpecError(format!("seed: '{value}' is not a non-negative integer"))
+                    })?
+                }
+                "gran" => spec.gran = parse_float(key, value)?,
+                "eps" => spec.eps = parse_float(key, value)?,
+                "patience" => spec.patience = parse_int(key, value)?,
+                "budget" => {
+                    spec.budget = parse_int(key, value)?;
+                    if spec.budget == 0 {
+                        return Err(SpecError("budget must be at least 1".into()));
+                    }
+                }
+                _ => {
+                    return Err(SpecError(format!(
+                        "unknown key '{key}' (valid: algo net m lat load avg speeds seed gran \
+                         eps patience budget)"
+                    )))
+                }
+            }
+            // `split_once` borrows from `token`, which lives as long as
+            // `text`; remember the key for duplicate detection.
+            seen.push(key);
+        }
+        Ok(spec)
+    }
+
+    /// Builds the latency matrix this spec names (deterministic per
+    /// seed).
+    pub fn build_latency(&self) -> LatencyMatrix {
+        match self.net {
+            NetSpec::Homog => LatencyMatrix::homogeneous(self.m, self.lat),
+            NetSpec::Euclid => EuclideanConfig::default().generate(self.m, self.seed),
+            NetSpec::Pl => PlanetLabConfig::default().generate(self.m, self.seed),
+        }
+    }
+
+    /// Draws the §VI-A instance this spec names. This is the single
+    /// sampling path shared by the CLI, the bench harnesses, and the
+    /// examples: equal specs produce equal instances everywhere.
+    pub fn build_instance(&self) -> Instance {
+        let latency = self.build_latency();
+        let mut rng = rng_for(self.seed, SAMPLE_SALT);
+        WorkloadSpec {
+            loads: self.load,
+            avg_load: self.avg,
+            speeds: self.speeds.distribution(),
+        }
+        .sample(latency, &mut rng)
+    }
+}
+
+fn parse_int(key: &str, value: &str) -> Result<usize, SpecError> {
+    value
+        .parse()
+        .map_err(|_| SpecError(format!("{key}: '{value}' is not a non-negative integer")))
+}
+
+fn parse_float(key: &str, value: &str) -> Result<f64, SpecError> {
+    let x: f64 = value
+        .parse()
+        .map_err(|_| SpecError(format!("{key}: '{value}' is not a number")))?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(SpecError(format!(
+            "{key}: '{value}' must be finite and non-negative"
+        )));
+    }
+    Ok(x)
+}
+
+impl fmt::Display for ScenarioSpec {
+    /// Renders the canonical text form: `algo`, `net`, and `m` always,
+    /// every other key only when it differs from the default — so
+    /// parsing the output reproduces the spec exactly and short specs
+    /// stay short.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = Self::default();
+        write!(
+            f,
+            "algo={} net={} m={}",
+            self.algo.label(),
+            self.net.label(),
+            self.m
+        )?;
+        if self.lat != d.lat {
+            write!(f, " lat={}", self.lat)?;
+        }
+        if self.load != d.load {
+            write!(f, " load={}", self.load.label())?;
+        }
+        if self.avg != d.avg {
+            write!(f, " avg={}", self.avg)?;
+        }
+        if self.speeds != d.speeds {
+            write!(f, " speeds={}", self.speeds.label())?;
+        }
+        if self.seed != d.seed {
+            write!(f, " seed={}", self.seed)?;
+        }
+        if self.gran != d.gran {
+            write!(f, " gran={}", self.gran)?;
+        }
+        if self.eps != d.eps {
+            write!(f, " eps={}", self.eps)?;
+        }
+        if self.patience != d.patience {
+            write!(f, " patience={}", self.patience)?;
+        }
+        if self.budget != d.budget {
+            write!(f, " budget={}", self.budget)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ScenarioSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_parses_to_default() {
+        assert_eq!(ScenarioSpec::parse("").unwrap(), ScenarioSpec::default());
+        assert_eq!(ScenarioSpec::parse("  \t ").unwrap(), ScenarioSpec::new());
+    }
+
+    #[test]
+    fn display_omits_defaults() {
+        assert_eq!(
+            ScenarioSpec::default().to_string(),
+            "algo=sequential net=homog m=20"
+        );
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Batched)
+            .net(NetSpec::Pl)
+            .servers(500)
+            .load(LoadDistribution::Peak)
+            .seed(7);
+        assert_eq!(
+            spec.to_string(),
+            "algo=batched net=pl m=500 load=peak seed=7"
+        );
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let specs = [
+            ScenarioSpec::default(),
+            ScenarioSpec::new()
+                .algo(AlgoSpec::Nash)
+                .termination(0.01, 2, 10_000),
+            ScenarioSpec::new()
+                .algo(AlgoSpec::Protocol)
+                .net(NetSpec::Euclid)
+                .servers(16)
+                .avg_load(80.0)
+                .speeds(SpeedKind::Const),
+            ScenarioSpec::new()
+                .algo(AlgoSpec::Bcd)
+                .latency_ms(35.5)
+                .load(LoadDistribution::Uniform)
+                .granularity(1.0)
+                .seed(999),
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            assert_eq!(text.parse::<ScenarioSpec>().unwrap(), spec, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn parses_the_issue_example() {
+        let spec: ScenarioSpec = "algo=batched net=pl m=500 load=exp seed=7".parse().unwrap();
+        assert_eq!(spec.algo, AlgoSpec::Batched);
+        assert_eq!(spec.net, NetSpec::Pl);
+        assert_eq!(spec.m, 500);
+        assert_eq!(spec.load, LoadDistribution::Exponential);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.avg, 50.0, "unspecified keys keep their defaults");
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        for (text, needle) in [
+            ("m", "not a key=value"),
+            ("algo=warp", "not one of sequential"),
+            ("net=mars", "not one of homog"),
+            ("load=gauss", "not one of const|uniform|exp|peak"),
+            ("speeds=fast", "not one of const|uniform"),
+            ("m=0", "at least 1"),
+            ("m=-3", "not a non-negative integer"),
+            ("avg=NaN", "finite and non-negative"),
+            ("avg=-1", "finite and non-negative"),
+            ("eps=abc", "not a number"),
+            ("budget=0", "at least 1"),
+            ("seed=1 seed=2", "given twice"),
+            ("warp=9", "unknown key 'warp'"),
+        ] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(err.0.contains(needle), "'{text}' -> {err}");
+        }
+    }
+
+    #[test]
+    fn build_instance_is_deterministic_and_seed_sensitive() {
+        let spec = ScenarioSpec::new().servers(12).net(NetSpec::Pl).seed(5);
+        assert_eq!(spec.build_instance(), spec.build_instance());
+        assert_ne!(spec.build_instance(), spec.seed(6).build_instance());
+    }
+
+    #[test]
+    fn build_instance_covers_every_net() {
+        for net in [NetSpec::Homog, NetSpec::Euclid, NetSpec::Pl] {
+            let inst = ScenarioSpec::new().net(net).servers(8).build_instance();
+            assert_eq!(inst.len(), 8);
+            assert!(inst.total_load() > 0.0);
+        }
+    }
+
+    #[test]
+    fn homog_latency_honours_lat_key() {
+        let inst = ScenarioSpec::new().latency_ms(7.5).build_instance();
+        assert_eq!(inst.c(0, 1), 7.5);
+    }
+}

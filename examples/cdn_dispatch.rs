@@ -16,14 +16,16 @@ use delay_lb::prelude::*;
 
 fn main() {
     let m = 40;
-    let latency = PlanetLabConfig::default().generate(m, 7);
-    let mut rng = delay_lb::core::rngutil::rng_for(7, 1);
-    let spec = WorkloadSpec {
-        loads: LoadDistribution::Exponential,
-        avg_load: 30.0,
-        speeds: SpeedDistribution::paper_uniform(),
-    };
-    let mut instance = spec.sample(latency, &mut rng);
+    // Forty front-ends on a PlanetLab-like WAN with exponential base
+    // traffic (mean 30 requests) — named declaratively through the
+    // shared scenario builder, so the exact same instance is one
+    // `dlb run net=pl m=40 avg=30 seed=7` away.
+    let spec = ScenarioSpec::new()
+        .net(NetSpec::Pl)
+        .servers(m)
+        .avg_load(30.0)
+        .seed(7);
+    let mut instance = spec.build_instance();
 
     // Flash crowd: three sites suddenly produce 60% of all traffic.
     let mut loads = instance.own_loads().to_vec();

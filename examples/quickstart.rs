@@ -1,4 +1,4 @@
-//! Quickstart: balance a small heterogeneous network and compare the
+//! Quickstart: name a scenario declaratively, run it, and compare the
 //! distributed algorithm against the centralized QP solvers.
 //!
 //! Run with `cargo run --release --example quickstart`.
@@ -9,16 +9,20 @@ use delay_lb::solver::{solve_frank_wolfe, FwOptions};
 fn main() {
     // Ten servers with U(1,5) speeds, exponential loads (mean 50
     // requests), homogeneous 20 ms latency — the paper's default
-    // evaluation setting (§VI-A).
-    let mut rng = delay_lb::core::rngutil::rng_for(42, 0);
-    let spec = WorkloadSpec {
-        loads: LoadDistribution::Exponential,
-        avg_load: 50.0,
-        speeds: SpeedDistribution::paper_uniform(),
-    };
-    let instance = spec.sample(LatencyMatrix::homogeneous(10, 20.0), &mut rng);
+    // evaluation setting (§VI-A) — built with the scenario API's
+    // builder. The same spec can be written as text
+    // (`dlb run algo=sequential m=10 seed=42`) and round-trips:
+    let spec = ScenarioSpec::new()
+        .servers(10)
+        .seed(42)
+        .termination(1e-10, 2, 100);
+    println!("scenario: {spec}");
+    assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
 
-    println!("== instance ==");
+    // `build_instance` is the single sampling path shared with the
+    // CLI and every bench harness: same spec, same instance.
+    let instance = spec.build_instance();
+    println!("\n== instance ==");
     println!("servers:       {}", instance.len());
     println!("total load:    {:.1} requests", instance.total_load());
     println!("total speed:   {:.2} requests/ms", instance.total_speed());
@@ -31,14 +35,15 @@ fn main() {
         total_cost(&instance, &local)
     );
 
-    // The paper's distributed algorithm.
-    let mut engine = Engine::new(instance.clone(), EngineOptions::default());
-    let report = engine.run_to_convergence(1e-10, 2, 100);
+    // The paper's distributed algorithm, via the scenario runner: the
+    // RunRecord carries the full ΣC trajectory.
+    let run = spec.run();
     println!(
         "distributed engine:  {:>12.2} request·ms  ({} iterations)",
-        report.final_cost, report.iterations
+        run.final_cost(),
+        run.iterations
     );
-    for (iter, cost) in engine.history().iter().enumerate() {
+    for (iter, cost) in run.history.iter().enumerate() {
         println!("  after iteration {iter:>2}: {cost:>12.2}");
         if iter >= 5 {
             println!("  ...");
@@ -46,7 +51,8 @@ fn main() {
         }
     }
 
-    // Centralized solvers for reference.
+    // Centralized solvers for reference (the `algo=bcd` runner wraps
+    // coordinate descent; PGD and Frank-Wolfe are called directly).
     let (_, pgd) = solve_pgd(&instance, &PgdOptions::default());
     println!(
         "projected gradient:  {:>12.2} request·ms  ({} iterations)",
@@ -63,21 +69,13 @@ fn main() {
         "frank-wolfe:         {:>12.2} request·ms  ({} iterations)",
         fw.objective, fw.iters
     );
-    let (_, bcd) = solve_bcd(&instance, 1_000, 1e-10);
+    let bcd = spec.algo(AlgoSpec::Bcd).termination(1e-10, 3, 1_000).run();
     println!(
         "coordinate descent:  {:>12.2} request·ms  ({} sweeps)",
-        bcd.objective, bcd.iters
+        bcd.final_cost(),
+        bcd.iterations
     );
 
-    let gap = (report.final_cost - pgd.objective) / pgd.objective;
+    let gap = (run.final_cost() - pgd.objective) / pgd.objective;
     println!("\ndistributed vs centralized gap: {:.4} %", gap * 100.0);
-    println!(
-        "final loads: {:?}",
-        engine
-            .assignment()
-            .loads()
-            .iter()
-            .map(|l| (l * 10.0).round() / 10.0)
-            .collect::<Vec<_>>()
-    );
 }

@@ -15,32 +15,47 @@
 //!
 //! ## Quick start
 //!
+//! Every evaluation regime — cooperative vs. selfish, sequential vs.
+//! batched rounds, message-passing deployment, homogeneous vs.
+//! PlanetLab-like networks — is named by one declarative
+//! [`ScenarioSpec`](scenario::ScenarioSpec):
+//!
 //! ```
 //! use delay_lb::prelude::*;
 //!
-//! // Four servers at latency 20 ms; one overloaded organization.
-//! let instance = Instance::new(
-//!     vec![1.0, 2.0, 1.0, 4.0],
-//!     vec![400.0, 0.0, 0.0, 0.0],
-//!     LatencyMatrix::homogeneous(4, 20.0),
-//! );
+//! // The paper's default §VI-A setting, batched rounds, 30 servers.
+//! let spec = ScenarioSpec::new()
+//!     .algo(AlgoSpec::Batched)
+//!     .servers(30)
+//!     .seed(7)
+//!     .termination(1e-10, 3, 100);
 //!
-//! // Run the paper's distributed algorithm to its fixpoint.
-//! let mut engine = Engine::new(instance.clone(), EngineOptions::default());
-//! let report = engine.run_to_convergence(1e-10, 2, 100);
-//! assert!(report.converged);
+//! // Specs round-trip through a flat text form, so the same value
+//! // travels through CLI flags, bench grids, and JSON records:
+//! assert_eq!(spec.to_string(), "algo=batched net=homog m=30 seed=7 budget=100");
+//! assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
 //!
-//! // The fast server ends up with the largest share.
-//! let a = engine.assignment();
-//! assert!(a.load(3) > a.load(0));
-//! # let _ = report;
+//! // Run it; every runner emits the same RunRecord shape.
+//! let run = spec.run();
+//! assert!(run.converged);
+//! assert!(run.final_cost() < run.initial_cost());
+//!
+//! // The engine API underneath stays available for custom drives;
+//! // `build_instance` is the one sampling path everything shares.
+//! let mut engine = Engine::new(spec.build_instance(), EngineOptions::default());
+//! engine.run_iteration();
 //! ```
+//!
+//! The `dlb` binary exposes the same surface from a shell
+//! (`dlb run algo=batched net=pl m=500 load=peak seed=7`,
+//! `dlb report BENCH_figure2.json`).
 //!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |---|---|
 //! | [`core`] | instance/assignment model, cost functions, workloads |
+//! | [`scenario`] | declarative ScenarioSpec → Runner → RunRecord experiment API |
 //! | [`topology`] | homogeneous / Euclidean / PlanetLab-like latencies |
 //! | [`solver`] | the §III QP, PGD/FISTA, Frank-Wolfe, water-filling |
 //! | [`distributed`] | Algorithms 1 & 2, the engine, Proposition 1, cycle removal |
@@ -67,6 +82,7 @@ pub use dlb_netsim as netsim;
 pub use dlb_par as par;
 pub use dlb_requestsim as requestsim;
 pub use dlb_runtime as runtime;
+pub use dlb_scenario as scenario;
 pub use dlb_solver as solver;
 pub use dlb_topology as topology;
 
@@ -80,6 +96,7 @@ pub mod prelude {
         epsilon_nash_gap, run_best_response_dynamics, theorem1_bounds, DynamicsOptions,
     };
     pub use dlb_runtime::{run_cluster, ClusterOptions};
+    pub use dlb_scenario::{AlgoSpec, NetSpec, RunRecord, Runner, ScenarioSpec, SpeedKind};
     pub use dlb_solver::{solve_bcd, solve_pgd, PgdOptions};
     pub use dlb_topology::PlanetLabConfig;
 }
