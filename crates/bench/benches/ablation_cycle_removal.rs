@@ -9,11 +9,13 @@
 //!
 //! Run: `cargo bench -p dlb-bench --bench ablation_cycle_removal`.
 
+use dlb_bench::results::{JsonlSink, Record};
 use dlb_bench::{full_scale, sample_instance, NetworkKind};
 use dlb_core::workload::{LoadDistribution, SpeedDistribution};
 use dlb_distributed::{Engine, EngineOptions};
 
 fn main() {
+    let mut sink = JsonlSink::create("ablation_cycle_removal");
     let ms: Vec<usize> = if full_scale() {
         vec![20, 50, 100, 200]
     } else {
@@ -83,6 +85,16 @@ fn main() {
                 }
                 let pa: f64 = plain_iters.iter().sum::<f64>() / plain_iters.len() as f64;
                 let ra: f64 = removal_iters.iter().sum::<f64>() / removal_iters.len() as f64;
+                sink.record(
+                    &Record::new("table_row")
+                        .str("table", "ablation_cycle_removal")
+                        .int("m", m as i64)
+                        .str("dist", dist.label())
+                        .str("net", net.label())
+                        .num("plain_avg_iters", pa)
+                        .num("removal_avg_iters", ra)
+                        .bool("identical", (pa - ra).abs() < 1e-9),
+                );
                 println!(
                     "{:<30} {:>10.2} {:>10.2} {:>8}",
                     format!("m={m} {} {}", dist.label(), net.label()),
@@ -93,6 +105,12 @@ fn main() {
             }
         }
     }
+    sink.record(
+        &Record::new("summary")
+            .str("table", "ablation_cycle_removal")
+            .int("identical_runs", identical as i64)
+            .int("total_runs", total as i64),
+    );
     println!(
         "\nidentical iteration counts in {identical}/{total} runs \
          (paper: 6000/6000; cycles are rare and Algorithm 1 removes them)"

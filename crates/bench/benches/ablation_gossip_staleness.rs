@@ -9,20 +9,49 @@
 //!
 //! Run: `cargo bench -p dlb-bench --bench ablation_gossip_staleness`.
 
+use dlb_bench::results::{JsonlSink, Record};
 use dlb_bench::{sample_instance, NetworkKind};
 use dlb_core::workload::{LoadDistribution, SpeedDistribution};
 use dlb_distributed::mine::PartnerSelection;
 use dlb_distributed::{Engine, EngineOptions};
-use dlb_gossip::GossipNetwork;
+use dlb_gossip::{EventGossip, EventGossipConfig, GossipNetwork};
 
 fn main() {
+    let mut sink = JsonlSink::create("ablation_gossip_staleness");
     println!("\n== Gossip dissemination cost ==");
-    println!("{:>8} {:>12} {:>14}", "m", "rounds", "log2(m)");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14}",
+        "m", "rounds", "log2(m)", "virtual ms"
+    );
     for &m in &[50usize, 200, 1000, 5000] {
         let loads: Vec<f64> = (0..m).map(|i| (i % 17) as f64).collect();
         let mut net = GossipNetwork::new(&loads, 3);
         let stats = net.run_until_complete(10_000);
-        println!("{m:>8} {:>12} {:>14.1}", stats.rounds, (m as f64).log2());
+        // The same dissemination as scheduled events over 10 ms links:
+        // how long it takes in *time*, not rounds (capped at m = 1000;
+        // the event run clones m-entry views per exchange).
+        let virtual_ms = if m <= 1000 {
+            let mut events = EventGossip::new(&loads, 3);
+            events
+                .run(&EventGossipConfig::default(), |_, _| 10.0)
+                .virtual_ms
+        } else {
+            f64::NAN
+        };
+        sink.record(
+            &Record::new("table_row")
+                .str("table", "gossip_dissemination")
+                .int("m", m as i64)
+                .int("rounds", stats.rounds as i64)
+                .int("exchanges", stats.exchanges as i64)
+                .num("event_virtual_ms", virtual_ms),
+        );
+        println!(
+            "{m:>8} {:>12} {:>14.1} {:>14.1}",
+            stats.rounds,
+            (m as f64).log2(),
+            virtual_ms
+        );
     }
 
     println!("\n== Engine convergence under stale load views ==");
@@ -50,6 +79,17 @@ fn main() {
         if staleness == 0 {
             reference = report.final_cost;
         }
+        sink.record(
+            &Record::new("table_row")
+                .str("table", "engine_staleness")
+                .int("staleness", staleness as i64)
+                .num("final_cost", report.final_cost)
+                .int("iterations", report.iterations as i64)
+                .num(
+                    "pct_vs_fresh",
+                    (report.final_cost / reference - 1.0) * 100.0,
+                ),
+        );
         println!(
             "{staleness:>12} {:>14.1} {:>10}   ({:+.3}% vs fresh)",
             report.final_cost,

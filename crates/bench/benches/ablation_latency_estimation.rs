@@ -11,6 +11,7 @@
 //!
 //! Run: `cargo bench -p dlb-bench --bench ablation_latency_estimation`
 
+use dlb_bench::results::{JsonlSink, Record};
 use dlb_bench::{print_header, NetworkKind};
 use dlb_coords::{Estimator, EstimatorConfig};
 use dlb_core::cost::total_cost;
@@ -20,6 +21,7 @@ use dlb_core::Instance;
 use dlb_distributed::{Engine, EngineOptions};
 
 fn main() {
+    let mut sink = JsonlSink::create("ablation_latency_estimation");
     print_header(
         "Ablation — engine on Vivaldi-estimated vs true latencies",
         "ticks (probes/node = 4)",
@@ -72,6 +74,13 @@ fn main() {
         // …but price the resulting assignment under the TRUE latencies.
         let assignment = est_engine.assignment().clone();
         let real_cost = total_cost(&instance, &assignment);
+        sink.record(
+            &Record::new("table_row")
+                .str("table", "ablation_latency_estimation")
+                .int("ticks", ticks as i64)
+                .num("median_rel_error", err)
+                .num("cost_ratio_vs_truth", real_cost / true_cost),
+        );
         println!(
             "{:<26} {:>12.3} {:>14.4}",
             format!("{ticks} ticks"),

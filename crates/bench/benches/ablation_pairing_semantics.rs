@@ -12,6 +12,7 @@
 //!
 //! Run: `cargo bench -p dlb-bench --bench ablation_pairing_semantics`
 
+use dlb_bench::results::{JsonlSink, Record};
 use dlb_bench::{format_row, print_header, sample_instance, stats, NetworkKind};
 use dlb_core::workload::{LoadDistribution, SpeedDistribution};
 use dlb_distributed::{Engine, EngineOptions};
@@ -33,6 +34,7 @@ fn iterations(instance: &dlb_core::Instance, pair_once: bool, seed: u64) -> usiz
 }
 
 fn main() {
+    let mut sink = JsonlSink::create("ablation_pairing_semantics");
     print_header(
         "Ablation — pair-once vs eager rounds (peak load, iterations to <=2%)",
         "m / semantics",
@@ -51,6 +53,19 @@ fn main() {
             );
             paired.push(iterations(&instance, true, seed) as f64);
             eager.push(iterations(&instance, false, seed) as f64);
+        }
+        for (semantics, samples) in [("pair-once", &paired), ("eager", &eager)] {
+            let s = stats(samples);
+            sink.record(
+                &Record::new("table_row")
+                    .str("table", "ablation_pairing_semantics")
+                    .int("m", m as i64)
+                    .str("semantics", semantics)
+                    .num("avg", s.mean)
+                    .num("max", s.max)
+                    .num("std", s.std)
+                    .int("n", s.n as i64),
+            );
         }
         println!(
             "{}",

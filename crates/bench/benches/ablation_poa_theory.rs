@@ -7,6 +7,7 @@
 //!
 //! Run: `cargo bench -p dlb-bench --bench ablation_poa_theory`.
 
+use dlb_bench::results::{JsonlSink, Record};
 use dlb_core::cost::total_cost;
 use dlb_core::{Assignment, Instance};
 use dlb_game::poa::{cost_ratio, load_spread};
@@ -15,6 +16,7 @@ use dlb_game::{
 };
 
 fn main() {
+    let mut sink = JsonlSink::create("ablation_poa_theory");
     let m = 40;
     let s = 1.0;
     let c = 20.0;
@@ -48,6 +50,16 @@ fn main() {
             },
         );
         let measured = total_cost(&instance, &nash) / total_cost(&instance, &opt);
+        sink.record(
+            &Record::new("table_row")
+                .str("table", "ablation_poa_theory")
+                .num("l_av", l_av)
+                .num("lower", lo)
+                .num("upper", hi)
+                .num("tight_eq", tight_ratio)
+                .num("measured", measured)
+                .num("spread", load_spread(&nash)),
+        );
         println!(
             "{l_av:>8.0} {lo:>10.4} {hi:>10.4} {tight_ratio:>12.4} {measured:>12.4} {:>10.2}",
             load_spread(&nash)

@@ -11,12 +11,14 @@
 //!
 //! Run: `cargo bench -p dlb-bench --bench ablation_runtime_protocol`
 
+use dlb_bench::results::{JsonlSink, Record};
 use dlb_bench::{print_header, sample_instance, NetworkKind};
 use dlb_core::workload::{LoadDistribution, SpeedDistribution};
 use dlb_distributed::{Engine, EngineOptions};
 use dlb_runtime::{run_cluster, ClusterOptions};
 
 fn main() {
+    let mut sink = JsonlSink::create("ablation_runtime_protocol");
     print_header(
         "Ablation — message-passing protocol vs analytic engine",
         "workload",
@@ -69,6 +71,16 @@ fn main() {
         );
         let engine_cost = engine.run_to_convergence(1e-12, 3, 300).final_cost;
         let report = run_cluster(&instance, &ClusterOptions::certified(m));
+        sink.record(
+            &Record::new("table_row")
+                .str("table", "ablation_runtime_protocol")
+                .str("workload", label)
+                .num("cost_ratio", report.final_cost / engine_cost)
+                .int("rounds", report.rounds as i64)
+                .int("exchanges", report.exchanges as i64)
+                .int("lost_proposals", report.lost_proposals as i64)
+                .num("moved", report.moved),
+        );
         println!(
             "{label:<26} {:>10.4} {:>8} {:>10} {:>8} {:>8.0}",
             report.final_cost / engine_cost,

@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use dlb_bench::results::{JsonlSink, Record};
 use dlb_bench::{full_scale, sample_instance, NetworkKind};
 use dlb_core::cost::total_cost;
 use dlb_core::workload::{LoadDistribution, SpeedDistribution};
@@ -21,6 +22,7 @@ use dlb_solver::frank_wolfe::{solve_frank_wolfe, FwOptions};
 use dlb_solver::{solve_bcd, solve_pgd, PgdOptions};
 
 fn main() {
+    let mut sink = JsonlSink::create("ablation_solver_comparison");
     let ms: Vec<usize> = if full_scale() {
         vec![50, 100, 200, 300]
     } else {
@@ -115,6 +117,15 @@ fn main() {
 
         let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
         for (name, obj, ms_t) in rows {
+            sink.record(
+                &Record::new("table_row")
+                    .str("table", "ablation_solver_comparison")
+                    .int("m", m as i64)
+                    .str("method", &name)
+                    .num("objective", obj)
+                    .num("time_ms", ms_t)
+                    .num("quality", obj / best),
+            );
             println!(
                 "{:<10} {:<26} {:>14.1} {:>12.1} {:>10.5}",
                 m,

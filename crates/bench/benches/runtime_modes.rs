@@ -1,0 +1,106 @@
+//! Runtime scaling: thread-per-node vs the event-driven executor.
+//!
+//! The thread runtime spawns `m` OS threads and an O(m²) channel mesh;
+//! the event executor hosts the same protocol machines on a
+//! virtual-time heap in one process. This harness runs both on the
+//! same scenarios and records network size × runtime mode →
+//! **wall-clock seconds per protocol round** (plus, for the executor,
+//! the *simulated* protocol milliseconds per round under the sampled
+//! link delays — the quantity the paper's deployment would observe) to
+//! `BENCH_runtime.json` at the workspace root, one JSON record per
+//! measurement, so the perf trajectory of both runtimes is tracked
+//! across PRs (`dlb report BENCH_runtime.json` renders it).
+//!
+//! The thread grid stops at a few hundred nodes — beyond that the
+//! thread mode is the pathology this comparison documents, not a
+//! usable baseline — while the executor grid climbs to the Figure-2
+//! sizes (`DLB_BENCH_SCALE=full` adds m = 2000 and m = 5000).
+//!
+//! Run: `cargo bench -p dlb-bench --bench runtime_modes`
+
+use dlb_bench::full_scale;
+use dlb_bench::results::{JsonlSink, Record};
+use dlb_core::workload::LoadDistribution;
+use dlb_scenario::{AlgoSpec, NetSpec, RuntimeSpec, ScenarioSpec};
+
+/// The Figure-2 workload shape: the peak distribution (total load
+/// 100 000 on one server) over a PlanetLab-like network, bounded to a
+/// fixed round budget so secs/round is comparable across sizes.
+fn spec(m: usize, runtime: RuntimeSpec, rounds: usize) -> ScenarioSpec {
+    ScenarioSpec::new()
+        .algo(AlgoSpec::Protocol)
+        .runtime(runtime)
+        .net(NetSpec::Pl)
+        .servers(m)
+        .load(LoadDistribution::Peak)
+        .avg_load(100_000.0 / m as f64)
+        .seed(7)
+        .termination(1e-9, rounds + 1, rounds)
+}
+
+fn main() {
+    let full = full_scale();
+    let scale = if full { "full" } else { "fast" };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    let mut sink = JsonlSink::create_at(out_path).expect("BENCH_runtime.json must be writable");
+
+    println!("== runtime scaling — threads vs event executor (secs / round) ==");
+    println!(
+        "{:<8} {:<10} {:>8} {:>14} {:>16} {:>14}",
+        "m", "runtime", "rounds", "secs/round", "sim ms/round", "final ΣC"
+    );
+    let rounds = 12usize;
+    // The thread grid is scale-independent: past a few hundred nodes
+    // the m OS threads are the documented pathology, not a baseline.
+    let thread_sizes: Vec<usize> = vec![100, 300];
+    let event_sizes: Vec<usize> = if full {
+        vec![100, 300, 1000, 2000, 5000]
+    } else {
+        vec![100, 300, 1000]
+    };
+    let grid = thread_sizes
+        .iter()
+        .map(|&m| (m, RuntimeSpec::Threads))
+        .chain(event_sizes.iter().map(|&m| (m, RuntimeSpec::Events)));
+    for (m, runtime) in grid {
+        let spec = spec(m, runtime, rounds);
+        // Sample outside the timer: net=pl instance construction runs
+        // an O(m³) metric closure that would otherwise dominate (and
+        // corrupt) the per-round figure at the large sizes.
+        let instance = spec.build_instance();
+        let start = std::time::Instant::now();
+        let run = spec.run_on(instance);
+        let wall = start.elapsed().as_secs_f64();
+        let secs_per_round = wall / run.iterations.max(1) as f64;
+        // For the executor, `wall_secs` carries simulated protocol
+        // seconds (deterministic per seed); the thread runtime has no
+        // virtual clock.
+        let sim_ms_per_round = match runtime {
+            RuntimeSpec::Events => run.wall_secs * 1000.0 / run.iterations.max(1) as f64,
+            RuntimeSpec::Threads => f64::NAN,
+        };
+        println!(
+            "{:<8} {:<10} {:>8} {:>14.4} {:>16.2} {:>14.4e}",
+            m,
+            runtime.label(),
+            run.iterations,
+            secs_per_round,
+            sim_ms_per_round,
+            run.final_cost()
+        );
+        sink.record(
+            &Record::new("runtime_scaling")
+                .str("scenario", &run.scenario)
+                .int("m", m as i64)
+                .str("runtime", runtime.label())
+                .int("rounds", run.iterations as i64)
+                .num("secs_per_round", secs_per_round)
+                .num("sim_ms_per_round", sim_ms_per_round)
+                .num("final_cost", run.final_cost())
+                .str("scale", scale)
+                .int("host_cores", cores as i64),
+        );
+    }
+    println!("\nscaling record written to BENCH_runtime.json");
+}

@@ -53,6 +53,10 @@ run:
     eps=1e-10         termination tolerance
     patience=3        consecutive calm rounds to stop
     budget=200        iteration/round/sweep budget
+    runtime=threads   threads | events — protocol host: OS threads or
+                      the deterministic virtual-time executor (scales
+                      to m=5000 in one process; reports simulated
+                      protocol seconds)
 
 report:
   dlb report FILE...          (e.g. dlb report BENCH_figure2.json)

@@ -83,6 +83,46 @@ fn run_reproduces_engine_costs_exactly() {
     }
 }
 
+/// `runtime=events` protocol runs are deterministic end to end: two
+/// CLI invocations of the same scenario must emit byte-identical
+/// JSON-lines records (including `wall_secs`, which carries simulated
+/// protocol time), and they must match the in-process runner.
+#[test]
+fn event_protocol_runs_emit_reproducible_records() {
+    let text = "algo=protocol runtime=events m=10 avg=40 seed=3 patience=5 budget=80";
+    let mut records = Vec::new();
+    for tag in ["a", "b"] {
+        let out_path = std::env::temp_dir().join(format!("dlb_cli_events_{tag}.jsonl"));
+        let output = dlb()
+            .args([
+                "run",
+                "--scenario",
+                text,
+                "--out",
+                out_path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("dlb binary runs");
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        records.push(std::fs::read_to_string(&out_path).unwrap());
+        let _ = std::fs::remove_file(&out_path);
+    }
+    assert_eq!(records[0], records[1], "event records must be bit-equal");
+    let rows = parse_jsonl(&records[0]).unwrap();
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert_eq!(*field(row, "algo"), Value::Str("protocol".into()));
+    let spec: ScenarioSpec = text.parse().unwrap();
+    let run = spec.run();
+    assert_eq!(*field(row, "final_cost"), Value::Num(run.final_cost()));
+    assert_eq!(*field(row, "wall_secs"), Value::Num(run.wall_secs));
+    assert_eq!(*field(row, "iterations"), Value::Num(run.iterations as f64));
+}
+
 #[test]
 fn legacy_aliases_emit_run_records_through_the_sink() {
     let out_path = std::env::temp_dir().join("dlb_cli_alias.jsonl");

@@ -9,6 +9,10 @@
 //!   vectors: each round every node exchanges its view with one random
 //!   peer, keeping the freshest entry per server. Full dissemination
 //!   takes `O(log m)` rounds, which the tests verify empirically.
+//! * [`events`] — the same push-pull exchanges as *scheduled events*
+//!   on a virtual-time heap with per-link delivery delays, so
+//!   dissemination is measured in simulated milliseconds rather than
+//!   synchronous rounds (the `dlb-runtime` event-executor pattern).
 //! * [`push_sum`] — the push-sum averaging protocol (Kempe et al.) used
 //!   to estimate the average system load `l_av` (the quantity the
 //!   Theorem 1 bounds need).
@@ -18,9 +22,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod events;
+#[cfg(all(test, feature = "proptests"))]
+mod proptests;
 pub mod push_pull;
 pub mod push_sum;
 pub mod wire;
 
+pub use events::{EventGossip, EventGossipConfig, EventGossipStats};
 pub use push_pull::{GossipNetwork, GossipStats};
 pub use push_sum::PushSumNetwork;

@@ -1,0 +1,59 @@
+//! Property-based tests for the gossip wire encoding.
+
+#![cfg(test)]
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use crate::wire::{decode, encode, WireEntry, ENTRY_SIZE};
+
+fn arb_entry() -> impl Strategy<Value = WireEntry> {
+    (any::<u32>(), any::<u64>(), 0.0f64..1e12).prop_map(|(origin, version, load)| WireEntry {
+        origin,
+        version,
+        load,
+    })
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<WireEntry>> {
+    proptest::collection::vec(arb_entry(), 0..64)
+}
+
+proptest! {
+    /// Every message round-trips exactly, and its size follows the
+    /// documented 4 + n·ENTRY_SIZE layout.
+    #[test]
+    fn roundtrip_and_size(entries in arb_entries()) {
+        let bytes = encode(&entries);
+        prop_assert_eq!(bytes.len(), 4 + entries.len() * ENTRY_SIZE);
+        let back = decode(bytes).expect("well-formed message decodes");
+        prop_assert_eq!(back, entries);
+    }
+
+    /// No truncated prefix of a valid message may decode (the length
+    /// prefix and the fixed entry size make every cut detectable), and
+    /// none may panic.
+    #[test]
+    fn truncation_is_always_rejected(entries in arb_entries()) {
+        let bytes = encode(&entries);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode(bytes.slice(0..cut)).is_none(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder, and whatever decodes
+    /// re-encodes to the exact input (decode is injective on valid
+    /// buffers).
+    #[test]
+    fn garbage_never_panics_and_valid_decodes_reencode(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let bytes = Bytes::from(raw.clone());
+        if let Some(entries) = decode(bytes) {
+            // NaN loads cannot round-trip through PartialEq entries,
+            // but the byte-level re-encoding must still be exact.
+            prop_assert_eq!(encode(&entries).as_ref(), &raw[..]);
+        }
+    }
+}

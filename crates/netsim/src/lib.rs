@@ -15,14 +15,19 @@
 //!   the utilization of each traversed link,
 //! * [`experiment`] — the full Table IV recreation: 8 background
 //!   throughputs, 300 RTT samples per neighbor pair, 5 % trimming, and
-//!   the per-throughput mean/σ of the relative deviation.
+//!   the per-throughput mean/σ of the relative deviation,
+//! * [`delays`] — deterministic per-link one-way delays
+//!   ([`LinkDelayModel`]) feeding the event-driven runtime's
+//!   virtual-time scheduler.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod delays;
 pub mod experiment;
 pub mod fairshare;
 pub mod rtt;
 
+pub use delays::LinkDelayModel;
 pub use experiment::{run_table4, Table4Config, Table4Row};
 pub use fairshare::{allocate_max_min, Flow};

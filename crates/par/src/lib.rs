@@ -113,6 +113,56 @@ where
     par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// Parallel map over a mutable slice: applies `f` to every element in
+/// place and collects the results in index order. Each element is
+/// visited by exactly one worker, so `f` gets exclusive `&mut` access
+/// without locks — the primitive behind the event executor's sharded
+/// run queues, where every shard owns a disjoint set of node state
+/// machines for the duration of a delivery batch.
+pub fn par_map_mut<I, T, F>(items: &mut [I], f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(&mut I) -> T + Sync,
+{
+    let n = items.len();
+    let threads = num_threads();
+    if n < SEQUENTIAL_CUTOFF || threads <= 1 || in_parallel_region() {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let mut work: Vec<(&mut [I], &mut [Option<T>])> = Vec::with_capacity(threads);
+    {
+        let mut rest_in: &mut [I] = items;
+        let mut rest_out: &mut [Option<T>] = &mut out;
+        while !rest_in.is_empty() {
+            let take = chunk.min(rest_in.len());
+            let (head_in, tail_in) = rest_in.split_at_mut(take);
+            let (head_out, tail_out) = rest_out.split_at_mut(take);
+            work.push((head_in, head_out));
+            rest_in = tail_in;
+            rest_out = tail_out;
+        }
+    }
+    crossbeam::scope(|scope| {
+        for (slice_in, slice_out) in work {
+            let f = &f;
+            scope.spawn(move |_| {
+                mark_worker();
+                for (item, slot) in slice_in.iter_mut().zip(slice_out.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter()
+        .map(|v| v.expect("all slots filled"))
+        .collect()
+}
+
 /// Parallel fold over `0..n`: each worker folds a chunk starting from
 /// `identity()`, and chunk results are combined with `combine` (which
 /// must be associative and commutative for a deterministic result).
@@ -206,6 +256,35 @@ mod tests {
         let doubled = par_map_slice(&items, |&x| x * 2);
         assert_eq!(doubled[4999], 9998);
         assert_eq!(doubled[0], 0);
+    }
+
+    #[test]
+    fn map_mut_mutates_in_place_and_returns_in_order() {
+        // small (sequential path)
+        let mut small = vec![1i64, 2, 3];
+        let out = par_map_mut(&mut small, |x| {
+            *x *= 10;
+            *x + 1
+        });
+        assert_eq!(small, vec![10, 20, 30]);
+        assert_eq!(out, vec![11, 21, 31]);
+        // large (parallel path)
+        let mut big: Vec<i64> = (0..5000).collect();
+        let out = par_map_mut(&mut big, |x| {
+            *x += 1;
+            *x * 2
+        });
+        for (i, (&x, &o)) in big.iter().zip(out.iter()).enumerate() {
+            assert_eq!(x, i as i64 + 1);
+            assert_eq!(o, (i as i64 + 1) * 2);
+        }
+    }
+
+    #[test]
+    fn map_mut_empty() {
+        let mut items: Vec<u8> = Vec::new();
+        let out: Vec<u8> = par_map_mut(&mut items, |&mut x| x);
+        assert!(out.is_empty());
     }
 
     #[test]

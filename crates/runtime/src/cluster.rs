@@ -1,6 +1,14 @@
-//! Cluster orchestration: spawns one OS thread per organization plus a
-//! coordinator, wires them with unbounded channels, runs the rounds
-//! and collects the final assignment.
+//! The thread runtime: one OS thread per organization plus a
+//! coordinator thread loop, wired with unbounded channels.
+//!
+//! Round/termination logic lives in
+//! [`CoordinatorMachine`](crate::machine::CoordinatorMachine) and the
+//! per-node protocol in [`NodeMachine`](crate::machine::NodeMachine) —
+//! this module only supplies the *thread-shaped driver*: spawn `m`
+//! node threads, pump the coordinator's inbox, fan its broadcasts out
+//! over the channel mesh, and join. The event executor
+//! ([`crate::executor`]) drives the same machines without any of the
+//! threads, which is the mode that scales to Figure-2-size clusters.
 //!
 //! The coordinator plays two roles the paper assumes as substrates:
 //! the converged *gossip layer* (it rebroadcasts the load vector at
@@ -14,12 +22,12 @@
 //! — the coordinator never needs to see a ledger until shutdown.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dlb_core::cost::total_cost;
-use dlb_core::{Assignment, Instance, SparseVec};
+use dlb_core::{Assignment, Instance};
 use std::sync::Arc;
 use std::thread;
 
-use crate::message::{wire_to_ledger, Frame, RoundOutcome};
+use crate::machine::{CoordinatorMachine, Dest, Outbound};
+use crate::message::Frame;
 use crate::node::{run_node, NodeConfig, NodeLinks};
 
 /// Cluster configuration.
@@ -67,7 +75,7 @@ impl ClusterOptions {
     }
 }
 
-/// Result of a cluster run.
+/// Result of a cluster run (either runtime).
 #[derive(Debug, Clone)]
 pub struct ClusterReport {
     /// The final assignment assembled from the nodes' ledgers.
@@ -88,17 +96,25 @@ pub struct ClusterReport {
     /// Whether the run ended by quiescence (`true`) or by the round
     /// budget (`false`).
     pub quiescent: bool,
+    /// Simulated protocol time in ms under the event executor's link
+    /// delays (`0.0` for the thread runtime, which has no virtual
+    /// clock).
+    pub virtual_ms: f64,
+    /// Fingerprint of the delivered event order (event executor only;
+    /// `0` for the thread runtime). Bit-identical across repeats and
+    /// `DLB_THREADS` values — the determinism suite's witness.
+    pub event_hash: u64,
 }
 
-/// Runs the full message-passing protocol for `instance`, starting
-/// from the all-local assignment.
+/// Runs the full message-passing protocol for `instance` on the thread
+/// runtime (one OS thread per organization), starting from the
+/// all-local assignment. For clusters past a few hundred nodes prefer
+/// [`run_cluster_events`](crate::executor::run_cluster_events), which
+/// hosts the same protocol on the event executor in a single process.
 pub fn run_cluster(instance: &Instance, options: &ClusterOptions) -> ClusterReport {
     let m = instance.len();
-    assert!(m >= 1, "cluster needs at least one node");
-    for &f in &options.failed {
-        assert!((f as usize) < m, "failed node {f} out of range");
-    }
     let shared = Arc::new(instance.clone());
+    let mut coordinator = CoordinatorMachine::new(Arc::clone(&shared), options);
 
     // Channel mesh: one inbox per node, one for the coordinator.
     let mut inboxes: Vec<Option<Receiver<Frame>>> = Vec::with_capacity(m);
@@ -118,11 +134,7 @@ pub fn run_cluster(instance: &Instance, options: &ClusterOptions) -> ClusterRepo
             coordinator: coord_tx.clone(),
         };
         let instance = Arc::clone(&shared);
-        let mut ledger = SparseVec::new();
-        let own = instance.own_load(id);
-        if own > 0.0 {
-            ledger.set(id as u32, own);
-        }
+        let ledger = crate::machine::local_ledger(&instance, id as u32);
         let node_config = options.node;
         handles.push(
             thread::Builder::new()
@@ -133,152 +145,43 @@ pub fn run_cluster(instance: &Instance, options: &ClusterOptions) -> ClusterRepo
     }
     drop(coord_tx); // coordinator keeps only the receiving side
 
-    // Round loop.
-    let mut loads: Vec<f64> = instance.own_loads().to_vec();
-    let initial_cost = total_cost(instance, &Assignment::local(instance));
-    let mut local_costs: Vec<f64> = (0..m).map(|_| 0.0).collect();
-    {
-        // Initial local costs: all requests at home, no latency.
-        for j in 0..m {
-            let l = instance.own_load(j);
-            local_costs[j] = l * l / (2.0 * instance.speed(j));
-        }
-    }
-    let mut history = vec![initial_cost];
-    let mut exchanges = 0usize;
-    let mut moved = 0.0f64;
-    let mut lost = 0usize;
-    let mut quiet = 0usize;
-    let mut rounds = 0usize;
-    let mut quiescent = false;
-    // Forensic log of every report (debug builds): used to diagnose
-    // protocol violations with full context.
-    let mut report_log: Vec<(u64, u32, RoundOutcome)> = Vec::new();
-
-    // Rounds are 1-based on the wire: nodes boot with `round == 0`
-    // meaning "no round joined yet", so a proposal that overtakes the
-    // recipient's own RoundStart is correctly classified as early and
-    // queued (`r > round`) instead of being served with boot state.
-    for round in 1..=options.max_rounds as u64 {
-        for s in &senders {
-            let _ = s.send(Frame::RoundStart {
-                round,
-                loads: loads.clone(),
-                excluded: options.failed.clone(),
-            });
-        }
-        let mut reports = 0usize;
-        let mut round_moved = 0.0f64;
-        let mut seen = vec![false; m];
-        while reports < m {
-            match coord_rx.recv() {
-                Ok(Frame::Report {
-                    from,
-                    round: r,
-                    outcome,
-                    load,
-                    local_cost,
-                    exchange,
-                }) => {
-                    if cfg!(debug_assertions) {
-                        report_log.push((r, from, outcome));
-                        if r != round || seen[from as usize] {
-                            panic!(
-                                "protocol violation: node {from} sent {outcome:?} for round {r} \
-                                 during round {round} (seen={}); log: {report_log:?}",
-                                seen[from as usize]
-                            );
-                        }
-                    }
-                    seen[from as usize] = true;
-                    reports += 1;
-                    loads[from as usize] = load;
-                    local_costs[from as usize] = local_cost;
-                    match outcome {
-                        RoundOutcome::Exchanged => {
-                            let (partner, partner_load, partner_cost, volume) =
-                                exchange.expect("exchange data present");
-                            loads[partner as usize] = partner_load;
-                            local_costs[partner as usize] = partner_cost;
-                            exchanges += 1;
-                            moved += volume;
-                            round_moved += volume;
-                        }
-                        RoundOutcome::Lost => lost += 1,
-                        // Accepted = collision-yield acceptor; the
-                        // initiator's Exchanged report carries the
-                        // exchange itself.
-                        RoundOutcome::Accepted | RoundOutcome::NoProposal => {}
-                    }
+    let mut out: Vec<Outbound> = Vec::new();
+    let broadcast = |senders: &[Sender<Frame>], out: &mut Vec<Outbound>| {
+        for o in out.drain(..) {
+            match o.to {
+                Dest::Node(j) => {
+                    let frame = Arc::try_unwrap(o.frame).unwrap_or_else(|a| (*a).clone());
+                    let _ = senders[j as usize].send(frame);
                 }
-                Ok(other) => {
-                    debug_assert!(
-                        matches!(other, Frame::FinalLedger { .. }),
-                        "unexpected coordinator frame {other:?}"
-                    );
-                }
-                Err(_) => panic!("all nodes disconnected mid-round"),
+                Dest::Coordinator => unreachable!("coordinator never messages itself"),
             }
         }
-        rounds += 1;
-        history.push(local_costs.iter().sum());
-        if round_moved <= options.quiescent_volume {
-            quiet += 1;
-            if quiet >= options.quiescent_rounds {
-                quiescent = true;
-                break;
-            }
-        } else {
-            quiet = 0;
-        }
-    }
-
-    // Shutdown: collect final ledgers.
-    for s in &senders {
-        let _ = s.send(Frame::Shutdown);
-    }
-    let mut ledgers: Vec<Option<SparseVec>> = (0..m).map(|_| None).collect();
-    let mut collected = 0usize;
-    while collected < m {
+    };
+    coordinator.start(&mut out);
+    broadcast(&senders, &mut out);
+    while !coordinator.is_done() {
         match coord_rx.recv() {
-            Ok(Frame::FinalLedger { from, ledger }) => {
-                if ledgers[from as usize].is_none() {
-                    collected += 1;
-                }
-                ledgers[from as usize] = Some(wire_to_ledger(&ledger));
+            Ok(frame) => {
+                coordinator.handle(&frame, &mut out);
+                broadcast(&senders, &mut out);
             }
-            Ok(_) => {} // late round reports — drop
-            Err(_) => panic!("nodes disconnected before final ledgers arrived"),
+            Err(_) => panic!("all nodes disconnected before the run completed"),
         }
     }
     for h in handles {
         h.join().expect("node thread panicked");
     }
-
-    let mut assignment = Assignment::local(instance);
-    for (j, ledger) in ledgers.into_iter().enumerate() {
-        assignment.replace_ledger(j, ledger.expect("ledger collected"));
-    }
-    assignment.refresh_loads();
-    let final_cost = total_cost(instance, &assignment);
-    ClusterReport {
-        assignment,
-        final_cost,
-        history,
-        rounds,
-        exchanges,
-        moved,
-        lost_proposals: lost,
-        quiescent,
-    }
+    coordinator.into_report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlb_core::cost::total_cost;
     use dlb_core::rngutil::rng_for;
     use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
     use dlb_core::LatencyMatrix;
+    use dlb_core::SparseVec;
     use dlb_distributed::{Engine, EngineOptions};
 
     fn engine_fixpoint(instance: &Instance) -> f64 {
@@ -304,6 +207,9 @@ mod tests {
         assert!((l0 - 500.5).abs() < 1e-6, "l0 = {l0}");
         assert!((l1 - 499.5).abs() < 1e-6, "l1 = {l1}");
         assert!(report.quiescent);
+        // The thread runtime has no virtual clock.
+        assert_eq!(report.virtual_ms, 0.0);
+        assert_eq!(report.event_hash, 0);
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! The event-driven executor: Figure-2-scale clusters in one process.
+//!
+//! Instead of one OS thread per organization (m threads and an O(m²)
+//! channel mesh), the executor drives every [`NodeMachine`] plus the
+//! [`CoordinatorMachine`] from a single deterministic event heap:
+//!
+//! 1. **Pop a delivery batch** — all events due at the earliest
+//!    virtual time. The [`Clock`] decides whether to wait
+//!    ([`WallClock`](crate::clock::WallClock)) or jump
+//!    ([`VirtualClock`]) to that instant; it can never reorder
+//!    deliveries.
+//! 2. **Shard the batch** — events are grouped into per-destination
+//!    run queues, and the destinations are fanned out over the
+//!    `dlb-par` worker pool ([`dlb_par::par_map_mut`], static
+//!    chunking: each worker owns a disjoint shard of node machines for
+//!    the duration of the batch). Machines only touch node-local
+//!    state, so the fan-out is race-free by construction, and the
+//!    order-preserving map keeps results bit-identical for every
+//!    `DLB_THREADS` value.
+//! 3. **Schedule the replies** — outbound frames are collected in
+//!    deterministic (destination, emission) order and pushed back into
+//!    the heap with per-link latencies from the caller's delay
+//!    function (`dlb-netsim`'s [`LinkDelayModel`] in the scenario
+//!    layer), data-plane frames paying the measured one-way delay and
+//!    control-plane frames (coordinator ↔ node) travelling free — the
+//!    coordinator stands in for the converged gossip substrate, which
+//!    has no single physical location.
+//!
+//! Determinism is the point: the heap orders events by `(virtual due
+//! time, sequence number)`, both of which are pure functions of the
+//! inputs, so the same instance + options + delay function reproduces
+//! the same event order, final ledgers, and cost history bit for bit —
+//! across repeats *and* across worker-pool sizes. The running
+//! [`ClusterReport::event_hash`] fingerprints the delivered sequence
+//! so tests can assert exactly that.
+//!
+//! Virtual time doubles as a measurement: `ClusterReport::virtual_ms`
+//! is the simulated wall-clock span of the protocol under the given
+//! link delays — the quantity the paper's deployment would observe,
+//! which no thread-runtime stopwatch can produce faithfully.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use dlb_core::Instance;
+use dlb_par::par_map_mut;
+
+use crate::clock::{Clock, VirtualClock};
+use crate::cluster::{ClusterOptions, ClusterReport};
+use crate::machine::{CoordinatorMachine, Dest, NodeMachine, Outbound};
+use crate::message::Frame;
+
+/// One-way delay of control-plane frames (coordinator ↔ node), in
+/// virtual ms. Zero: the coordinator models the already-converged
+/// gossip layer, not a physical host (see the module docs).
+const CONTROL_DELAY_MS: f64 = 0.0;
+
+/// A scheduled delivery.
+#[derive(Debug, Clone)]
+struct Event {
+    /// Virtual delivery time in ms.
+    due: f64,
+    /// Tie-breaker: scheduling order. Unique per event.
+    seq: u64,
+    dest: Dest,
+    frame: Arc<Frame>,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Due times are finite by the scheduling asserts.
+        self.due
+            .total_cmp(&other.due)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// FNV-1a-style mixing of one word into the event-order fingerprint.
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// Folds an event's identity (due time, destination, frame shape) into
+/// the running fingerprint. Ledger payloads are deliberately excluded:
+/// the determinism tests compare final ledgers directly, and the hash
+/// only needs to witness the *order* of deliveries.
+fn hash_event(mut h: u64, e: &Event) -> u64 {
+    h = mix(h, e.due.to_bits());
+    h = mix(
+        h,
+        match e.dest {
+            Dest::Node(j) => j as u64,
+            Dest::Coordinator => u64::MAX,
+        },
+    );
+    let (tag, from, round) = match &*e.frame {
+        Frame::RoundStart { round, .. } => (1u64, 0, *round),
+        Frame::Propose { from, round } => (2, *from, *round),
+        Frame::Accept { from, round, .. } => (3, *from, *round),
+        Frame::Busy { from, round } => (4, *from, *round),
+        Frame::Commit { from, round, .. } => (5, *from, *round),
+        Frame::Report { from, round, .. } => (6, *from, *round),
+        Frame::Shutdown => (7, 0, 0),
+        Frame::FinalLedger { from, .. } => (8, *from, 0),
+    };
+    h = mix(h, tag);
+    h = mix(h, from as u64);
+    mix(h, round)
+}
+
+/// The executor state shared by the scheduling helpers.
+struct Heap {
+    events: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl Heap {
+    fn push(&mut self, due: f64, dest: Dest, frame: Arc<Frame>) {
+        debug_assert!(due.is_finite(), "event due time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event {
+            due,
+            seq,
+            dest,
+            frame,
+        }));
+    }
+
+    /// Schedules a machine's emissions. `src` is `None` for the
+    /// coordinator.
+    fn schedule<D: Fn(usize, usize) -> f64>(
+        &mut self,
+        now: f64,
+        src: Option<usize>,
+        out: &mut Vec<Outbound>,
+        delays: &D,
+    ) {
+        for o in out.drain(..) {
+            let delay = match (src, o.to) {
+                (Some(i), Dest::Node(j)) => {
+                    let d = delays(i, j as usize);
+                    debug_assert!(
+                        d.is_finite() && d >= 0.0,
+                        "delay({i}, {j}) = {d} must be finite and non-negative"
+                    );
+                    d
+                }
+                _ => CONTROL_DELAY_MS,
+            };
+            self.push(now + delay, o.to, o.frame);
+        }
+    }
+}
+
+/// Runs the full message-passing protocol for `instance` on the
+/// event-driven executor under a [`VirtualClock`] — the deterministic
+/// simulation mode. `delays(i, j)` is the one-way delivery latency in
+/// ms from node `i` to node `j` (must be finite and non-negative;
+/// control-plane frames travel free).
+pub fn run_cluster_events<D>(
+    instance: &Instance,
+    options: &ClusterOptions,
+    delays: D,
+) -> ClusterReport
+where
+    D: Fn(usize, usize) -> f64,
+{
+    run_cluster_events_with_clock(instance, options, delays, &mut VirtualClock)
+}
+
+/// [`run_cluster_events`] with an explicit pacing [`Clock`] — pass a
+/// [`WallClock`](crate::clock::WallClock) to replay the simulated
+/// schedule in real time.
+pub fn run_cluster_events_with_clock<D, C>(
+    instance: &Instance,
+    options: &ClusterOptions,
+    delays: D,
+    clock: &mut C,
+) -> ClusterReport
+where
+    D: Fn(usize, usize) -> f64,
+    C: Clock,
+{
+    let m = instance.len();
+    let shared = Arc::new(instance.clone());
+    let mut coordinator = CoordinatorMachine::new(Arc::clone(&shared), options);
+    let mut machines: Vec<Option<NodeMachine>> = (0..m)
+        .map(|id| {
+            Some(NodeMachine::local(
+                id as u32,
+                Arc::clone(&shared),
+                options.node,
+            ))
+        })
+        .collect();
+    let mut heap = Heap {
+        events: BinaryHeap::new(),
+        next_seq: 0,
+    };
+    let mut out: Vec<Outbound> = Vec::new();
+    let mut now = 0.0f64;
+    let mut hash = 0xCBF2_9CE4_8422_2325u64; // FNV offset basis
+    coordinator.start(&mut out);
+    heap.schedule(now, None, &mut out, &delays);
+
+    // Batch scratch, reused across iterations: per-node run queues plus
+    // the list of destinations touched this batch (in first-delivery
+    // order — deterministic, since events pop in (due, seq) order).
+    let mut run_queues: Vec<Vec<Arc<Frame>>> = (0..m).map(|_| Vec::new()).collect();
+    let mut touched: Vec<u32> = Vec::new();
+    let mut coord_frames: Vec<Arc<Frame>> = Vec::new();
+
+    while let Some(Reverse(first)) = heap.events.pop() {
+        now = first.due;
+        clock.wait_until(now);
+        hash = hash_event(hash, &first);
+        match first.dest {
+            Dest::Node(j) => {
+                touched.push(j);
+                run_queues[j as usize].push(first.frame);
+            }
+            Dest::Coordinator => coord_frames.push(first.frame),
+        }
+        while heap.events.peek().is_some_and(|Reverse(e)| e.due == now) {
+            let Reverse(e) = heap.events.pop().expect("peeked event present");
+            hash = hash_event(hash, &e);
+            match e.dest {
+                Dest::Node(j) => {
+                    if run_queues[j as usize].is_empty() {
+                        touched.push(j);
+                    }
+                    run_queues[j as usize].push(e.frame);
+                }
+                Dest::Coordinator => coord_frames.push(e.frame),
+            }
+        }
+
+        // Fan the touched shards out over the worker pool. Each entry
+        // owns its machine for the batch, so `handle` runs without
+        // locks; order-preserving `par_map_mut` keeps the collected
+        // emissions independent of the worker count.
+        let mut work: Vec<(u32, NodeMachine, Vec<Arc<Frame>>)> = touched
+            .drain(..)
+            .map(|j| {
+                let machine = machines[j as usize].take().expect("machine present");
+                (j, machine, std::mem::take(&mut run_queues[j as usize]))
+            })
+            .collect();
+        let emissions: Vec<Vec<Outbound>> = par_map_mut(&mut work, |(_, machine, frames)| {
+            let mut local_out = Vec::new();
+            for frame in frames.drain(..) {
+                machine.handle(&frame, &mut local_out);
+            }
+            local_out
+        });
+        let sources: Vec<u32> = work
+            .into_iter()
+            .map(|(j, machine, queue)| {
+                machines[j as usize] = Some(machine);
+                run_queues[j as usize] = queue; // return the allocation
+                j
+            })
+            .collect();
+        for (src, mut outs) in sources.into_iter().zip(emissions) {
+            heap.schedule(now, Some(src as usize), &mut outs, &delays);
+        }
+
+        for frame in coord_frames.drain(..) {
+            coordinator.handle(&frame, &mut out);
+            heap.schedule(now, None, &mut out, &delays);
+        }
+        if coordinator.is_done() {
+            break;
+        }
+    }
+
+    let mut report = coordinator.into_report();
+    report.virtual_ms = now;
+    report.event_hash = hash;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::WallClock;
+    use dlb_core::rngutil::rng_for;
+    use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
+    use dlb_core::LatencyMatrix;
+    use dlb_distributed::{Engine, EngineOptions};
+
+    /// Half the instance's RTT as the one-way delay — the simplest
+    /// honest delay model for tests that already carry a latency
+    /// matrix.
+    fn half_rtt(instance: &Instance) -> impl Fn(usize, usize) -> f64 + '_ {
+        |i, j| instance.c(i, j) / 2.0
+    }
+
+    #[test]
+    fn two_nodes_split_a_peak() {
+        let mut instance = Instance::homogeneous(2, 1.0, 1.0, 0.0);
+        instance.set_own_loads(vec![1000.0, 0.0]);
+        let report = run_cluster_events(&instance, &ClusterOptions::default(), half_rtt(&instance));
+        report.assignment.check_invariants(&instance).unwrap();
+        // Lemma 1: optimal transfer is (l_0 − l_1 − c·s)/2 = 499.5.
+        assert!((report.assignment.load(0) - 500.5).abs() < 1e-6);
+        assert!((report.assignment.load(1) - 499.5).abs() < 1e-6);
+        assert!(report.quiescent);
+        assert!(report.virtual_ms > 0.0, "data frames paid link delay");
+    }
+
+    #[test]
+    fn matches_engine_fixpoint() {
+        let mut rng = rng_for(3, 0xC1);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 80.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(12, 20.0), &mut rng);
+        let report = run_cluster_events(
+            &instance,
+            &ClusterOptions::certified(12),
+            half_rtt(&instance),
+        );
+        report.assignment.check_invariants(&instance).unwrap();
+        let mut engine = Engine::new(
+            instance.clone(),
+            EngineOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let opt = engine.run_to_convergence(1e-12, 3, 300).final_cost;
+        assert!(
+            report.final_cost <= opt * 1.02,
+            "events {} vs engine fixpoint {opt}",
+            report.final_cost
+        );
+    }
+
+    #[test]
+    fn conservation_under_heavy_traffic() {
+        let mut rng = rng_for(17, 0xC2);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Uniform,
+            avg_load: 120.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(40, 5.0), &mut rng);
+        let report = run_cluster_events(&instance, &ClusterOptions::default(), half_rtt(&instance));
+        report.assignment.check_invariants(&instance).unwrap();
+        for k in 0..40 {
+            let total = report.assignment.owner_total(k);
+            assert!(
+                (total - instance.own_load(k)).abs() < 1e-6,
+                "owner {k}: {total} != {}",
+                instance.own_load(k)
+            );
+        }
+    }
+
+    #[test]
+    fn history_is_exact_and_decreasing() {
+        let mut rng = rng_for(5, 0xC3);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 60.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(8, 10.0), &mut rng);
+        let report = run_cluster_events(&instance, &ClusterOptions::default(), half_rtt(&instance));
+        let last = *report.history.last().unwrap();
+        assert!(
+            (last - report.final_cost).abs() <= 1e-6 * report.final_cost.max(1.0),
+            "reported {last} vs exact {}",
+            report.final_cost
+        );
+        for w in report.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9 * w[0].max(1.0), "cost rose");
+        }
+    }
+
+    #[test]
+    fn failed_nodes_take_no_part() {
+        let mut instance = Instance::homogeneous(6, 1.0, 1.0, 0.0);
+        instance.set_own_loads(vec![600.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let report = run_cluster_events(
+            &instance,
+            &ClusterOptions {
+                failed: vec![4, 5],
+                ..Default::default()
+            },
+            half_rtt(&instance),
+        );
+        report.assignment.check_invariants(&instance).unwrap();
+        assert_eq!(report.assignment.load(4), 0.0);
+        assert_eq!(report.assignment.load(5), 0.0);
+        for j in 0..4 {
+            assert!(report.assignment.load(j) > 100.0);
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_is_trivial() {
+        let instance = Instance::homogeneous(1, 1.0, 0.0, 50.0);
+        let report = run_cluster_events(&instance, &ClusterOptions::default(), |_, _| 1.0);
+        assert_eq!(report.exchanges, 0);
+        assert!(report.quiescent);
+        assert_eq!(report.assignment.load(0), 50.0);
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical() {
+        let mut rng = rng_for(9, 0xD1);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 70.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(16, 15.0), &mut rng);
+        let a = run_cluster_events(&instance, &ClusterOptions::default(), half_rtt(&instance));
+        let b = run_cluster_events(&instance, &ClusterOptions::default(), half_rtt(&instance));
+        assert_eq!(a.event_hash, b.event_hash);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.virtual_ms, b.virtual_ms);
+        assert_eq!(a.assignment.loads(), b.assignment.loads());
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.exchanges, b.exchanges);
+    }
+
+    #[test]
+    fn virtual_time_scales_with_link_delay() {
+        let mut instance = Instance::homogeneous(4, 1.0, 1.0, 0.0);
+        instance.set_own_loads(vec![400.0, 0.0, 0.0, 0.0]);
+        let slow = run_cluster_events(&instance, &ClusterOptions::default(), |_, _| 50.0);
+        let fast = run_cluster_events(&instance, &ClusterOptions::default(), |_, _| 5.0);
+        assert!(
+            slow.virtual_ms > fast.virtual_ms,
+            "slow {} vs fast {}",
+            slow.virtual_ms,
+            fast.virtual_ms
+        );
+        // Same protocol, different pacing: identical outcome.
+        assert_eq!(slow.history, fast.history);
+        assert_eq!(slow.assignment.loads(), fast.assignment.loads());
+    }
+
+    #[test]
+    fn wall_clock_replays_the_same_schedule() {
+        let mut instance = Instance::homogeneous(3, 1.0, 1.0, 0.0);
+        instance.set_own_loads(vec![300.0, 0.0, 0.0]);
+        let virt = run_cluster_events(&instance, &ClusterOptions::default(), |_, _| 2.0);
+        // 1000× fast-forward keeps the test quick while still going
+        // through the sleeping path.
+        let mut clock = WallClock::with_scale(0.001);
+        let wall = run_cluster_events_with_clock(
+            &instance,
+            &ClusterOptions::default(),
+            |_, _| 2.0,
+            &mut clock,
+        );
+        assert_eq!(virt.event_hash, wall.event_hash);
+        assert_eq!(virt.history, wall.history);
+        assert_eq!(virt.assignment.loads(), wall.assignment.loads());
+    }
+}

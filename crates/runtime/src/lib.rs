@@ -1,16 +1,34 @@
-//! # dlb-runtime — a message-passing realization of the protocol
+//! # dlb-runtime — the protocol as a deployable system, twice
 //!
 //! The analytic engine in `dlb-distributed` simulates the paper's
 //! distributed algorithm on shared memory. This crate runs the same
-//! protocol the way the paper deploys it (§IV): every organization is
-//! an independent actor (an OS thread) that only sees
+//! protocol the way the paper deploys it (§IV): every organization
+//! only sees
 //!
 //! * its **own request ledger** — who relayed how much to its server,
 //! * the **gossiped load vector** — refreshed once per round,
 //! * the **static configuration** — speeds and its latency column,
 //!
-//! and everything else travels over channels as wire-encoded frames
+//! and everything else travels as wire-encoded frames
 //! ([`message::Frame`]): proposals, ledger handoffs, commits.
+//!
+//! The crate is split along a machine/driver seam:
+//!
+//! * [`machine`] — the protocol itself, as poll-style state machines
+//!   ([`machine::NodeMachine`], [`machine::CoordinatorMachine`]) that
+//!   consume one frame and emit frames, never blocking;
+//! * [`cluster`] — the **thread runtime**: one OS thread per
+//!   organization and a channel mesh. Real concurrency, real races —
+//!   the deployment shape, practical to a few hundred nodes;
+//! * [`executor`] — the **event-driven runtime**: a deterministic
+//!   virtual-time heap delivers frames to thousands of machines in one
+//!   process, with per-link latencies supplied by the caller (the
+//!   scenario layer samples them from `dlb-netsim`) and delivery
+//!   batches fanned out over the `dlb-par` worker pool;
+//! * [`clock`] — pacing for the executor: [`clock::VirtualClock`]
+//!   jumps between batches (simulation), [`clock::WallClock`] sleeps
+//!   until each batch is really due (live replay). The clock cannot
+//!   reorder deliveries, so both produce bit-identical results.
 //!
 //! Two things make this more than a re-run of the engine:
 //!
@@ -20,30 +38,44 @@
 //!    score from the gossiped loads and fetch the one ledger they need
 //!    only after the partner accepts. The integration tests verify
 //!    this cheaper selection still reaches the engine's fixpoint.
-//! 2. **Concurrency is real.** Proposal collisions, busy rejections,
-//!    commits racing round boundaries — the protocol handles them the
-//!    way a deployment must, and the conservation tests assert no
-//!    request is ever lost or duplicated in flight.
+//! 2. **Message timing is a first-class input.** The thread runtime
+//!    exercises real collisions and commit/round races; the event
+//!    executor replays the same protocol under *measured* link
+//!    latencies, reports the simulated protocol time
+//!    ([`ClusterReport::virtual_ms`]), and is deterministic: one seed
+//!    gives one event order ([`ClusterReport::event_hash`]), however
+//!    many worker threads drain the batches — the property every
+//!    failure/staleness scenario test builds on.
 //!
 //! ```
 //! use dlb_core::Instance;
-//! use dlb_runtime::{run_cluster, ClusterOptions};
+//! use dlb_runtime::{run_cluster_events, ClusterOptions};
 //!
 //! let mut instance = Instance::homogeneous(4, 1.0, 1.0, 0.0);
 //! instance.set_own_loads(vec![400.0, 0.0, 0.0, 0.0]);
-//! let report = run_cluster(&instance, &ClusterOptions::default());
+//! // Virtual-time simulation: one-way link delay = half the RTT column.
+//! let report = run_cluster_events(&instance, &ClusterOptions::default(), |i, j| {
+//!     instance.c(i, j) / 2.0
+//! });
 //! assert!(report.quiescent);
 //! assert!(report.assignment.load(3) > 90.0); // peak got spread
+//! assert!(report.virtual_ms > 0.0); // simulated protocol time
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod clock;
 pub mod cluster;
+pub mod executor;
+pub mod machine;
 pub mod message;
 pub mod node;
 #[cfg(all(test, feature = "proptests"))]
 mod proptests;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use cluster::{run_cluster, ClusterOptions, ClusterReport};
+pub use executor::{run_cluster_events, run_cluster_events_with_clock};
+pub use machine::{CoordinatorMachine, Dest, NodeConfig, NodeMachine, Outbound};
 pub use message::{Frame, RoundOutcome};

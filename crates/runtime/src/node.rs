@@ -1,56 +1,22 @@
-//! The per-server actor of the message-passing runtime.
+//! The per-server actor of the thread runtime.
 //!
-//! Each node is an event loop over a single inbox. Per round it plays
-//! two roles at once:
-//!
-//! * **initiator** — ranks partners by the closed-form score of
-//!   [`dlb_distributed::mine::partner_score`] (computable from purely
-//!   local knowledge: the gossiped load vector and the node's own
-//!   latency column, the paper's §IV input model), proposes to the
-//!   best-scoring candidate and, on acceptance, runs Algorithm 1 on
-//!   the two real ledgers;
-//! * **acceptor** — answers a proposal with its serialized ledger when
-//!   it is not already committed to an exchange, and installs the
-//!   committed result.
-//!
-//! The pairing discipline matches the analytic engine's `pair_once`
-//! semantics: at most one *completed* exchange per node per round. A
-//! node whose own proposal is rejected stays available as an acceptor
-//! for the rest of the round, exactly like a free server in the
-//! engine.
-//!
-//! **Audit probing.** The closed-form score sees only loads, so it is
-//! blind to *relabelings* — states where loads are balanced but
-//! requests sit on needlessly distant servers (e.g. two servers each
-//! hosting the other's requests). When no partner clears the score
-//! floor and auditing is enabled, the node instead probes one peer in
-//! a deterministic rotation; the probe runs full Algorithm 1 on the
-//! real ledgers, so every pair is re-examined at least once every
-//! `m − 1` quiet rounds and the quiescent state is genuinely pairwise
-//! optimal (Lemma 2) — which, by convexity, is the global optimum.
-//!
-//! A **proposal collision** (both endpoints of a pair propose to each
-//! other in the same round) is broken by index: the lower-id node
-//! yields its initiator role and answers as an acceptor; the higher-id
-//! node ignores the incoming proposal, because the yielding side's
-//! acceptance is already on the wire.
-//!
-//! **Report discipline**: every node sends exactly one
-//! [`Frame::Report`] per round — `NoProposal` straight after
-//! `RoundStart`, `Exchanged`/`Lost` when its proposal resolves, or
-//! `Accepted` after a collision-yield commit. A node that accepts a
-//! foreign proposal *after* reporting does not report again; the
-//! initiator's `Exchanged` report already carries the node's new load
-//! and cost term.
+//! All protocol behavior lives in [`NodeMachine`](crate::machine) —
+//! this module only supplies the *thread-shaped driver*: a blocking
+//! loop that feeds the machine one frame at a time from its channel
+//! inbox and routes its emissions over the channel mesh. The event
+//! executor ([`crate::executor`]) drives the very same machine from a
+//! virtual-time heap instead; keeping this wrapper thin is what
+//! guarantees the two runtimes can only differ in frame *timing*,
+//! never in protocol behavior.
 
 use crossbeam::channel::{Receiver, Sender};
 use dlb_core::{Instance, SparseVec};
-use dlb_distributed::mine::partner_score;
-use dlb_distributed::transfer::calc_best_transfer;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crate::message::{ledger_to_wire, wire_to_ledger, Frame, RoundOutcome};
+use crate::machine::{Dest, NodeMachine, Outbound};
+use crate::message::Frame;
+
+pub use crate::machine::NodeConfig;
 
 /// Outbound links of a node: one sender per peer plus the control link
 /// to the coordinator.
@@ -61,47 +27,6 @@ pub struct NodeLinks {
     pub coordinator: Sender<Frame>,
 }
 
-/// Static per-node configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NodeConfig {
-    /// Probe a rotating peer with full Algorithm 1 when no partner
-    /// clears the score floor (see the module docs).
-    pub audit: bool,
-}
-
-impl Default for NodeConfig {
-    fn default() -> Self {
-        Self { audit: true }
-    }
-}
-
-/// Exchange-lock state within a round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Lock {
-    /// May accept proposals.
-    Free,
-    /// Accepted a proposal from the given initiator; its commit is in
-    /// flight. Round boundaries must wait for it.
-    AwaitingCommit(u32),
-    /// Completed an exchange this round; rejects further proposals.
-    Locked,
-}
-
-/// Minimum closed-form score below which a node does not propose on
-/// score grounds (same role as the engine's `min_improvement` floor).
-const SCORE_FLOOR: f64 = 1e-9;
-
-/// The node's local contribution to `ΣC`:
-/// `Σ_k r_k,id · (l_id / 2 s_id + c_k,id)`.
-fn local_cost(id: u32, instance: &Instance, ledger: &SparseVec) -> f64 {
-    let load = ledger.sum();
-    let congestion_per_request = load / (2.0 * instance.speed(id as usize));
-    ledger
-        .iter()
-        .map(|(k, r)| r * (congestion_per_request + instance.c(k as usize, id as usize)))
-        .sum()
-}
-
 /// Runs one node until shutdown. `id` is the node index, `ledger` its
 /// initial request ledger (usually all-local). The instance is shared
 /// read-only configuration: every organization knows the static speeds
@@ -109,327 +34,28 @@ fn local_cost(id: u32, instance: &Instance, ledger: &SparseVec) -> f64 {
 pub fn run_node(
     id: u32,
     instance: Arc<Instance>,
-    mut ledger: SparseVec,
+    ledger: SparseVec,
     config: NodeConfig,
     inbox: Receiver<Frame>,
     links: NodeLinks,
 ) {
-    // 0 = "no round joined yet"; real rounds are 1-based (see the
-    // coordinator). A proposal overtaking our first RoundStart thus
-    // satisfies `r > round` and waits in the early queue instead of
-    // being served with boot state and corrupting the report count.
-    let mut round = 0u64;
-    let mut lock = Lock::Free;
-    // In-flight proposal target, if any.
-    let mut proposal: Option<u32> = None;
-    // Whether this round's report has been filed.
-    let mut reported = false;
-    // Re-queued frames (processed before reading the inbox).
-    let mut pending: VecDeque<Frame> = VecDeque::new();
-    // Proposals from a round we have not reached yet.
-    let mut early_proposals: VecDeque<Frame> = VecDeque::new();
-
-    loop {
-        let frame = match pending.pop_front() {
-            Some(f) => f,
-            None => match inbox.recv() {
-                Ok(f) => f,
-                Err(_) => return, // coordinator hung up
-            },
-        };
-        match frame {
-            Frame::Shutdown => {
-                let _ = links.coordinator.send(Frame::FinalLedger {
-                    from: id,
-                    ledger: ledger_to_wire(&ledger),
-                });
-                return;
-            }
-            Frame::RoundStart {
-                round: r,
-                loads,
-                excluded,
-            } => {
-                // A commit for the previous round may still be in
-                // flight (the initiator reports to the coordinator
-                // before our Commit arrives). Finish it first.
-                if matches!(lock, Lock::AwaitingCommit(_)) {
-                    pending.push_back(Frame::RoundStart {
-                        round: r,
-                        loads,
-                        excluded,
-                    });
-                    match inbox.recv() {
-                        Ok(f) => pending.push_front(f),
-                        Err(_) => return,
-                    }
-                    continue;
-                }
-                round = r;
-                lock = Lock::Free;
-                proposal = None;
-                reported = false;
-                // Serve proposals that arrived before our RoundStart.
-                while let Some(p) = early_proposals.pop_front() {
-                    pending.push_back(p);
-                }
-                if excluded.contains(&id) {
-                    lock = Lock::Locked; // takes no part this round
-                    reported = true;
-                    let _ = links.coordinator.send(Frame::Report {
-                        from: id,
-                        round,
-                        outcome: RoundOutcome::NoProposal,
-                        load: ledger.sum(),
-                        local_cost: local_cost(id, &instance, &ledger),
-                        exchange: None,
-                    });
-                    continue;
-                }
-                let target = choose_target(id, &instance, &loads, &excluded).or_else(|| {
-                    if config.audit {
-                        audit_target(id, instance.len(), round, &excluded)
-                    } else {
-                        None
-                    }
-                });
-                match target {
-                    Some(j) => {
-                        proposal = Some(j);
-                        let _ = links.peers[j as usize].send(Frame::Propose { from: id, round });
-                    }
-                    None => {
-                        reported = true;
-                        let _ = links.coordinator.send(Frame::Report {
-                            from: id,
-                            round,
-                            outcome: RoundOutcome::NoProposal,
-                            load: ledger.sum(),
-                            local_cost: local_cost(id, &instance, &ledger),
-                            exchange: None,
-                        });
-                    }
-                }
-            }
-            Frame::Propose { from, round: r } => {
-                if r > round {
-                    // Proposer is ahead of us; answer after our
-                    // RoundStart arrives.
-                    early_proposals.push_back(Frame::Propose { from, round: r });
-                    continue;
-                }
-                if r < round {
-                    // Defensive: by the report discipline a proposal
-                    // cannot outlive its round, but a NACK is always
-                    // safe.
-                    let _ = links.peers[from as usize].send(Frame::Busy { from: id, round: r });
-                    continue;
-                }
-                if lock != Lock::Free {
-                    let _ = links.peers[from as usize].send(Frame::Busy { from: id, round });
-                    continue;
-                }
-                match proposal {
-                    // Collision with our own proposal to the same peer.
-                    Some(j) if j == from => {
-                        if id < from {
-                            // Yield: become the acceptor; our own
-                            // proposal will be ignored by the peer.
-                            proposal = None;
-                            lock = Lock::AwaitingCommit(from);
-                            let _ = links.peers[from as usize].send(Frame::Accept {
-                                from: id,
-                                round,
-                                ledger: ledger_to_wire(&ledger),
-                            });
-                        }
-                        // Higher id: ignore — the peer's Accept is
-                        // already on the wire.
-                    }
-                    // Waiting on a different peer: cannot promise our
-                    // ledger to two exchanges at once.
-                    Some(_) => {
-                        let _ = links.peers[from as usize].send(Frame::Busy { from: id, round });
-                    }
-                    // Free (never proposed, or proposal already
-                    // resolved without an exchange): accept.
-                    None => {
-                        lock = Lock::AwaitingCommit(from);
-                        let _ = links.peers[from as usize].send(Frame::Accept {
-                            from: id,
-                            round,
-                            ledger: ledger_to_wire(&ledger),
-                        });
-                    }
-                }
-            }
-            Frame::Accept {
-                from,
-                round: r,
-                ledger: their_wire,
-            } => {
-                if r != round || proposal != Some(from) {
-                    continue; // stale acceptance; ignore
-                }
-                let theirs = wire_to_ledger(&their_wire);
-                let outcome =
-                    calc_best_transfer(&instance, &ledger, &theirs, id as usize, from as usize);
-                ledger = outcome.ledger_i;
-                let partner_ledger = outcome.ledger_j;
-                let partner_load = partner_ledger.sum();
-                let partner_cost = local_cost(from, &instance, &partner_ledger);
-                let _ = links.peers[from as usize].send(Frame::Commit {
-                    from: id,
-                    round,
-                    ledger: ledger_to_wire(&partner_ledger),
-                });
-                proposal = None;
-                lock = Lock::Locked;
-                reported = true;
-                let _ = links.coordinator.send(Frame::Report {
-                    from: id,
-                    round,
-                    outcome: RoundOutcome::Exchanged,
-                    load: ledger.sum(),
-                    local_cost: local_cost(id, &instance, &ledger),
-                    exchange: Some((from, partner_load, partner_cost, outcome.moved)),
-                });
-            }
-            Frame::Busy { from, round: r } => {
-                if r != round || proposal != Some(from) {
-                    continue;
-                }
-                proposal = None;
-                // Stay Free: we may still serve someone else's
-                // proposal this round.
-                reported = true;
-                let _ = links.coordinator.send(Frame::Report {
-                    from: id,
-                    round,
-                    outcome: RoundOutcome::Lost,
-                    load: ledger.sum(),
-                    local_cost: local_cost(id, &instance, &ledger),
-                    exchange: None,
-                });
-            }
-            Frame::Commit {
-                from,
-                round: r,
-                ledger: new_wire,
-            } => {
-                if r != round || lock != Lock::AwaitingCommit(from) {
-                    continue;
-                }
-                ledger = wire_to_ledger(&new_wire);
-                lock = Lock::Locked;
-                if !reported {
-                    // Collision-yield path: our initiator role ended
-                    // in an acceptance; close the round's report.
-                    reported = true;
-                    let _ = links.coordinator.send(Frame::Report {
-                        from: id,
-                        round,
-                        outcome: RoundOutcome::Accepted,
-                        load: ledger.sum(),
-                        local_cost: local_cost(id, &instance, &ledger),
-                        exchange: None,
-                    });
-                }
-            }
-            Frame::Report { .. } | Frame::FinalLedger { .. } => {
-                // Control-plane frames never reach node inboxes.
-                debug_assert!(false, "node {id} received a coordinator frame");
-            }
+    let mut machine = NodeMachine::new(id, instance, ledger, config);
+    let mut out: Vec<Outbound> = Vec::new();
+    // recv errors mean the coordinator hung up.
+    while let Ok(frame) = inbox.recv() {
+        machine.handle(&frame, &mut out);
+        for o in out.drain(..) {
+            // The machine wraps frames in `Arc` so the executor can
+            // broadcast without copying; here each frame has a single
+            // recipient, so unwrapping moves it onto the wire for free.
+            let frame = Arc::try_unwrap(o.frame).unwrap_or_else(|a| (*a).clone());
+            let _ = match o.to {
+                Dest::Node(j) => links.peers[j as usize].send(frame),
+                Dest::Coordinator => links.coordinator.send(frame),
+            };
         }
-    }
-}
-
-/// Picks the proposal target: the peer with the best closed-form
-/// pairwise score computed from the gossiped loads — everything a real
-/// organization knows locally. Returns `None` when no peer clears the
-/// floor.
-fn choose_target(id: u32, instance: &Instance, loads: &[f64], excluded: &[u32]) -> Option<u32> {
-    let m = instance.len();
-    let mut best: Option<(u32, f64)> = None;
-    for j in 0..m as u32 {
-        if j == id || excluded.contains(&j) {
-            continue;
+        if machine.is_done() {
+            return;
         }
-        let score = partner_score(instance, loads, id as usize, j as usize);
-        match best {
-            Some((_, b)) if score <= b => {}
-            _ => best = Some((j, score)),
-        }
-    }
-    best.filter(|&(_, s)| s > SCORE_FLOOR).map(|(j, _)| j)
-}
-
-/// Deterministic audit rotation: visits every live peer once per
-/// `m − 1` rounds.
-fn audit_target(id: u32, m: usize, round: u64, excluded: &[u32]) -> Option<u32> {
-    let candidates: Vec<u32> = (0..m as u32)
-        .filter(|&j| j != id && !excluded.contains(&j))
-        .collect();
-    if candidates.is_empty() {
-        return None;
-    }
-    Some(candidates[(round as usize) % candidates.len()])
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn choose_target_prefers_imbalanced_peer() {
-        let instance = Instance::homogeneous(3, 1.0, 1.0, 0.0);
-        // Node 0 idle; node 1 heavily loaded; node 2 idle.
-        let loads = vec![0.0, 300.0, 0.0];
-        assert_eq!(choose_target(0, &instance, &loads, &[]), Some(1));
-        assert_eq!(choose_target(2, &instance, &loads, &[]), Some(1));
-    }
-
-    #[test]
-    fn choose_target_respects_exclusions() {
-        let instance = Instance::homogeneous(3, 1.0, 1.0, 0.0);
-        let loads = vec![0.0, 300.0, 100.0];
-        assert_eq!(choose_target(0, &instance, &loads, &[1]), Some(2));
-    }
-
-    #[test]
-    fn choose_target_none_when_balanced() {
-        let instance = Instance::homogeneous(4, 1.0, 10.0, 0.0);
-        let loads = vec![50.0; 4];
-        assert_eq!(choose_target(0, &instance, &loads, &[]), None);
-    }
-
-    #[test]
-    fn audit_rotation_covers_all_peers() {
-        let mut seen = std::collections::BTreeSet::new();
-        for round in 0..3u64 {
-            seen.insert(audit_target(1, 4, round, &[]).unwrap());
-        }
-        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![0, 2, 3]);
-    }
-
-    #[test]
-    fn audit_rotation_skips_excluded_and_handles_empty() {
-        for round in 0..10u64 {
-            let t = audit_target(0, 3, round, &[2]).unwrap();
-            assert_eq!(t, 1);
-        }
-        assert_eq!(audit_target(0, 1, 0, &[]), None);
-    }
-
-    #[test]
-    fn local_cost_matches_definition() {
-        let instance = Instance::homogeneous(2, 2.0, 5.0, 0.0);
-        let mut ledger = SparseVec::new();
-        ledger.set(0, 6.0); // own requests: no latency
-        ledger.set(1, 4.0); // foreign: latency 5
-                            // load 10, speed 2 → congestion/request 2.5
-                            // cost = 6·2.5 + 4·(2.5 + 5) = 15 + 30 = 45
-        let c = local_cost(0, &instance, &ledger);
-        assert!((c - 45.0).abs() < 1e-12, "got {c}");
     }
 }

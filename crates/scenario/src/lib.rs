@@ -20,6 +20,11 @@
 //!   dynamics, the message-passing cluster, or the BCD solver baseline
 //!   — and every runner emits the same [`RunRecord`] (cost trajectory,
 //!   iterations, convergence flag, wall time).
+//! * The `runtime=` axis picks the protocol's host: `threads` (one OS
+//!   thread per organization) or `events` — the deterministic
+//!   virtual-time executor with per-link delays sampled from
+//!   `dlb-netsim`, which hosts Figure-2-scale clusters in one process
+//!   and records *simulated protocol seconds* as the run's time.
 //!
 //! ```
 //! use dlb_scenario::{AlgoSpec, ScenarioSpec};
@@ -38,4 +43,4 @@ pub mod runner;
 pub mod spec;
 
 pub use runner::{runner_for, RunRecord, Runner};
-pub use spec::{AlgoSpec, NetSpec, ScenarioSpec, SpecError, SpeedKind};
+pub use spec::{AlgoSpec, NetSpec, RuntimeSpec, ScenarioSpec, SpecError, SpeedKind};

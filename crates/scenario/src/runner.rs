@@ -12,10 +12,11 @@ use dlb_core::cost::total_cost;
 use dlb_core::Assignment;
 use dlb_distributed::{Engine, EngineOptions, RoundMode};
 use dlb_game::{run_best_response_dynamics, DynamicsOptions};
-use dlb_runtime::{run_cluster, ClusterOptions};
+use dlb_netsim::LinkDelayModel;
+use dlb_runtime::{run_cluster, run_cluster_events, ClusterOptions};
 use dlb_solver::solve_bcd;
 
-use crate::spec::{AlgoSpec, ScenarioSpec};
+use crate::spec::{AlgoSpec, RuntimeSpec, ScenarioSpec};
 use dlb_core::Instance;
 
 /// The uniform result of running any scenario.
@@ -36,7 +37,11 @@ pub struct RunRecord {
     pub iterations: usize,
     /// Whether the termination criterion was met within the budget.
     pub converged: bool,
-    /// Wall-clock seconds of the run (excluding instance sampling).
+    /// Wall-clock seconds of the run (excluding instance sampling) —
+    /// except for `runtime=events` protocol runs, where it is the
+    /// *simulated* protocol time under the sampled link delays: the
+    /// quantity a deployment would measure, and deterministic per
+    /// seed, so whole records are bit-reproducible.
     pub wall_secs: f64,
 }
 
@@ -151,10 +156,15 @@ impl Runner for NashRunner {
     }
 }
 
-/// Runs the message-passing cluster ([`dlb_runtime::run_cluster`]).
+/// Runs the message-passing cluster on the runtime the spec's
+/// `runtime=` key names: [`dlb_runtime::run_cluster`] (OS threads) or
+/// [`dlb_runtime::run_cluster_events`] (deterministic virtual-time
+/// executor, link delays sampled per seed from
+/// [`dlb_netsim::LinkDelayModel`] over the instance's latency matrix).
 /// `eps` is the quiescent-volume threshold, `patience` the quiet-round
 /// count (`m − 1` certifies pairwise optimality), `budget` the round
-/// budget.
+/// budget. Event runs report *simulated* seconds as `wall_secs` (see
+/// [`RunRecord::wall_secs`]).
 pub struct ProtocolRunner;
 
 impl Runner for ProtocolRunner {
@@ -163,16 +173,26 @@ impl Runner for ProtocolRunner {
     }
 
     fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
+        let options = ClusterOptions {
+            max_rounds: spec.budget,
+            quiescent_rounds: spec.patience.max(1),
+            quiescent_volume: spec.eps,
+            ..Default::default()
+        };
         let start = Instant::now();
-        let report = run_cluster(
-            &instance,
-            &ClusterOptions {
-                max_rounds: spec.budget,
-                quiescent_rounds: spec.patience.max(1),
-                quiescent_volume: spec.eps,
-                ..Default::default()
-            },
-        );
+        let (report, secs) = match spec.runtime {
+            RuntimeSpec::Threads => {
+                let report = run_cluster(&instance, &options);
+                (report, start.elapsed().as_secs_f64())
+            }
+            RuntimeSpec::Events => {
+                let delays = LinkDelayModel::new(instance.latency(), spec.seed);
+                let report =
+                    run_cluster_events(&instance, &options, |i, j| delays.one_way_ms(i, j));
+                let secs = report.virtual_ms / 1000.0;
+                (report, secs)
+            }
+        };
         RunRecord {
             scenario: spec.to_string(),
             algo: spec.algo.label(),
@@ -180,7 +200,7 @@ impl Runner for ProtocolRunner {
             history: report.history,
             iterations: report.rounds,
             converged: report.quiescent,
-            wall_secs: start.elapsed().as_secs_f64(),
+            wall_secs: secs,
         }
     }
 }
@@ -335,6 +355,37 @@ mod tests {
             run.final_cost() <= fixpoint * 1.05,
             "protocol {} vs engine {fixpoint}",
             run.final_cost()
+        );
+    }
+
+    /// The event-driven protocol runtime is fully deterministic: the
+    /// whole record — including `wall_secs`, which carries simulated
+    /// protocol time — must reproduce bit for bit, and land at the
+    /// same quality as the thread runtime.
+    #[test]
+    fn event_protocol_runner_is_deterministic_and_matches_the_engine() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(crate::spec::RuntimeSpec::Events)
+            .servers(10)
+            .avg_load(80.0)
+            .seed(5)
+            .termination(1e-9, 9, 300);
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a, b, "event runs must be bit-identical");
+        assert!(a.converged);
+        assert!(a.wall_secs > 0.0, "virtual time recorded");
+        let fixpoint = spec
+            .algo(AlgoSpec::Sequential)
+            .runtime(crate::spec::RuntimeSpec::Threads)
+            .termination(1e-12, 3, 300)
+            .run()
+            .final_cost();
+        assert!(
+            a.final_cost() <= fixpoint * 1.05,
+            "events {} vs engine {fixpoint}",
+            a.final_cost()
         );
     }
 

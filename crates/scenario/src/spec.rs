@@ -161,6 +161,42 @@ impl SpeedKind {
     }
 }
 
+/// Which runtime hosts a `algo=protocol` scenario (the `runtime=`
+/// key). The engine/game/solver algorithms ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeSpec {
+    /// The thread runtime: one OS thread per organization plus a
+    /// channel mesh. Real concurrency; practical to a few hundred
+    /// nodes.
+    #[default]
+    Threads,
+    /// The event-driven executor: deterministic virtual-time
+    /// simulation with per-link delays sampled from `dlb-netsim`.
+    /// One process hosts Figure-2-scale clusters, and runs are
+    /// bit-reproducible per seed.
+    Events,
+}
+
+impl RuntimeSpec {
+    /// The `runtime=` token value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuntimeSpec::Threads => "threads",
+            RuntimeSpec::Events => "events",
+        }
+    }
+
+    fn parse(v: &str) -> Result<Self, SpecError> {
+        match v {
+            "threads" => Ok(RuntimeSpec::Threads),
+            "events" => Ok(RuntimeSpec::Events),
+            _ => Err(SpecError(format!(
+                "runtime: '{v}' is not one of threads|events"
+            ))),
+        }
+    }
+}
+
 fn parse_load(v: &str) -> Result<LoadDistribution, SpecError> {
     match v {
         "const" => Ok(LoadDistribution::Constant),
@@ -204,6 +240,10 @@ pub struct ScenarioSpec {
     pub patience: usize,
     /// Hard iteration/round/sweep budget (`budget=`).
     pub budget: usize,
+    /// Which runtime hosts `algo=protocol` (`runtime=`): OS threads or
+    /// the deterministic event-driven executor. Other algorithms
+    /// ignore it.
+    pub runtime: RuntimeSpec,
 }
 
 impl Default for ScenarioSpec {
@@ -221,6 +261,7 @@ impl Default for ScenarioSpec {
             eps: 1e-10,
             patience: 3,
             budget: 200,
+            runtime: RuntimeSpec::Threads,
         }
     }
 }
@@ -293,6 +334,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the protocol runtime (threads or the event executor).
+    pub fn runtime(mut self, runtime: RuntimeSpec) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
     /// Parses the text form. Empty input yields the default scenario;
     /// unknown keys, malformed values, and duplicate keys are errors.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
@@ -332,10 +379,11 @@ impl ScenarioSpec {
                         return Err(SpecError("budget must be at least 1".into()));
                     }
                 }
+                "runtime" => spec.runtime = RuntimeSpec::parse(value)?,
                 _ => {
                     return Err(SpecError(format!(
                         "unknown key '{key}' (valid: algo net m lat load avg speeds seed gran \
-                         eps patience budget)"
+                         eps patience budget runtime)"
                     )))
                 }
             }
@@ -430,6 +478,9 @@ impl fmt::Display for ScenarioSpec {
         if self.budget != d.budget {
             write!(f, " budget={}", self.budget)?;
         }
+        if self.runtime != d.runtime {
+            write!(f, " runtime={}", self.runtime.label())?;
+        }
         Ok(())
     }
 }
@@ -522,11 +573,27 @@ mod tests {
             ("eps=abc", "not a number"),
             ("budget=0", "at least 1"),
             ("seed=1 seed=2", "given twice"),
+            ("runtime=fibers", "not one of threads|events"),
             ("warp=9", "unknown key 'warp'"),
         ] {
             let err = ScenarioSpec::parse(text).unwrap_err();
             assert!(err.0.contains(needle), "'{text}' -> {err}");
         }
+    }
+
+    #[test]
+    fn runtime_key_round_trips_and_defaults_to_threads() {
+        assert_eq!(ScenarioSpec::default().runtime, RuntimeSpec::Threads);
+        let spec: ScenarioSpec = "algo=protocol m=40 runtime=events".parse().unwrap();
+        assert_eq!(spec.runtime, RuntimeSpec::Events);
+        assert_eq!(
+            spec.to_string(),
+            "algo=protocol net=homog m=40 runtime=events"
+        );
+        assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
+        // The default is omitted from the canonical text form.
+        let threads = ScenarioSpec::new().runtime(RuntimeSpec::Threads);
+        assert!(!threads.to_string().contains("runtime="));
     }
 
     #[test]

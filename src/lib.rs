@@ -50,6 +50,34 @@
 //! (`dlb run algo=batched net=pl m=500 load=peak seed=7`,
 //! `dlb report BENCH_figure2.json`).
 //!
+//! ## Testing with the virtual clock
+//!
+//! `algo=protocol runtime=events` hosts the message-passing protocol
+//! on the [`runtime`] crate's event executor: a deterministic
+//! virtual-time heap with per-link delays sampled from [`netsim`],
+//! which puts Figure-2-scale clusters (m = 5000) in one process and
+//! makes protocol tests *reproducible* — one seed gives one event
+//! order, bit-identical across repeats and `DLB_THREADS` values, so a
+//! test can assert on exact histories instead of racing real threads:
+//!
+//! ```
+//! use delay_lb::prelude::*;
+//!
+//! let spec = ScenarioSpec::new()
+//!     .algo(AlgoSpec::Protocol)
+//!     .runtime(RuntimeSpec::Events) // virtual clock, no OS threads
+//!     .servers(40)
+//!     .seed(7);
+//! let (a, b) = (spec.run(), spec.run());
+//! assert_eq!(a, b); // whole records reproduce, wall_secs included:
+//! assert!(a.wall_secs > 0.0); // ...it carries *simulated* seconds
+//! ```
+//!
+//! The same pattern is available below the scenario layer as
+//! [`runtime::run_cluster_events`] (pass any `delay(i, j)` function),
+//! and [`runtime::clock::WallClock`] replays an identical schedule in
+//! real time.
+//!
 //! ## Crate map
 //!
 //! | module | contents |
@@ -65,7 +93,7 @@
 //! | [`requestsim`] | request-level DES validating the cost model |
 //! | [`netsim`] | flow-level network sim (Table IV) |
 //! | [`extensions`] | §VII: heterogeneous tasks, R-replication |
-//! | [`runtime`] | message-passing deployment of the protocol (threads + channels) |
+//! | [`runtime`] | the protocol deployed twice: thread-per-node cluster and the deterministic event executor |
 //! | [`coords`] | Vivaldi network coordinates: the latency-estimation substrate |
 
 #![warn(missing_docs)]
@@ -95,8 +123,10 @@ pub mod prelude {
     pub use dlb_game::{
         epsilon_nash_gap, run_best_response_dynamics, theorem1_bounds, DynamicsOptions,
     };
-    pub use dlb_runtime::{run_cluster, ClusterOptions};
-    pub use dlb_scenario::{AlgoSpec, NetSpec, RunRecord, Runner, ScenarioSpec, SpeedKind};
+    pub use dlb_runtime::{run_cluster, run_cluster_events, ClusterOptions, VirtualClock};
+    pub use dlb_scenario::{
+        AlgoSpec, NetSpec, RunRecord, Runner, RuntimeSpec, ScenarioSpec, SpeedKind,
+    };
     pub use dlb_solver::{solve_bcd, solve_pgd, PgdOptions};
     pub use dlb_topology::PlanetLabConfig;
 }
