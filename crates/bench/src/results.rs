@@ -76,7 +76,7 @@ impl Record {
     /// command and ported harness emits, so `dlb report` renders them
     /// all the same way.
     pub fn from_run(kind: &str, run: &dlb_scenario::RunRecord) -> Self {
-        Record::new(kind)
+        let mut r = Record::new(kind)
             .str("scenario", &run.scenario)
             .str("algo", run.algo)
             .int("m", run.m as i64)
@@ -84,8 +84,19 @@ impl Record {
             .num("final_cost", run.final_cost())
             .int("iterations", run.iterations as i64)
             .bool("converged", run.converged)
-            .num("wall_secs", run.wall_secs)
-            .nums("history", &run.history)
+            .num("wall_secs", run.wall_secs);
+        // The fault-event summary rides along only when the scenario
+        // injected something, so fault-free records keep their exact
+        // historical shape.
+        if !run.faults.is_quiet() {
+            r = r
+                .int("fault_crashes", run.faults.crashes as i64)
+                .int("fault_recoveries", run.faults.recoveries as i64)
+                .int("fault_dropped_frames", run.faults.dropped_frames as i64)
+                .int("fault_delayed_frames", run.faults.delayed_frames as i64)
+                .num("fault_extra_delay_ms", run.faults.extra_delay_ms);
+        }
+        r.nums("history", &run.history)
     }
 
     /// Renders the record as one JSON object.

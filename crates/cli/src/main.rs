@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dlb run algo=batched net=pl m=500 load=peak avg=200 seed=7
+//! dlb run algo=protocol runtime=events faults=crash:0.1@500ms,loss:0.05 m=2000
 //! dlb run --scenario "algo=nash m=24 eps=0.01 patience=2" --out nash.jsonl
 //! dlb report BENCH_figure2.json
 //! dlb optimize --servers 50 --network pl --load exp --avg 50
@@ -52,11 +53,20 @@ run:
     gran=0            transfer quantum (0 = continuous)
     eps=1e-10         termination tolerance
     patience=3        consecutive calm rounds to stop
-    budget=200        iteration/round/sweep budget
+    budget=2000       iteration/round/sweep budget
     runtime=threads   threads | events — protocol host: OS threads or
                       the deterministic virtual-time executor (scales
                       to m=5000 in one process; reports simulated
                       protocol seconds)
+    faults=           deterministic fault schedule, algo=protocol
+                      runtime=events only. Comma-separated primitives:
+                      crash:F@Tms[..Tms] (fraction F crashes at T,
+                      optional recovery), loss:P[@Tms..Tms] (per-frame
+                      loss), spike:Fx@Tms..Tms (delay multiplier),
+                      part:Tms..Tms (bipartition). Example:
+                      faults=crash:0.1@500ms,loss:0.05 — one seed fixes
+                      workload, delays, and the fault trajectory, so
+                      records reproduce bit for bit
 
 report:
   dlb report FILE...          (e.g. dlb report BENCH_figure2.json)

@@ -1,0 +1,183 @@
+//! The shared virtual-time event heap.
+//!
+//! Both deterministic simulations in this workspace — the protocol
+//! executor in `dlb-runtime` and the scheduled-gossip run in
+//! `dlb-gossip` — drive their state machines from the same primitive:
+//! a min-heap of future deliveries ordered by **(due time, sequence
+//! number)**. The due time is virtual milliseconds; the sequence
+//! number is the scheduling order and breaks same-instant ties, so the
+//! delivered order is a pure function of the pushes — which is the
+//! whole determinism story. This module hoists that heap out of the
+//! two simulations (they previously each carried a private copy with
+//! its own `Ord` impl) so one tie-break rule serves every simulation,
+//! including the fault scripts in `dlb-faults` that reschedule delayed
+//! frames through it.
+//!
+//! ```
+//! use dlb_core::events::EventHeap;
+//!
+//! let mut heap: EventHeap<&str> = EventHeap::new();
+//! heap.push(5.0, "later");
+//! heap.push(1.0, "first");
+//! heap.push(1.0, "second"); // same instant: scheduling order wins
+//! let order: Vec<&str> = std::iter::from_fn(|| heap.pop().map(|e| e.item)).collect();
+//! assert_eq!(order, ["first", "second", "later"]);
+//! ```
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// One scheduled delivery popped from an [`EventHeap`].
+#[derive(Debug, Clone)]
+pub struct Scheduled<T> {
+    /// Virtual delivery time in ms.
+    pub due: f64,
+    /// Scheduling order; unique per heap, breaks same-instant ties.
+    pub seq: u64,
+    /// The scheduled payload.
+    pub item: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        // Sequence numbers are unique per heap, so they identify the
+        // event; payloads never need comparing.
+        self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Due times are finite by the push assert, so total_cmp agrees
+        // with the numeric order.
+        self.due
+            .total_cmp(&other.due)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic virtual-time event heap: pops in `(due, seq)` order.
+///
+/// `T` does not need any ordering of its own — ties are broken by the
+/// sequence number alone, so two events are never compared by payload.
+#[derive(Debug, Clone)]
+pub struct EventHeap<T> {
+    heap: BinaryHeap<Reverse<Scheduled<T>>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventHeap<T> {
+    /// Creates an empty heap with sequence numbers starting at 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `item` for virtual time `due`, returning the sequence
+    /// number it was assigned.
+    ///
+    /// # Panics
+    /// Debug-panics on a non-finite due time (it would poison the heap
+    /// order).
+    pub fn push(&mut self, due: f64, item: T) -> u64 {
+        debug_assert!(due.is_finite(), "event due time {due} must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { due, seq, item }));
+        seq
+    }
+
+    /// Removes and returns the earliest event (`(due, seq)` order).
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// The due time of the next event, if any.
+    pub fn peek_due(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse(e)| e.due)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Sequence number the next push will receive (also the count of
+    /// events ever scheduled).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_due_then_seq_order() {
+        let mut heap = EventHeap::new();
+        heap.push(3.0, 'c');
+        heap.push(1.0, 'a');
+        heap.push(1.0, 'b');
+        heap.push(0.5, 'z');
+        let order: Vec<(f64, u64, char)> =
+            std::iter::from_fn(|| heap.pop().map(|e| (e.due, e.seq, e.item))).collect();
+        assert_eq!(
+            order,
+            vec![(0.5, 3, 'z'), (1.0, 1, 'a'), (1.0, 2, 'b'), (3.0, 0, 'c')]
+        );
+    }
+
+    #[test]
+    fn seq_numbers_are_dense_and_reported() {
+        let mut heap = EventHeap::new();
+        assert_eq!(heap.next_seq(), 0);
+        assert_eq!(heap.push(1.0, ()), 0);
+        assert_eq!(heap.push(1.0, ()), 1);
+        assert_eq!(heap.next_seq(), 2);
+        assert_eq!(heap.len(), 2);
+        assert!(!heap.is_empty());
+    }
+
+    #[test]
+    fn peek_due_matches_pop() {
+        let mut heap = EventHeap::new();
+        assert_eq!(heap.peek_due(), None);
+        heap.push(7.5, 1);
+        heap.push(2.5, 2);
+        assert_eq!(heap.peek_due(), Some(2.5));
+        assert_eq!(heap.pop().unwrap().item, 2);
+        assert_eq!(heap.peek_due(), Some(7.5));
+    }
+
+    #[test]
+    fn payloads_never_need_ord() {
+        // f64 payloads are not Eq/Ord; the heap must still order them.
+        let mut heap: EventHeap<f64> = EventHeap::new();
+        heap.push(2.0, f64::NAN);
+        heap.push(1.0, 0.5);
+        assert_eq!(heap.pop().unwrap().item, 0.5);
+        assert!(heap.pop().unwrap().item.is_nan());
+    }
+}

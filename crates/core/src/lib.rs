@@ -17,6 +17,9 @@
 //! * [`workload`] — the initial-load and speed distributions used in the
 //!   paper's evaluation (§VI-A): uniform, exponential and peak loads;
 //!   constant and `U(1,5)` speeds.
+//! * [`events`] — the deterministic `(due, seq)`-ordered virtual-time
+//!   event heap shared by every simulation in the workspace (the
+//!   protocol executor, scheduled gossip, fault injection).
 //!
 //! All quantities are `f64`: loads in requests, speeds in requests/ms,
 //! latencies in ms, costs in request·ms.
@@ -26,6 +29,7 @@
 
 pub mod assignment;
 pub mod cost;
+pub mod events;
 pub mod instance;
 pub mod latency;
 pub mod rngutil;

@@ -5,22 +5,37 @@
 //! once per round. That answers "how many rounds?" but not the
 //! question a deployment asks — *how much time* does dissemination
 //! take when every exchange crosses a network link? This module runs
-//! the same versioned push-pull merge on a virtual-time event heap,
-//! the pattern the `dlb-runtime` event executor establishes: each node
+//! the same versioned push-pull merge on the shared virtual-time event
+//! heap ([`dlb_core::events::EventHeap`], the same primitive the
+//! `dlb-runtime` event executor schedules through): each node
 //! initiates an exchange every `period_ms`, the request view travels
 //! `delay(i, j)` ms, the pulled reply travels `delay(j, i)` ms back,
 //! and dissemination completes at a measurable virtual instant.
 //!
+//! Completion is tracked *incrementally*: the network maintains, per
+//! origin, how many nodes already hold the globally freshest version,
+//! so "is everyone up to date?" is an O(1) counter check per delivery
+//! instead of an O(m²) rescan — the rescan is what used to cap the
+//! staleness ablation's event-time column at m = 1000.
+//!
+//! [`EventGossip::run_faulted`] injects a `dlb-faults` script: nodes
+//! that are down neither initiate nor receive, and lossy or
+//! partition-crossing frames are simply **dropped** — push-pull is
+//! periodic and idempotent, so a lost frame costs time, not
+//! correctness, and dissemination-under-churn becomes a measurable
+//! virtual-ms quantity. (Contrast the protocol executor, where loss
+//! must manifest as retransmission delay; see the `dlb-faults` crate
+//! docs.)
+//!
 //! Everything is deterministic per seed: peers are drawn from a seeded
 //! RNG, the heap orders deliveries by `(due time, sequence number)`,
-//! and the delay function is pure — rerunning a configuration
-//! reproduces the same exchanges, views, and completion time bit for
-//! bit.
+//! and the delay function and fault script are pure — rerunning a
+//! configuration reproduces the same exchanges, views, drops, and
+//! completion time bit for bit.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
-
+use dlb_core::events::EventHeap;
 use dlb_core::rngutil::rng_for;
+use dlb_faults::FaultScript;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -54,6 +69,9 @@ pub struct EventGossipStats {
     pub exchanges: usize,
     /// Whether full dissemination was reached within `max_ms`.
     pub complete: bool,
+    /// Frames the fault script swallowed (loss, partition crossings,
+    /// down destinations). Zero for fault-free runs.
+    pub dropped: usize,
 }
 
 #[derive(Debug)]
@@ -67,36 +85,11 @@ enum What {
         view: Vec<Entry>,
     },
     /// The pulled view arrives back at the initiator.
-    Reply { to: u32, view: Vec<Entry> },
-}
-
-#[derive(Debug)]
-struct Event {
-    due: f64,
-    seq: u64,
-    what: What,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.due
-            .total_cmp(&other.due)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
+    Reply {
+        from: u32,
+        to: u32,
+        view: Vec<Entry>,
+    },
 }
 
 /// A gossip network whose exchanges are scheduled events (see the
@@ -105,6 +98,15 @@ impl Ord for Event {
 pub struct EventGossip {
     /// `views[node][origin]` — what `node` believes about `origin`.
     views: Vec<Vec<Entry>>,
+    /// Per origin: the globally freshest version (versions only
+    /// originate at the origin itself, so this is
+    /// `views[origin][origin].version`).
+    newest: Vec<u64>,
+    /// Per origin: how many nodes hold the freshest version.
+    fresh: Vec<usize>,
+    /// Total count of (node, origin) pairs still holding a stale
+    /// version; `0` ⇔ fully disseminated.
+    deficit: usize,
     rng: StdRng,
 }
 
@@ -113,7 +115,7 @@ impl EventGossip {
     /// load.
     pub fn new(loads: &[f64], seed: u64) -> Self {
         let m = loads.len();
-        let views = (0..m)
+        let views: Vec<Vec<Entry>> = (0..m)
             .map(|node| {
                 (0..m)
                     .map(|origin| Entry {
@@ -125,6 +127,9 @@ impl EventGossip {
             .collect();
         Self {
             views,
+            newest: vec![1; m],
+            fresh: vec![1; m],
+            deficit: m * m.saturating_sub(1),
             rng: rng_for(seed, 0x6E57),
         }
     }
@@ -143,6 +148,11 @@ impl EventGossip {
     pub fn publish(&mut self, node: usize, load: f64) {
         let v = self.views[node][node].version + 1;
         self.views[node][node] = Entry { load, version: v };
+        // Everyone else just became stale for this origin.
+        self.deficit += self.fresh[node] - 1;
+        self.newest[node] = v;
+        self.fresh[node] = 1;
+        self.debug_check_deficit();
     }
 
     /// The load vector as node `node` currently believes it.
@@ -151,30 +161,53 @@ impl EventGossip {
     }
 
     /// Returns `true` when every node holds the globally freshest
-    /// version of every origin's entry.
+    /// version of every origin's entry. O(1): the merge path maintains
+    /// a stale-pair counter.
     pub fn fully_disseminated(&self) -> bool {
-        let m = self.len();
-        for origin in 0..m {
-            let newest = self
-                .views
-                .iter()
-                .map(|v| v[origin].version)
-                .max()
-                .unwrap_or(0);
-            if self.views.iter().any(|v| v[origin].version != newest) {
-                return false;
-            }
-        }
-        true
+        self.deficit == 0
     }
 
-    /// Keep-freshest merge of a received view into `node`'s.
+    /// Debug-only ground truth for the incremental counter.
+    fn debug_check_deficit(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let m = self.len();
+            let mut stale = 0;
+            for origin in 0..m {
+                let newest = self
+                    .views
+                    .iter()
+                    .map(|v| v[origin].version)
+                    .max()
+                    .unwrap_or(0);
+                debug_assert_eq!(newest, self.newest[origin], "newest[{origin}] drifted");
+                stale += self
+                    .views
+                    .iter()
+                    .filter(|v| v[origin].version != newest)
+                    .count();
+            }
+            debug_assert_eq!(stale, self.deficit, "deficit counter drifted");
+        }
+    }
+
+    /// Keep-freshest merge of a received view into `node`'s,
+    /// maintaining the per-origin freshness counters.
     fn merge(&mut self, node: u32, view: &[Entry]) {
-        for (mine, theirs) in self.views[node as usize].iter_mut().zip(view) {
+        for (origin, (mine, theirs)) in self.views[node as usize].iter_mut().zip(view).enumerate() {
             if theirs.version > mine.version {
                 *mine = *theirs;
+                // Versions only originate at the origin, so an incoming
+                // copy is never fresher than the global newest; it can
+                // only promote this node *to* the newest.
+                debug_assert!(theirs.version <= self.newest[origin]);
+                if theirs.version == self.newest[origin] {
+                    self.fresh[origin] += 1;
+                    self.deficit -= 1;
+                }
             }
         }
+        self.debug_check_deficit();
     }
 
     /// Runs scheduled exchanges until full dissemination (or
@@ -186,40 +219,63 @@ impl EventGossip {
         delays: D,
     ) -> EventGossipStats {
         let m = self.len();
+        self.run_faulted(config, delays, &FaultScript::empty(m))
+    }
+
+    /// [`EventGossip::run`] under a fault script: down nodes neither
+    /// initiate nor receive, and lossy or partition-crossing frames
+    /// are dropped (see the [module docs](self)). Deterministic per
+    /// `(seed, script)`; an empty script reproduces [`EventGossip::run`]
+    /// bit for bit.
+    pub fn run_faulted<D: Fn(usize, usize) -> f64>(
+        &mut self,
+        config: &EventGossipConfig,
+        delays: D,
+        script: &FaultScript,
+    ) -> EventGossipStats {
+        let m = self.len();
+        assert_eq!(
+            script.len(),
+            m,
+            "fault script compiled for a different size"
+        );
         let mut exchanges = 0usize;
+        let mut dropped = 0usize;
         if m < 2 || self.fully_disseminated() {
             return EventGossipStats {
                 virtual_ms: 0.0,
                 exchanges,
                 complete: true,
+                dropped,
             };
         }
-        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut push = |heap: &mut BinaryHeap<Reverse<Event>>, due: f64, what: What| {
-            heap.push(Reverse(Event { due, seq, what }));
-            seq += 1;
-        };
+        let mut heap: EventHeap<What> = EventHeap::new();
         for node in 0..m as u32 {
-            push(&mut heap, 0.0, What::Tick { node });
+            heap.push(0.0, What::Tick { node });
         }
-        while let Some(Reverse(event)) = heap.pop() {
+        while let Some(event) = heap.pop() {
             let now = event.due;
             if now > config.max_ms {
                 return EventGossipStats {
                     virtual_ms: config.max_ms,
                     exchanges,
                     complete: false,
+                    dropped,
                 };
             }
-            match event.what {
+            match event.item {
                 What::Tick { node } => {
+                    if script.node_down(node as usize, now) {
+                        // A crashed node sits the period out (it keeps
+                        // its view for a warm restart).
+                        heap.push(now + config.period_ms, What::Tick { node });
+                        continue;
+                    }
                     let mut peer = self.rng.gen_range(0..m - 1) as u32;
                     if peer >= node {
                         peer += 1;
                     }
-                    push(
-                        &mut heap,
+                    heap.push(
                         now + delays(node as usize, peer as usize),
                         What::Request {
                             from: node,
@@ -227,9 +283,16 @@ impl EventGossip {
                             view: self.views[node as usize].clone(),
                         },
                     );
-                    push(&mut heap, now + config.period_ms, What::Tick { node });
+                    heap.push(now + config.period_ms, What::Tick { node });
                 }
                 What::Request { from, to, view } => {
+                    if script.node_down(to as usize, now)
+                        || script.crossing_blocked(now, from as usize, to as usize)
+                        || script.loss_drops(now, event.seq)
+                    {
+                        dropped += 1;
+                        continue;
+                    }
                     self.merge(to, &view);
                     // The push half alone can finish the job; checking
                     // only on replies would overstate the completion
@@ -239,18 +302,26 @@ impl EventGossip {
                             virtual_ms: now,
                             exchanges,
                             complete: true,
+                            dropped,
                         };
                     }
-                    push(
-                        &mut heap,
+                    heap.push(
                         now + delays(to as usize, from as usize),
                         What::Reply {
+                            from: to,
                             to: from,
                             view: self.views[to as usize].clone(),
                         },
                     );
                 }
-                What::Reply { to, view } => {
+                What::Reply { from, to, view } => {
+                    if script.node_down(to as usize, now)
+                        || script.crossing_blocked(now, from as usize, to as usize)
+                        || script.loss_drops(now, event.seq)
+                    {
+                        dropped += 1;
+                        continue;
+                    }
                     self.merge(to, &view);
                     exchanges += 1;
                     if self.fully_disseminated() {
@@ -258,6 +329,7 @@ impl EventGossip {
                             virtual_ms: now,
                             exchanges,
                             complete: true,
+                            dropped,
                         };
                     }
                 }
@@ -270,6 +342,7 @@ impl EventGossip {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlb_faults::FaultPlan;
 
     #[test]
     fn disseminates_in_bounded_virtual_time() {
@@ -279,6 +352,7 @@ mod tests {
         assert!(stats.complete, "did not disseminate: {stats:?}");
         assert!(net.fully_disseminated());
         assert!(stats.virtual_ms > 0.0);
+        assert_eq!(stats.dropped, 0);
         // Push-pull completes in O(log m) periods w.h.p.
         assert!(
             stats.virtual_ms < 40.0 * 100.0,
@@ -380,5 +454,108 @@ mod tests {
         assert_eq!(stats.exchanges, 0);
         assert!(!single.is_empty());
         assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn incremental_completion_matches_reality_through_publishes() {
+        let mut net = EventGossip::new(&[1.0, 2.0, 3.0, 4.0, 5.0], 2);
+        assert!(!net.fully_disseminated());
+        net.run(&EventGossipConfig::default(), |_, _| 3.0);
+        assert!(net.fully_disseminated());
+        net.publish(0, 10.0);
+        net.publish(0, 11.0); // double publish: still one stale origin
+        assert!(!net.fully_disseminated());
+        net.run(&EventGossipConfig::default(), |_, _| 3.0);
+        assert!(net.fully_disseminated());
+        for node in 0..5 {
+            assert_eq!(net.view(node)[0], 11.0);
+        }
+    }
+
+    #[test]
+    fn empty_script_reproduces_the_unfaulted_run() {
+        let loads: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let delays = |i: usize, j: usize| 1.0 + ((i * 7 + j * 3) % 5) as f64;
+        let mut plain = EventGossip::new(&loads, 5);
+        let a = plain.run(&EventGossipConfig::default(), delays);
+        let mut scripted = EventGossip::new(&loads, 5);
+        let b = scripted.run_faulted(
+            &EventGossipConfig::default(),
+            delays,
+            &FaultScript::empty(20),
+        );
+        assert_eq!(a, b);
+        for node in 0..20 {
+            assert_eq!(plain.view(node), scripted.view(node));
+        }
+    }
+
+    #[test]
+    fn loss_costs_time_not_correctness() {
+        let loads: Vec<f64> = (0..30).map(|i| (i * 3) as f64).collect();
+        let delays = |_: usize, _: usize| 10.0;
+        let mut clean = EventGossip::new(&loads, 11);
+        let clean_stats = clean.run(&EventGossipConfig::default(), delays);
+        let script = FaultPlan::new().loss(0.5).compile(11, 30);
+        let mut lossy = EventGossip::new(&loads, 11);
+        let lossy_stats = lossy.run_faulted(&EventGossipConfig::default(), delays, &script);
+        assert!(lossy_stats.complete);
+        assert!(lossy.fully_disseminated());
+        assert!(lossy_stats.dropped > 0, "loss must bite: {lossy_stats:?}");
+        assert!(
+            lossy_stats.virtual_ms > clean_stats.virtual_ms,
+            "lossy {} vs clean {}",
+            lossy_stats.virtual_ms,
+            clean_stats.virtual_ms
+        );
+    }
+
+    #[test]
+    fn dissemination_waits_for_crashed_nodes() {
+        let loads: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let script = FaultPlan::new().churn(0.25, 0.0, 2_000.0).compile(3, 12);
+        let mut net = EventGossip::new(&loads, 3);
+        let stats = net.run_faulted(&EventGossipConfig::default(), |_, _| 5.0, &script);
+        assert!(stats.complete);
+        // Nodes that were down until t=2000 cannot have been caught up
+        // before then.
+        assert!(
+            stats.virtual_ms > 2_000.0,
+            "completion at {} must wait for recovery",
+            stats.virtual_ms
+        );
+        for node in 0..12 {
+            assert_eq!(net.view(node), loads);
+        }
+    }
+
+    #[test]
+    fn partition_defers_completion_until_heal() {
+        let loads: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let script = FaultPlan::new().partition(0.0, 1_500.0).compile(9, 16);
+        let mut net = EventGossip::new(&loads, 9);
+        let stats = net.run_faulted(&EventGossipConfig::default(), |_, _| 5.0, &script);
+        assert!(stats.complete);
+        assert!(stats.dropped > 0, "crossing frames dropped");
+        assert!(
+            stats.virtual_ms > 1_500.0,
+            "cross-cut entries spread only after the heal: {}",
+            stats.virtual_ms
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let loads: Vec<f64> = (0..24).map(|i| (i % 7) as f64).collect();
+        let script = FaultPlan::new()
+            .loss(0.3)
+            .churn(0.2, 50.0, 800.0)
+            .compile(13, 24);
+        let run = || {
+            let mut net = EventGossip::new(&loads, 13);
+            let stats = net.run_faulted(&EventGossipConfig::default(), |_, _| 4.0, &script);
+            (stats, net.view(7))
+        };
+        assert_eq!(run(), run());
     }
 }

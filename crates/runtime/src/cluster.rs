@@ -104,6 +104,9 @@ pub struct ClusterReport {
     /// `0` for the thread runtime). Bit-identical across repeats and
     /// `DLB_THREADS` values — the determinism suite's witness.
     pub event_hash: u64,
+    /// What the fault script injected during the run (all zeros for
+    /// the thread runtime and for fault-free event runs).
+    pub faults: dlb_faults::FaultSummary,
 }
 
 /// Runs the full message-passing protocol for `instance` on the thread

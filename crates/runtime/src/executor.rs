@@ -2,7 +2,9 @@
 //!
 //! Instead of one OS thread per organization (m threads and an O(m²)
 //! channel mesh), the executor drives every [`NodeMachine`] plus the
-//! [`CoordinatorMachine`] from a single deterministic event heap:
+//! [`CoordinatorMachine`] from a single deterministic event heap
+//! ([`dlb_core::events::EventHeap`], shared with the scheduled-gossip
+//! simulation in `dlb-gossip`):
 //!
 //! 1. **Pop a delivery batch** — all events due at the earliest
 //!    virtual time. The [`Clock`] decides whether to wait
@@ -38,57 +40,64 @@
 //! is the simulated wall-clock span of the protocol under the given
 //! link delays — the quantity the paper's deployment would observe,
 //! which no thread-runtime stopwatch can produce faithfully.
+//!
+//! # Fault injection
+//!
+//! [`run_cluster_events_faulted`] runs the same simulation under a
+//! compiled [`FaultScript`] (`dlb-faults`), which the executor consults
+//! at two deterministic points:
+//!
+//! * **Scheduling** a data-plane frame:
+//!   [`FaultScript::reliable_link`] composes partition holds, delay
+//!   spikes, and loss-retransmission timeouts into extra one-way
+//!   delay. The §IV exchange moves request ownership, so its frames
+//!   ride a reliable transport — loss makes them *late*, never torn
+//!   (see the `dlb-faults` crate docs).
+//! * **Delivering** a frame: a destination that is down takes nothing
+//!   — except a [`Frame::Commit`], which completes an exchange the
+//!   initiator already applied (the acceptor processed it just before
+//!   dying; dropping it would split requests in half). Down nodes
+//!   emit nothing.
+//!
+//! Crash instants are **latched at round boundaries**: a node that
+//! crashes at `t` drops out of the first round starting at or after
+//! `t` — the coordinator (whose liveness oracle the executor feeds
+//! from the script) stops scheduling it, announces it in the round's
+//! `excluded` set, and stops expecting its report, so every round's
+//! causal chains complete among the nodes that entered it and the
+//! survivors keep converging. A recovered node rejoins at the next
+//! round start. At shutdown, nodes that are down reply nothing; once
+//! in-flight traffic drains, the executor freezes their ledgers into
+//! the final assignment (their requests stay where they were when the
+//! node went down), so conservation holds exactly even under churn.
+//!
+//! The script is pure and every consultation happens on the
+//! single-threaded scheduling path, so fault trajectories — including
+//! the [`FaultSummary`] accounting — are as bit-reproducible as the
+//! fault-free runs, across repeats and `DLB_THREADS` values. An empty
+//! script takes none of these paths: `run_cluster_events` and
+//! `run_cluster_events_faulted(..., &FaultScript::empty(m))` produce
+//! byte-identical reports.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use dlb_core::events::EventHeap;
 use dlb_core::Instance;
+use dlb_faults::{FaultScript, FaultSummary};
 use dlb_par::par_map_mut;
 
 use crate::clock::{Clock, VirtualClock};
 use crate::cluster::{ClusterOptions, ClusterReport};
 use crate::machine::{CoordinatorMachine, Dest, NodeMachine, Outbound};
-use crate::message::Frame;
+use crate::message::{ledger_to_wire, Frame};
 
 /// One-way delay of control-plane frames (coordinator ↔ node), in
 /// virtual ms. Zero: the coordinator models the already-converged
 /// gossip layer, not a physical host (see the module docs).
 const CONTROL_DELAY_MS: f64 = 0.0;
 
-/// A scheduled delivery.
-#[derive(Debug, Clone)]
-struct Event {
-    /// Virtual delivery time in ms.
-    due: f64,
-    /// Tie-breaker: scheduling order. Unique per event.
-    seq: u64,
-    dest: Dest,
-    frame: Arc<Frame>,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Due times are finite by the scheduling asserts.
-        self.due
-            .total_cmp(&other.due)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
+/// What travels on the heap: a frame headed for an inbox.
+type Delivery = (Dest, Arc<Frame>);
 
 /// FNV-1a-style mixing of one word into the event-order fingerprint.
 fn mix(h: u64, v: u64) -> u64 {
@@ -99,16 +108,16 @@ fn mix(h: u64, v: u64) -> u64 {
 /// the running fingerprint. Ledger payloads are deliberately excluded:
 /// the determinism tests compare final ledgers directly, and the hash
 /// only needs to witness the *order* of deliveries.
-fn hash_event(mut h: u64, e: &Event) -> u64 {
-    h = mix(h, e.due.to_bits());
+fn hash_event(mut h: u64, due: f64, dest: Dest, frame: &Frame) -> u64 {
+    h = mix(h, due.to_bits());
     h = mix(
         h,
-        match e.dest {
+        match dest {
             Dest::Node(j) => j as u64,
             Dest::Coordinator => u64::MAX,
         },
     );
-    let (tag, from, round) = match &*e.frame {
+    let (tag, from, round) = match frame {
         Frame::RoundStart { round, .. } => (1u64, 0, *round),
         Frame::Propose { from, round } => (2, *from, *round),
         Frame::Accept { from, round, .. } => (3, *from, *round),
@@ -123,47 +132,45 @@ fn hash_event(mut h: u64, e: &Event) -> u64 {
     mix(h, round)
 }
 
-/// The executor state shared by the scheduling helpers.
-struct Heap {
-    events: BinaryHeap<Reverse<Event>>,
-    next_seq: u64,
+/// The simulated network: the shared event heap plus the delay model
+/// and fault script every scheduled frame passes through.
+struct Fabric<'s, D> {
+    heap: EventHeap<Delivery>,
+    delays: D,
+    script: &'s FaultScript,
+    summary: FaultSummary,
 }
 
-impl Heap {
-    fn push(&mut self, due: f64, dest: Dest, frame: Arc<Frame>) {
-        debug_assert!(due.is_finite(), "event due time must be finite");
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.events.push(Reverse(Event {
-            due,
-            seq,
-            dest,
-            frame,
-        }));
-    }
-
+impl<D: Fn(usize, usize) -> f64> Fabric<'_, D> {
     /// Schedules a machine's emissions. `src` is `None` for the
     /// coordinator.
-    fn schedule<D: Fn(usize, usize) -> f64>(
-        &mut self,
-        now: f64,
-        src: Option<usize>,
-        out: &mut Vec<Outbound>,
-        delays: &D,
-    ) {
+    fn schedule(&mut self, now: f64, src: Option<usize>, out: &mut Vec<Outbound>) {
         for o in out.drain(..) {
             let delay = match (src, o.to) {
                 (Some(i), Dest::Node(j)) => {
-                    let d = delays(i, j as usize);
+                    let d = (self.delays)(i, j as usize);
                     debug_assert!(
                         d.is_finite() && d >= 0.0,
                         "delay({i}, {j}) = {d} must be finite and non-negative"
                     );
-                    d
+                    if self.script.is_empty() {
+                        d
+                    } else {
+                        // The seq this push will receive keys the
+                        // per-frame loss decisions.
+                        let fault =
+                            self.script
+                                .reliable_link(now, i, j as usize, self.heap.next_seq(), d);
+                        if fault.extra_ms > 0.0 {
+                            self.summary.delayed_frames += 1;
+                            self.summary.extra_delay_ms += fault.extra_ms;
+                        }
+                        d + fault.extra_ms
+                    }
                 }
                 _ => CONTROL_DELAY_MS,
             };
-            self.push(now + delay, o.to, o.frame);
+            self.heap.push(now + delay, (o.to, o.frame));
         }
     }
 }
@@ -181,16 +188,38 @@ pub fn run_cluster_events<D>(
 where
     D: Fn(usize, usize) -> f64,
 {
-    run_cluster_events_with_clock(instance, options, delays, &mut VirtualClock)
+    run_cluster_events_faulted(
+        instance,
+        options,
+        delays,
+        &FaultScript::empty(instance.len()),
+    )
 }
 
-/// [`run_cluster_events`] with an explicit pacing [`Clock`] — pass a
-/// [`WallClock`](crate::clock::WallClock) to replay the simulated
-/// schedule in real time.
+/// [`run_cluster_events`] under a fault script: crashes, loss, delay
+/// spikes, and partitions injected at deterministic virtual instants
+/// (see the [module docs](self)). The script must have been compiled
+/// for this instance's size.
+pub fn run_cluster_events_faulted<D>(
+    instance: &Instance,
+    options: &ClusterOptions,
+    delays: D,
+    script: &FaultScript,
+) -> ClusterReport
+where
+    D: Fn(usize, usize) -> f64,
+{
+    run_cluster_events_with_clock(instance, options, delays, script, &mut VirtualClock)
+}
+
+/// [`run_cluster_events_faulted`] with an explicit pacing [`Clock`] —
+/// pass a [`WallClock`](crate::clock::WallClock) to replay the
+/// simulated schedule in real time.
 pub fn run_cluster_events_with_clock<D, C>(
     instance: &Instance,
     options: &ClusterOptions,
     delays: D,
+    script: &FaultScript,
     clock: &mut C,
 ) -> ClusterReport
 where
@@ -198,6 +227,11 @@ where
     C: Clock,
 {
     let m = instance.len();
+    assert_eq!(
+        script.len(),
+        m,
+        "fault script compiled for a different cluster size"
+    );
     let shared = Arc::new(instance.clone());
     let mut coordinator = CoordinatorMachine::new(Arc::clone(&shared), options);
     let mut machines: Vec<Option<NodeMachine>> = (0..m)
@@ -209,15 +243,36 @@ where
             ))
         })
         .collect();
-    let mut heap = Heap {
-        events: BinaryHeap::new(),
-        next_seq: 0,
+    let mut fabric = Fabric {
+        heap: EventHeap::new(),
+        delays,
+        script,
+        summary: FaultSummary::default(),
     };
     let mut out: Vec<Outbound> = Vec::new();
     let mut now = 0.0f64;
     let mut hash = 0xCBF2_9CE4_8422_2325u64; // FNV offset basis
+    let faulty = !script.is_empty();
+    // Which nodes the current round treats as crashed — refreshed from
+    // the coordinator's latch whenever the round advances.
+    let mut down = vec![false; m];
+    // The script's down set only changes at its crash/recovery
+    // instants; cache the phase so the oracle feed is O(1) per batch
+    // instead of an O(m) rebuild.
+    let mut down_phase = script.down_phase(now);
+    if faulty {
+        coordinator.set_down(script.down_at(now));
+    }
     coordinator.start(&mut out);
-    heap.schedule(now, None, &mut out, &delays);
+    let mut latched_round = coordinator.round_number();
+    for &j in coordinator.down_now() {
+        down[j as usize] = true;
+        // Down from the very first round: the run experienced this
+        // crash (the summary counts *latched* transitions, not script
+        // instants a finished run never reached).
+        fabric.summary.crashes += 1;
+    }
+    fabric.schedule(now, None, &mut out);
 
     // Batch scratch, reused across iterations: per-node run queues plus
     // the list of destinations touched this batch (in first-delivery
@@ -226,29 +281,53 @@ where
     let mut touched: Vec<u32> = Vec::new();
     let mut coord_frames: Vec<Arc<Frame>> = Vec::new();
 
-    while let Some(Reverse(first)) = heap.events.pop() {
+    loop {
+        let Some(first) = fabric.heap.pop() else {
+            // In-flight traffic is exhausted. Under a fault script the
+            // shutdown cannot reach crashed nodes: freeze their
+            // ledgers into the final answer (their requests stay where
+            // they were when the node went down).
+            if coordinator.is_collecting() {
+                let frozen: Vec<u32> = coordinator.down_now().to_vec();
+                for j in frozen {
+                    let machine = machines[j as usize].as_ref().expect("machine parked");
+                    let frame = Frame::FinalLedger {
+                        from: j,
+                        ledger: ledger_to_wire(machine.ledger()),
+                    };
+                    coordinator.handle(&frame, &mut out);
+                    fabric.schedule(now, None, &mut out);
+                }
+            }
+            break;
+        };
         now = first.due;
         clock.wait_until(now);
-        hash = hash_event(hash, &first);
-        match first.dest {
-            Dest::Node(j) => {
-                touched.push(j);
-                run_queues[j as usize].push(first.frame);
-            }
-            Dest::Coordinator => coord_frames.push(first.frame),
-        }
-        while heap.events.peek().is_some_and(|Reverse(e)| e.due == now) {
-            let Reverse(e) = heap.events.pop().expect("peeked event present");
-            hash = hash_event(hash, &e);
-            match e.dest {
+        // Classify the whole same-instant batch in (due, seq) order.
+        let mut next = Some(first);
+        while let Some(event) = next {
+            let (dest, frame) = event.item;
+            hash = hash_event(hash, event.due, dest, &frame);
+            match dest {
                 Dest::Node(j) => {
-                    if run_queues[j as usize].is_empty() {
-                        touched.push(j);
+                    if faulty && down[j as usize] && !matches!(*frame, Frame::Commit { .. }) {
+                        // Dead destination: only a Commit — the tail
+                        // of an exchange the initiator already applied
+                        // — still lands (see the module docs).
+                        fabric.summary.dropped_frames += 1;
+                    } else {
+                        if run_queues[j as usize].is_empty() {
+                            touched.push(j);
+                        }
+                        run_queues[j as usize].push(frame);
                     }
-                    run_queues[j as usize].push(e.frame);
                 }
-                Dest::Coordinator => coord_frames.push(e.frame),
+                Dest::Coordinator => coord_frames.push(frame),
             }
+            next = match fabric.heap.peek_due() {
+                Some(due) if due == now => fabric.heap.pop(),
+                _ => None,
+            };
         }
 
         // Fan the touched shards out over the worker pool. Each entry
@@ -278,12 +357,50 @@ where
             })
             .collect();
         for (src, mut outs) in sources.into_iter().zip(emissions) {
-            heap.schedule(now, Some(src as usize), &mut outs, &delays);
+            if faulty && down[src as usize] {
+                // A crashed node sends nothing (it only ever hears a
+                // final Commit; see above).
+                fabric.summary.dropped_frames += outs.len() as u64;
+                continue;
+            }
+            fabric.schedule(now, Some(src as usize), &mut outs);
         }
 
+        if faulty && !coord_frames.is_empty() {
+            // Feed the liveness oracle before any report can close the
+            // round: a round beginning now latches the crashes due by
+            // now. The set is constant within a phase, so only a
+            // phase crossing rebuilds it.
+            let phase = script.down_phase(now);
+            if phase != down_phase {
+                down_phase = phase;
+                coordinator.set_down(script.down_at(now));
+            }
+        }
         for frame in coord_frames.drain(..) {
             coordinator.handle(&frame, &mut out);
-            heap.schedule(now, None, &mut out, &delays);
+            fabric.schedule(now, None, &mut out);
+        }
+        if faulty && coordinator.round_number() != latched_round {
+            latched_round = coordinator.round_number();
+            // Rebuild the delivery gate from the fresh latch, counting
+            // the transitions the run actually experienced: a crash
+            // (or recovery) whose round never started is not an event
+            // of this run.
+            let latched = coordinator.down_now();
+            let mut idx = 0usize;
+            for (j, flag) in down.iter_mut().enumerate() {
+                let now_down = latched.get(idx).is_some_and(|&d| d as usize == j);
+                if now_down {
+                    idx += 1;
+                }
+                match (*flag, now_down) {
+                    (false, true) => fabric.summary.crashes += 1,
+                    (true, false) => fabric.summary.recoveries += 1,
+                    _ => {}
+                }
+                *flag = now_down;
+            }
         }
         if coordinator.is_done() {
             break;
@@ -293,6 +410,7 @@ where
     let mut report = coordinator.into_report();
     report.virtual_ms = now;
     report.event_hash = hash;
+    report.faults = fabric.summary;
     report
 }
 
@@ -304,6 +422,7 @@ mod tests {
     use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
     use dlb_core::LatencyMatrix;
     use dlb_distributed::{Engine, EngineOptions};
+    use dlb_faults::FaultPlan;
 
     /// Half the instance's RTT as the one-way delay — the simplest
     /// honest delay model for tests that already carry a latency
@@ -323,6 +442,7 @@ mod tests {
         assert!((report.assignment.load(1) - 499.5).abs() < 1e-6);
         assert!(report.quiescent);
         assert!(report.virtual_ms > 0.0, "data frames paid link delay");
+        assert!(report.faults.is_quiet(), "no script, no fault events");
     }
 
     #[test]
@@ -474,10 +594,160 @@ mod tests {
             &instance,
             &ClusterOptions::default(),
             |_, _| 2.0,
+            &FaultScript::empty(3),
             &mut clock,
         );
         assert_eq!(virt.event_hash, wall.event_hash);
         assert_eq!(virt.history, wall.history);
         assert_eq!(virt.assignment.loads(), wall.assignment.loads());
+    }
+
+    /// One crashed node: the survivors keep balancing, the victim's
+    /// ledger freezes, and conservation holds exactly.
+    #[test]
+    fn crash_freezes_the_victim_and_survivors_converge() {
+        let mut instance = Instance::homogeneous(8, 1.0, 0.0, 0.0);
+        instance.set_own_loads(vec![800.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let script = FaultPlan::new().crash(0.25, 30.0).compile(5, 8);
+        let victims = script.down_at(1e12);
+        assert_eq!(victims.len(), 2);
+        let report =
+            run_cluster_events_faulted(&instance, &ClusterOptions::default(), |_, _| 5.0, &script);
+        report.assignment.check_invariants(&instance).unwrap();
+        for k in 0..8 {
+            let total = report.assignment.owner_total(k);
+            assert!(
+                (total - instance.own_load(k)).abs() < 1e-6,
+                "owner {k}: {total} != {}",
+                instance.own_load(k)
+            );
+        }
+        assert!(report.quiescent, "survivors must still quiesce");
+        assert_eq!(report.faults.crashes, 2);
+        assert_eq!(report.faults.recoveries, 0);
+        // Crash latching works at round boundaries, so a pure crash
+        // produces no in-flight drops: nothing is ever *sent* to a
+        // node the round already knows is dead.
+        // Survivors carry real load; the peak got spread among them.
+        let live_loaded = (0..8u32)
+            .filter(|j| !victims.contains(j))
+            .filter(|&j| report.assignment.load(j as usize) > 50.0)
+            .count();
+        assert!(live_loaded >= 4, "survivors share the peak");
+    }
+
+    /// Loss and delay spikes stretch virtual time but cannot tear an
+    /// exchange: the run still reaches a conservation-clean fixpoint.
+    #[test]
+    fn loss_and_spikes_delay_but_do_not_tear() {
+        let mut rng = rng_for(23, 0xC4);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 90.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(12, 20.0), &mut rng);
+        let clean = run_cluster_events(&instance, &ClusterOptions::default(), half_rtt(&instance));
+        let script = FaultPlan::new()
+            .loss(0.15)
+            .spike(5.0, 0.0, 2_000.0)
+            .compile(4, 12);
+        let faulted = run_cluster_events_faulted(
+            &instance,
+            &ClusterOptions::default(),
+            half_rtt(&instance),
+            &script,
+        );
+        faulted.assignment.check_invariants(&instance).unwrap();
+        assert!(
+            faulted.virtual_ms > clean.virtual_ms,
+            "faults must cost time: {} vs {}",
+            faulted.virtual_ms,
+            clean.virtual_ms
+        );
+        assert!(faulted.faults.delayed_frames > 0);
+        assert!(faulted.faults.extra_delay_ms > 0.0);
+        assert_eq!(faulted.faults.crashes, 0);
+        assert!(faulted.quiescent);
+    }
+
+    /// A partition holds crossing frames until it heals; the run
+    /// completes afterwards with clean conservation.
+    #[test]
+    fn partition_heals_and_the_run_completes() {
+        let mut rng = rng_for(41, 0xC6);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 100.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(10, 10.0), &mut rng);
+        let script = FaultPlan::new().partition(10.0, 400.0).compile(6, 10);
+        let report = run_cluster_events_faulted(
+            &instance,
+            &ClusterOptions::default(),
+            half_rtt(&instance),
+            &script,
+        );
+        report.assignment.check_invariants(&instance).unwrap();
+        assert!(report.quiescent);
+        assert!(
+            report.virtual_ms > 400.0,
+            "crossing traffic waits for the heal: {}",
+            report.virtual_ms
+        );
+    }
+
+    /// Recovery: nodes that crash and come back rejoin the rounds and
+    /// end up carrying load again.
+    #[test]
+    fn recovered_nodes_rejoin() {
+        let mut rng = rng_for(48, 0xC7);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 100.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(8, 10.0), &mut rng);
+        let script = FaultPlan::new().churn(0.5, 20.0, 120.0).compile(2, 8);
+        let report = run_cluster_events_faulted(
+            &instance,
+            &ClusterOptions::default(),
+            half_rtt(&instance),
+            &script,
+        );
+        report.assignment.check_invariants(&instance).unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.faults.crashes, 4);
+        assert_eq!(report.faults.recoveries, 4);
+        // After recovery every node is a balancing citizen again:
+        // every server ends up carrying real load.
+        let loaded = (0..8).filter(|&j| report.assignment.load(j) > 10.0).count();
+        assert!(loaded >= 7, "recovered nodes take load: {loaded}");
+    }
+
+    /// The no-faults parity the scenario layer relies on: an empty
+    /// script is byte-identical to the fault-free entry point.
+    #[test]
+    fn empty_script_is_byte_identical_to_no_script() {
+        let mut rng = rng_for(31, 0xC5);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 70.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(14, 15.0), &mut rng);
+        let plain = run_cluster_events(&instance, &ClusterOptions::default(), half_rtt(&instance));
+        let scripted = run_cluster_events_faulted(
+            &instance,
+            &ClusterOptions::default(),
+            half_rtt(&instance),
+            &FaultScript::empty(14),
+        );
+        assert_eq!(plain.event_hash, scripted.event_hash);
+        assert_eq!(plain.history, scripted.history);
+        assert_eq!(plain.virtual_ms, scripted.virtual_ms);
+        assert_eq!(plain.assignment.loads(), scripted.assignment.loads());
+        assert_eq!(plain.faults, scripted.faults);
     }
 }

@@ -257,6 +257,13 @@ impl NodeMachine {
         self.done
     }
 
+    /// The machine's current request ledger. Fault-aware drivers read
+    /// this to freeze a crashed node's state into the final assignment
+    /// (its requests stay where they were when it went down).
+    pub fn ledger(&self) -> &SparseVec {
+        &self.ledger
+    }
+
     /// Consumes one inbound frame, appending any outbound frames to
     /// `out` in send order.
     pub fn handle(&mut self, frame: &Frame, out: &mut Vec<Outbound>) {
@@ -288,7 +295,7 @@ impl NodeMachine {
                     self.deferred = Some(frame.clone());
                     return;
                 }
-                self.start_round(*round, loads, excluded, out);
+                self.start_round(*round, loads.as_slice(), excluded, out);
             }
             Frame::Propose { from, round } => self.on_propose(*from, *round, out),
             Frame::Accept {
@@ -543,6 +550,15 @@ pub struct CoordinatorMachine {
     rounds: usize,
     quiescent: bool,
     reports: usize,
+    /// Reports expected this round: every node not down at the round
+    /// start.
+    expected: usize,
+    /// Liveness oracle input (sorted): what the driver last told us
+    /// about crashed nodes. Latched into `down` at each round start.
+    pending_down: Vec<u32>,
+    /// The down set latched at the current round's start. Frozen for
+    /// the round, so every live node's causal chains complete.
+    down: Vec<u32>,
     seen: Vec<bool>,
     round_moved: f64,
     ledgers: Vec<Option<SparseVec>>,
@@ -588,6 +604,9 @@ impl CoordinatorMachine {
             rounds: 0,
             quiescent: false,
             reports: 0,
+            expected: m,
+            pending_down: Vec::new(),
+            down: Vec::new(),
             seen: vec![false; m],
             round_moved: 0.0,
             ledgers: (0..m).map(|_| None).collect(),
@@ -611,6 +630,34 @@ impl CoordinatorMachine {
         self.phase == Phase::Done
     }
 
+    /// Whether the shutdown broadcast has gone out and final ledgers
+    /// are being collected.
+    pub fn is_collecting(&self) -> bool {
+        self.phase == Phase::Collecting
+    }
+
+    /// The current (1-based) round number.
+    pub fn round_number(&self) -> u64 {
+        self.round
+    }
+
+    /// Updates the liveness oracle: `down` is the sorted list of nodes
+    /// currently crashed. The set is *latched at the next round start*
+    /// — mid-round it changes nothing, so a round's causal chains
+    /// always complete among the nodes that entered it. Fault-free
+    /// drivers never call this.
+    pub fn set_down(&mut self, down: Vec<u32>) {
+        debug_assert!(down.windows(2).all(|w| w[0] < w[1]), "down set not sorted");
+        debug_assert!(down.len() < self.len(), "at least one node must live");
+        self.pending_down = down;
+    }
+
+    /// The down set latched at the current round's start (what the
+    /// driver must gate data-plane deliveries on).
+    pub fn down_now(&self) -> &[u32] {
+        &self.down
+    }
+
     /// Kicks off round 1. Rounds are 1-based on the wire: nodes boot
     /// with `round == 0` meaning "no round joined yet", so a proposal
     /// that overtakes the recipient's own RoundStart is correctly
@@ -626,24 +673,50 @@ impl CoordinatorMachine {
         self.reports = 0;
         self.round_moved = 0.0;
         self.seen.iter_mut().for_each(|s| *s = false);
+        // Latch the liveness oracle for the round: crashed nodes get no
+        // RoundStart, owe no report, and are announced as excluded so
+        // no live node proposes to (or audits) them.
+        self.down = self.pending_down.clone();
+        self.expected = self.len() - self.down.len();
+        let mut excluded = self.options.failed.clone();
+        for &j in &self.down {
+            if !excluded.contains(&j) {
+                excluded.push(j);
+            }
+        }
         let frame = Arc::new(Frame::RoundStart {
             round: self.round,
-            loads: self.loads.clone(),
-            excluded: self.options.failed.clone(),
+            loads: Arc::new(self.loads.clone()),
+            excluded,
         });
-        out.extend((0..self.len() as u32).map(|j| Outbound {
-            to: Dest::Node(j),
-            frame: Arc::clone(&frame),
-        }));
+        self.broadcast_live(frame, out);
     }
 
     fn shutdown(&mut self, out: &mut Vec<Outbound>) {
         self.phase = Phase::Collecting;
-        let frame = Arc::new(Frame::Shutdown);
-        out.extend((0..self.len() as u32).map(|j| Outbound {
-            to: Dest::Node(j),
-            frame: Arc::clone(&frame),
-        }));
+        self.broadcast_live(Arc::new(Frame::Shutdown), out);
+    }
+
+    /// Queues `frame` for every node not in the latched down set —
+    /// one merge pass over the sorted `down` list, not a `contains`
+    /// scan per node.
+    fn broadcast_live(&self, frame: Arc<Frame>, out: &mut Vec<Outbound>) {
+        let mut idx = 0usize;
+        out.extend(
+            (0..self.len() as u32)
+                .filter(|&j| {
+                    if self.down.get(idx) == Some(&j) {
+                        idx += 1;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .map(|j| Outbound {
+                    to: Dest::Node(j),
+                    frame: Arc::clone(&frame),
+                }),
+        );
     }
 
     /// Consumes one control-plane frame, appending any broadcasts to
@@ -691,7 +764,7 @@ impl CoordinatorMachine {
                     // itself.
                     RoundOutcome::Accepted | RoundOutcome::NoProposal => {}
                 }
-                if self.reports == self.len() {
+                if self.reports == self.expected {
                     self.end_round(out);
                 }
             }
@@ -763,6 +836,7 @@ impl CoordinatorMachine {
             quiescent: self.quiescent,
             virtual_ms: 0.0,
             event_hash: 0,
+            faults: dlb_faults::FaultSummary::default(),
         }
     }
 }
@@ -843,7 +917,7 @@ mod tests {
             &mut machine,
             Frame::RoundStart {
                 round: 1,
-                loads: vec![0.0, 0.0],
+                loads: Arc::new(vec![0.0, 0.0]),
                 excluded: vec![],
             },
         );
@@ -896,7 +970,7 @@ mod tests {
             &mut machine,
             Frame::RoundStart {
                 round: 1,
-                loads: vec![0.0, 0.0, 0.0],
+                loads: Arc::new(vec![0.0, 0.0, 0.0]),
                 excluded: vec![],
             },
         );
@@ -910,7 +984,7 @@ mod tests {
             &mut machine,
             Frame::RoundStart {
                 round: 2,
-                loads: vec![1.0, 1.0, 1.0],
+                loads: Arc::new(vec![1.0, 1.0, 1.0]),
                 excluded: vec![],
             },
         );

@@ -21,6 +21,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dlb_core::SparseVec;
+use std::sync::Arc;
 
 /// How a node's initiator role ended this round (carried by
 /// [`Frame::Report`]).
@@ -70,9 +71,13 @@ pub enum Frame {
     RoundStart {
         /// Round number (0-based).
         round: u64,
-        /// Load of every server, by index.
-        loads: Vec<f64>,
-        /// Servers excluded this round (failed / partitioned).
+        /// Load of every server, by index. One `Arc` per round
+        /// (epoch): the coordinator builds the vector once and every
+        /// per-node frame — including the per-channel `Frame` clones
+        /// the thread runtime makes — shares it instead of carrying
+        /// one of `m` copies.
+        loads: Arc<Vec<f64>>,
+        /// Servers excluded this round (failed / crashed).
         excluded: Vec<u32>,
     },
     /// Node → node: "let us run Algorithm 1 on our pair".
@@ -189,7 +194,7 @@ impl Frame {
                 buf.put_u8(TAG_ROUND_START);
                 buf.put_u64_le(*round);
                 buf.put_u32_le(loads.len() as u32);
-                for &l in loads {
+                for &l in loads.iter() {
                     buf.put_f64_le(l);
                 }
                 buf.put_u32_le(excluded.len() as u32);
@@ -281,7 +286,7 @@ impl Frame {
                 if buf.remaining() < n * 8 + 4 {
                     return None;
                 }
-                let loads = (0..n).map(|_| buf.get_f64_le()).collect();
+                let loads = Arc::new((0..n).map(|_| buf.get_f64_le()).collect());
                 let k = buf.get_u32_le() as usize;
                 if buf.remaining() < k * 4 {
                     return None;
@@ -413,7 +418,7 @@ mod tests {
     fn roundtrip_all_variants() {
         roundtrip(Frame::RoundStart {
             round: 7,
-            loads: vec![1.0, 2.5, 0.0],
+            loads: Arc::new(vec![1.0, 2.5, 0.0]),
             excluded: vec![2],
         });
         roundtrip(Frame::Propose { from: 3, round: 9 });

@@ -31,7 +31,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         )
             .prop_map(|(round, loads, excluded)| Frame::RoundStart {
                 round,
-                loads,
+                loads: std::sync::Arc::new(loads),
                 excluded
             }),
         (any::<u32>(), any::<u64>()).prop_map(|(from, round)| Frame::Propose { from, round }),

@@ -16,7 +16,8 @@
 
 use dlb_core::workload::LoadDistribution;
 use dlb_core::Instance;
-use dlb_runtime::{run_cluster_events, ClusterOptions, ClusterReport};
+use dlb_faults::{FaultPlan, FaultScript};
+use dlb_runtime::{run_cluster_events, run_cluster_events_faulted, ClusterOptions, ClusterReport};
 use std::sync::Mutex;
 
 mod common;
@@ -77,6 +78,49 @@ fn event_order_and_results_are_thread_count_invariant() {
     let default = fingerprint(&simulate(&inst));
     assert_eq!(one, four, "DLB_THREADS=1 vs 4 diverged");
     assert_eq!(one, default, "pinned vs default thread count diverged");
+}
+
+/// A crash+loss+spike+partition script over the same workload: fault
+/// trajectories must be exactly as thread-count-invariant as clean
+/// runs — every script consultation happens on the single-threaded
+/// scheduling path.
+fn chaos_script(m: usize) -> FaultScript {
+    FaultPlan::new()
+        .churn(0.2, 40.0, 400.0)
+        .loss(0.1)
+        .spike(3.0, 20.0, 300.0)
+        .partition(60.0, 200.0)
+        .compile(5, m)
+}
+
+fn simulate_faulted(instance: &Instance, script: &FaultScript) -> ClusterReport {
+    run_cluster_events_faulted(
+        instance,
+        &ClusterOptions::default(),
+        |i, j| instance.c(i, j) / 2.0,
+        script,
+    )
+}
+
+#[test]
+fn fault_trajectories_are_thread_count_invariant() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let inst = instance(64, 1);
+    let script = chaos_script(64);
+    std::env::set_var("DLB_THREADS", "1");
+    let one = fingerprint(&simulate_faulted(&inst, &script));
+    let one_faults = simulate_faulted(&inst, &script).faults;
+    std::env::set_var("DLB_THREADS", "4");
+    let four = fingerprint(&simulate_faulted(&inst, &script));
+    let four_faults = simulate_faulted(&inst, &script).faults;
+    std::env::remove_var("DLB_THREADS");
+    let default = fingerprint(&simulate_faulted(&inst, &script));
+    assert_eq!(one, four, "faulted DLB_THREADS=1 vs 4 diverged");
+    assert_eq!(one, default, "faulted pinned vs default diverged");
+    assert_eq!(one_faults, four_faults, "fault summaries diverged");
+    // The script really bit: the trajectory differs from the clean run.
+    let clean = fingerprint(&simulate(&inst));
+    assert_ne!(one.0, clean.0, "faults must change the event order");
 }
 
 #[test]

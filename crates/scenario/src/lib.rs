@@ -25,6 +25,12 @@
 //!   virtual-time executor with per-link delays sampled from
 //!   `dlb-netsim`, which hosts Figure-2-scale clusters in one process
 //!   and records *simulated protocol seconds* as the run's time.
+//! * The `faults=` axis schedules deterministic fault injection for
+//!   `algo=protocol runtime=events` scenarios
+//!   (`faults=crash:0.1@500ms,loss:0.05`): node crashes/recoveries,
+//!   per-link loss, delay spikes, and partitions from `dlb-faults`,
+//!   compiled per run with the scenario's seed. The [`RunRecord`]
+//!   carries the resulting fault-event summary.
 //!
 //! ```
 //! use dlb_scenario::{AlgoSpec, ScenarioSpec};
@@ -44,3 +50,7 @@ pub mod spec;
 
 pub use runner::{runner_for, RunRecord, Runner};
 pub use spec::{AlgoSpec, NetSpec, RuntimeSpec, ScenarioSpec, SpecError, SpeedKind};
+
+// The fault axis's plan/summary types, so spec-level callers need no
+// direct dlb-faults dependency.
+pub use dlb_faults::{FaultPlan, FaultSummary};

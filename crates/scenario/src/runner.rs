@@ -11,9 +11,10 @@ use std::time::Instant;
 use dlb_core::cost::total_cost;
 use dlb_core::Assignment;
 use dlb_distributed::{Engine, EngineOptions, RoundMode};
+use dlb_faults::FaultSummary;
 use dlb_game::{run_best_response_dynamics, DynamicsOptions};
 use dlb_netsim::LinkDelayModel;
-use dlb_runtime::{run_cluster, run_cluster_events, ClusterOptions};
+use dlb_runtime::{run_cluster, run_cluster_events_faulted, ClusterOptions};
 use dlb_solver::solve_bcd;
 
 use crate::spec::{AlgoSpec, RuntimeSpec, ScenarioSpec};
@@ -43,6 +44,10 @@ pub struct RunRecord {
     /// quantity a deployment would measure, and deterministic per
     /// seed, so whole records are bit-reproducible.
     pub wall_secs: f64,
+    /// Fault-event summary: what the scenario's `faults=` schedule
+    /// actually injected (crashes, recoveries, dropped and delayed
+    /// frames). All zeros when the scenario has no fault schedule.
+    pub faults: FaultSummary,
 }
 
 impl RunRecord {
@@ -62,6 +67,17 @@ impl RunRecord {
         let target = optimum * (1.0 + rel_err);
         self.history.iter().position(|&c| c <= target + 1e-12)
     }
+}
+
+/// Every runner's first check: a fault plan may only reach the event
+/// executor — any other system would silently measure a fault-free
+/// run and report it as a faulted one.
+fn assert_faults_runnable(spec: &ScenarioSpec) {
+    assert!(
+        spec.faults.is_empty()
+            || (spec.algo == AlgoSpec::Protocol && spec.runtime == RuntimeSpec::Events),
+        "faults= requires algo=protocol runtime=events, got '{spec}'"
+    );
 }
 
 /// Executes scenarios for one algorithm family.
@@ -91,6 +107,7 @@ impl Runner for EngineRunner {
     }
 
     fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
+        assert_faults_runnable(spec);
         let round_mode = match spec.algo {
             AlgoSpec::Batched => RoundMode::Batched,
             _ => RoundMode::Sequential,
@@ -114,6 +131,7 @@ impl Runner for EngineRunner {
             iterations: report.iterations,
             converged: report.converged,
             wall_secs: start.elapsed().as_secs_f64(),
+            faults: FaultSummary::default(),
         }
     }
 }
@@ -130,6 +148,7 @@ impl Runner for NashRunner {
     }
 
     fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
+        assert_faults_runnable(spec);
         let mut assignment = Assignment::local(&instance);
         let initial = total_cost(&instance, &assignment);
         let start = Instant::now();
@@ -152,6 +171,7 @@ impl Runner for NashRunner {
             iterations: report.rounds,
             converged: report.converged,
             wall_secs: start.elapsed().as_secs_f64(),
+            faults: FaultSummary::default(),
         }
     }
 }
@@ -173,6 +193,7 @@ impl Runner for ProtocolRunner {
     }
 
     fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
+        assert_faults_runnable(spec);
         let options = ClusterOptions {
             max_rounds: spec.budget,
             quiescent_rounds: spec.patience.max(1),
@@ -187,8 +208,18 @@ impl Runner for ProtocolRunner {
             }
             RuntimeSpec::Events => {
                 let delays = LinkDelayModel::new(instance.latency(), spec.seed);
-                let report =
-                    run_cluster_events(&instance, &options, |i, j| delays.one_way_ms(i, j));
+                // The scenario's seed compiles the fault plan, so one
+                // seed fixes the workload, the link delays, *and* the
+                // fault trajectory. An empty plan compiles to the
+                // empty script, which the executor treats exactly as
+                // "no faults" — byte-equal records.
+                let script = spec.faults.compile(spec.seed, instance.len());
+                let report = run_cluster_events_faulted(
+                    &instance,
+                    &options,
+                    |i, j| delays.one_way_ms(i, j),
+                    &script,
+                );
                 let secs = report.virtual_ms / 1000.0;
                 (report, secs)
             }
@@ -201,6 +232,7 @@ impl Runner for ProtocolRunner {
             iterations: report.rounds,
             converged: report.quiescent,
             wall_secs: secs,
+            faults: report.faults,
         }
     }
 }
@@ -215,6 +247,7 @@ impl Runner for BcdRunner {
     }
 
     fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
+        assert_faults_runnable(spec);
         let initial = total_cost(&instance, &Assignment::local(&instance));
         let start = Instant::now();
         let (_, report) = solve_bcd(&instance, spec.budget, spec.eps);
@@ -226,6 +259,7 @@ impl Runner for BcdRunner {
             iterations: report.iters,
             converged: report.converged,
             wall_secs: start.elapsed().as_secs_f64(),
+            faults: FaultSummary::default(),
         }
     }
 }
@@ -242,12 +276,23 @@ pub fn runner_for(algo: AlgoSpec) -> &'static dyn Runner {
 
 impl ScenarioSpec {
     /// Runs this scenario on the system its `algo` names.
+    ///
+    /// # Panics
+    /// Panics when a fault schedule is attached to anything but
+    /// `algo=protocol runtime=events` — the builder cannot enforce
+    /// what [`ScenarioSpec::parse`] rejects, so every runner does (a
+    /// silently ignored fault plan would masquerade as a clean
+    /// measurement).
     pub fn run(&self) -> RunRecord {
         runner_for(self.algo).run(self)
     }
 
     /// Runs this scenario on a prebuilt instance (one sample shared
     /// across several scenarios — see [`Runner::run_on`]).
+    ///
+    /// # Panics
+    /// Panics on a fault schedule outside `algo=protocol
+    /// runtime=events` (see [`ScenarioSpec::run`]).
     pub fn run_on(&self, instance: Instance) -> RunRecord {
         runner_for(self.algo).run_on(self, instance)
     }
@@ -387,6 +432,30 @@ mod tests {
             "events {} vs engine {fixpoint}",
             a.final_cost()
         );
+    }
+
+    /// The builder can construct what parse() rejects; every runner
+    /// must refuse to silently ignore a fault plan.
+    #[test]
+    #[should_panic(expected = "faults= requires algo=protocol runtime=events")]
+    fn builder_fault_plans_cannot_ride_the_thread_runtime() {
+        ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .servers(4)
+            .faults(dlb_faults::FaultPlan::new().loss(0.1))
+            .run();
+    }
+
+    /// ...including on the direct-Runner path for non-protocol
+    /// algorithms, which have no fault support at all.
+    #[test]
+    #[should_panic(expected = "faults= requires algo=protocol runtime=events")]
+    fn direct_engine_runner_rejects_fault_plans() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Batched)
+            .servers(4)
+            .faults(dlb_faults::FaultPlan::new().loss(0.1));
+        EngineRunner.run_on(&spec, spec.build_instance());
     }
 
     #[test]

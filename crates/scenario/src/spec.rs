@@ -21,6 +21,7 @@ use std::str::FromStr;
 use dlb_core::rngutil::rng_for;
 use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
 use dlb_core::{Instance, LatencyMatrix};
+use dlb_faults::FaultPlan;
 use dlb_topology::{EuclideanConfig, PlanetLabConfig};
 
 /// RNG stream salt of the single instance-sampling path. This is the
@@ -244,6 +245,12 @@ pub struct ScenarioSpec {
     /// the deterministic event-driven executor. Other algorithms
     /// ignore it.
     pub runtime: RuntimeSpec,
+    /// Fault schedule injected into the run (`faults=`), e.g.
+    /// `faults=crash:0.1@500ms,loss:0.05`. Only meaningful for
+    /// `algo=protocol runtime=events` (the deterministic simulation
+    /// that can replay faults); [`ScenarioSpec::parse`] rejects other
+    /// combinations. Compiled per run with the scenario's seed.
+    pub faults: FaultPlan,
 }
 
 impl Default for ScenarioSpec {
@@ -260,8 +267,13 @@ impl Default for ScenarioSpec {
             gran: 0.0,
             eps: 1e-10,
             patience: 3,
-            budget: 200,
+            // Sized for Figure-2-scale event runs: m = 2000 needs
+            // ~900 rounds to quiesce, and fault schedules stretch
+            // that further. Convergent runs stop on eps/patience long
+            // before the budget binds.
+            budget: 2_000,
             runtime: RuntimeSpec::Threads,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -340,6 +352,15 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the fault schedule. Only `algo=protocol runtime=events`
+    /// can replay one: [`ScenarioSpec::parse`] rejects other
+    /// combinations up front, and the run entry points panic on them
+    /// (the builder alone cannot see the final key combination).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Parses the text form. Empty input yields the default scenario;
     /// unknown keys, malformed values, and duplicate keys are errors.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
@@ -380,16 +401,29 @@ impl ScenarioSpec {
                     }
                 }
                 "runtime" => spec.runtime = RuntimeSpec::parse(value)?,
+                "faults" => {
+                    spec.faults = FaultPlan::parse(value)
+                        .map_err(|e| SpecError(format!("faults: {}", e.0)))?
+                }
                 _ => {
                     return Err(SpecError(format!(
                         "unknown key '{key}' (valid: algo net m lat load avg speeds seed gran \
-                         eps patience budget runtime)"
+                         eps patience budget runtime faults)"
                     )))
                 }
             }
             // `split_once` borrows from `token`, which lives as long as
             // `text`; remember the key for duplicate detection.
             seen.push(key);
+        }
+        if !spec.faults.is_empty()
+            && (spec.algo != AlgoSpec::Protocol || spec.runtime != RuntimeSpec::Events)
+        {
+            return Err(SpecError(
+                "faults= requires algo=protocol runtime=events (the deterministic \
+                 simulation is what can replay a fault schedule)"
+                    .into(),
+            ));
         }
         Ok(spec)
     }
@@ -480,6 +514,9 @@ impl fmt::Display for ScenarioSpec {
         }
         if self.runtime != d.runtime {
             write!(f, " runtime={}", self.runtime.label())?;
+        }
+        if self.faults != d.faults {
+            write!(f, " faults={}", self.faults)?;
         }
         Ok(())
     }
@@ -594,6 +631,49 @@ mod tests {
         // The default is omitted from the canonical text form.
         let threads = ScenarioSpec::new().runtime(RuntimeSpec::Threads);
         assert!(!threads.to_string().contains("runtime="));
+    }
+
+    #[test]
+    fn faults_key_round_trips_and_validates() {
+        let spec: ScenarioSpec =
+            "algo=protocol runtime=events m=40 faults=crash:0.1@500ms,loss:0.05"
+                .parse()
+                .unwrap();
+        assert!(!spec.faults.is_empty());
+        assert_eq!(
+            spec.to_string(),
+            "algo=protocol net=homog m=40 runtime=events faults=crash:0.1@500ms,loss:0.05"
+        );
+        assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
+        // The default (empty) plan is omitted from the canonical form.
+        assert!(!ScenarioSpec::default().to_string().contains("faults="));
+        // The builder mirrors the text form.
+        let built = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(RuntimeSpec::Events)
+            .servers(40)
+            .faults(FaultPlan::new().crash(0.1, 500.0).loss(0.05));
+        assert_eq!(built, spec);
+    }
+
+    #[test]
+    fn faults_require_the_event_protocol() {
+        for text in [
+            "faults=loss:0.1",               // default algo=sequential
+            "algo=protocol faults=loss:0.1", // default runtime=threads
+            "algo=batched runtime=events faults=loss:0.1",
+        ] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                err.0.contains("algo=protocol runtime=events"),
+                "'{text}' -> {err}"
+            );
+        }
+        // Key order must not matter for the validation.
+        assert!(ScenarioSpec::parse("faults=loss:0.1 algo=protocol runtime=events").is_ok());
+        // Bad plans surface the faults-specific message.
+        let err = ScenarioSpec::parse("algo=protocol runtime=events faults=warp:1").unwrap_err();
+        assert!(err.0.contains("faults: unknown fault kind"), "{err}");
     }
 
     #[test]

@@ -78,6 +78,37 @@
 //! and [`runtime::clock::WallClock`] replays an identical schedule in
 //! real time.
 //!
+//! ## Fault & churn injection
+//!
+//! The `faults=` axis turns the deterministic executor into an
+//! adversarial testbed: a declarative [`faults::FaultPlan`] schedules
+//! node crashes/recoveries, per-link frame loss, delay spikes, and
+//! network partitions at virtual instants, and the scenario's seed
+//! compiles it into a concrete per-run script — so one seed fixes the
+//! workload, the link delays, *and* the fault trajectory, and a run
+//! under `crash:0.1@500ms,loss:0.05` reproduces bit for bit:
+//!
+//! ```
+//! use delay_lb::prelude::*;
+//!
+//! let spec: ScenarioSpec =
+//!     "algo=protocol runtime=events m=30 faults=crash:0.2@100ms,loss:0.1"
+//!         .parse()
+//!         .unwrap();
+//! let (a, b) = (spec.run(), spec.run());
+//! assert_eq!(a, b); // the fault trajectory replays exactly
+//! assert_eq!(a.faults.crashes, 6); // 20% of 30 nodes went down...
+//! assert!(a.converged); // ...and the survivors still converged
+//! ```
+//!
+//! Crashed nodes drop out of the next round (the survivors keep
+//! balancing; a victim's ledger freezes so conservation stays exact),
+//! loss and spikes stretch the simulated protocol time the record
+//! reports, and the same script can gate the gossip layer
+//! ([`gossip::EventGossip::run_faulted`]) to measure
+//! dissemination-under-churn in virtual ms. The shell form is
+//! `dlb run algo=protocol runtime=events faults=crash:0.1@500ms,loss:0.05 m=2000`.
+//!
 //! ## Crate map
 //!
 //! | module | contents |
@@ -94,6 +125,7 @@
 //! | [`netsim`] | flow-level network sim (Table IV) |
 //! | [`extensions`] | §VII: heterogeneous tasks, R-replication |
 //! | [`runtime`] | the protocol deployed twice: thread-per-node cluster and the deterministic event executor |
+//! | [`faults`] | deterministic fault & churn injection: crash/recover, loss, delay spikes, partitions |
 //! | [`coords`] | Vivaldi network coordinates: the latency-estimation substrate |
 
 #![warn(missing_docs)]
@@ -103,6 +135,7 @@ pub use dlb_coords as coords;
 pub use dlb_core as core;
 pub use dlb_distributed as distributed;
 pub use dlb_extensions as extensions;
+pub use dlb_faults as faults;
 pub use dlb_flow as flow;
 pub use dlb_game as game;
 pub use dlb_gossip as gossip;
@@ -120,10 +153,13 @@ pub mod prelude {
     pub use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
     pub use dlb_core::{Assignment, Instance, LatencyMatrix};
     pub use dlb_distributed::{Engine, EngineOptions, RoundMode};
+    pub use dlb_faults::{FaultPlan, FaultScript, FaultSummary};
     pub use dlb_game::{
         epsilon_nash_gap, run_best_response_dynamics, theorem1_bounds, DynamicsOptions,
     };
-    pub use dlb_runtime::{run_cluster, run_cluster_events, ClusterOptions, VirtualClock};
+    pub use dlb_runtime::{
+        run_cluster, run_cluster_events, run_cluster_events_faulted, ClusterOptions, VirtualClock,
+    };
     pub use dlb_scenario::{
         AlgoSpec, NetSpec, RunRecord, Runner, RuntimeSpec, ScenarioSpec, SpeedKind,
     };
