@@ -11,6 +11,14 @@
 //! (minutes of runtime); the default `fast` grids keep every qualitative
 //! conclusion but finish in seconds, and are what `cargo bench` runs in
 //! CI.
+//!
+//! Reading the committed artifacts: every record carries `host_cores`.
+//! On a 1-core host the `dlb-par` worker pool degrades to its
+//! sequential inline path, so wall-clock rows recorded there (the
+//! committed `BENCH_runtime.json` snapshots included) *understate* the
+//! executor's multi-core fan-out — the delivery batches and the
+//! per-round scoring shard across `DLB_THREADS` workers on real
+//! hardware. Compare rows only within one `host_cores` value.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -3,6 +3,7 @@
 //! ```text
 //! dlb run algo=batched net=pl m=500 load=peak avg=200 seed=7
 //! dlb run algo=protocol runtime=events faults=crash:0.1@500ms,loss:0.05 m=2000
+//! dlb run algo=protocol runtime=events m=100000 net=homog select=topk:32 patience=8
 //! dlb run --scenario "algo=nash m=24 eps=0.01 patience=2" --out nash.jsonl
 //! dlb report BENCH_figure2.json
 //! dlb optimize --servers 50 --network pl --load exp --avg 50
@@ -58,6 +59,14 @@ run:
                       the deterministic virtual-time executor (scales
                       to m=5000 in one process; reports simulated
                       protocol seconds)
+    select=exact      exact | topk:K — partner selection, algo=protocol
+                      only. exact scores every peer per round (O(m)
+                      per node); topk:K scores the K delay-nearest
+                      peers plus the gossiped hot set (most/least
+                      loaded), rebuilt only when the load vector
+                      changes. topk:32 runs m=100000 event rounds:
+                      dlb run algo=protocol runtime=events m=100000 \\
+                        net=homog select=topk:32 patience=8
     faults=           deterministic fault schedule, algo=protocol
                       runtime=events only. Comma-separated primitives:
                       crash:F@Tms[..Tms] (fraction F crashes at T,

@@ -147,6 +147,9 @@ impl Instance {
         if self.speeds.iter().any(|&s| (s - s0).abs() > tol) {
             return false;
         }
+        if self.latency.homogeneous_value().is_some() {
+            return true; // compact storage: uniform by representation
+        }
         let mut c0 = None;
         for i in 0..m {
             for j in 0..m {

@@ -1,4 +1,4 @@
-//! Dense pairwise communication-latency matrices.
+//! Pairwise communication-latency matrices.
 //!
 //! The model assumes the latency `c_{ij}` of relaying a single request
 //! between servers `i` and `j` is a constant that does not depend on the
@@ -6,17 +6,34 @@
 //! `dlb-netsim` recreates). `c_{ii} = 0` always. An entry of
 //! `f64::INFINITY` encodes "organization `i` may not relay to `j`"
 //! (the trust-restricted variant from §II).
+//!
+//! Storage is adaptive: the paper's homogeneous network (`c_{ij} = c`)
+//! is held as a single scalar — `O(1)` memory instead of the dense
+//! `m²` table, which at the 100 000-server scale the event runtime
+//! targets would be an 80 GB allocation. Heterogeneous generators get
+//! the dense representation the moment they write a non-uniform entry.
 
-/// A dense `m × m` matrix of pairwise communication latencies in
+/// An `m × m` matrix of pairwise communication latencies in
 /// milliseconds.
 ///
 /// The matrix is not required to be symmetric (real RTT measurements are
 /// mildly asymmetric) but must have a zero diagonal and non-negative
-/// entries.
-#[derive(Debug, Clone, PartialEq)]
+/// entries. Equality is semantic (entry-wise), independent of the
+/// internal representation.
+#[derive(Debug, Clone)]
 pub struct LatencyMatrix {
     m: usize,
-    data: Vec<f64>,
+    storage: Storage,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    /// Row-major `m * m` entries.
+    Dense(Vec<f64>),
+    /// `c_{ij} = c` for every `i ≠ j`, zero diagonal. Covers both the
+    /// paper's homogeneous network and the degenerate single-site
+    /// (all-zero) network without materializing `m²` floats.
+    Homogeneous(f64),
 }
 
 impl LatencyMatrix {
@@ -36,18 +53,21 @@ impl LatencyMatrix {
                 "latency must be non-negative (entry {idx} is {v})"
             );
         }
-        Self { m, data }
+        Self {
+            m,
+            storage: Storage::Dense(data),
+        }
     }
 
     /// A fully connected homogeneous network: `c_{ij} = c` for all
-    /// `i ≠ j` (the paper's `c_{ij} = 20` configuration).
+    /// `i ≠ j` (the paper's `c_{ij} = 20` configuration). `O(1)` memory
+    /// for any `m`.
     pub fn homogeneous(m: usize, c: f64) -> Self {
         assert!(c >= 0.0, "latency must be non-negative");
-        let mut data = vec![c; m * m];
-        for i in 0..m {
-            data[i * m + i] = 0.0;
+        Self {
+            m,
+            storage: Storage::Homogeneous(c),
         }
-        Self { m, data }
     }
 
     /// The degenerate single-site network (all latencies zero): classic
@@ -55,7 +75,7 @@ impl LatencyMatrix {
     pub fn zero(m: usize) -> Self {
         Self {
             m,
-            data: vec![0.0; m * m],
+            storage: Storage::Homogeneous(0.0),
         }
     }
 
@@ -71,53 +91,115 @@ impl LatencyMatrix {
         self.m == 0
     }
 
+    /// When every off-diagonal entry is the *same* constant `c` (and the
+    /// matrix is stored compactly as such), returns `Some(c)`.
+    ///
+    /// This is a representation query, not an `O(m²)` content scan: a
+    /// dense matrix that happens to be uniform returns `None`. Callers
+    /// use it to pick `O(k)` fast paths (e.g. nearest-`k` candidate
+    /// construction) that would otherwise scan full rows.
+    #[inline]
+    pub fn homogeneous_value(&self) -> Option<f64> {
+        match self.storage {
+            Storage::Homogeneous(c) => Some(c),
+            Storage::Dense(_) => None,
+        }
+    }
+
     /// Latency from server `i` to server `j` in ms.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.m && j < self.m);
-        self.data[i * self.m + j]
+        match &self.storage {
+            Storage::Dense(data) => data[i * self.m + j],
+            Storage::Homogeneous(c) => {
+                if i == j {
+                    0.0
+                } else {
+                    *c
+                }
+            }
+        }
     }
 
     /// Mutable access used by topology generators.
+    ///
+    /// A compactly stored homogeneous matrix densifies on the first
+    /// write that breaks uniformity (generators only do this at
+    /// generator scale, never on the 100k fast path).
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert!(value >= 0.0, "latency must be non-negative");
         assert!(i != j || value == 0.0, "diagonal latency must stay zero");
-        self.data[i * self.m + j] = value;
+        if let Storage::Homogeneous(c) = self.storage {
+            if i == j || value == c {
+                return; // still uniform, nothing to store
+            }
+            self.densify();
+        }
+        match &mut self.storage {
+            Storage::Dense(data) => data[i * self.m + j] = value,
+            Storage::Homogeneous(_) => unreachable!("densified above"),
+        }
     }
 
-    /// Row `i` as a slice (latencies from server `i` to every server).
-    #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.m..(i + 1) * self.m]
+    /// Materializes the dense representation (no-op when already dense).
+    fn densify(&mut self) {
+        if let Storage::Homogeneous(c) = self.storage {
+            let mut data = vec![c; self.m * self.m];
+            for i in 0..self.m {
+                data[i * self.m + i] = 0.0;
+            }
+            self.storage = Storage::Dense(data);
+        }
     }
 
     /// Mean off-diagonal finite latency; `0` for `m < 2`.
     pub fn mean_latency(&self) -> f64 {
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for i in 0..self.m {
-            for j in 0..self.m {
-                if i != j && self.data[i * self.m + j].is_finite() {
-                    sum += self.data[i * self.m + j];
-                    count += 1;
+        match &self.storage {
+            Storage::Homogeneous(c) => {
+                if self.m >= 2 && c.is_finite() {
+                    *c
+                } else {
+                    0.0
                 }
             }
-        }
-        if count == 0 {
-            0.0
-        } else {
-            sum / count as f64
+            Storage::Dense(data) => {
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for i in 0..self.m {
+                    for j in 0..self.m {
+                        if i != j && data[i * self.m + j].is_finite() {
+                            sum += data[i * self.m + j];
+                            count += 1;
+                        }
+                    }
+                }
+                if count == 0 {
+                    0.0
+                } else {
+                    sum / count as f64
+                }
+            }
         }
     }
 
     /// Largest finite off-diagonal latency (0 when none).
     pub fn max_latency(&self) -> f64 {
-        self.data
-            .iter()
-            .copied()
-            .filter(|v| v.is_finite())
-            .fold(0.0, f64::max)
+        match &self.storage {
+            Storage::Homogeneous(c) => {
+                if self.m >= 2 && c.is_finite() {
+                    *c
+                } else {
+                    0.0
+                }
+            }
+            Storage::Dense(data) => data
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .fold(0.0, f64::max),
+        }
     }
 
     /// Returns `true` when the matrix satisfies the triangle inequality
@@ -128,15 +210,20 @@ impl LatencyMatrix {
     /// [`Self::metric_close`] to enforce this.
     pub fn is_metric(&self, tol: f64) -> bool {
         let m = self.m;
+        let data = match &self.storage {
+            // c ≤ c + c holds for every non-negative c (including ∞).
+            Storage::Homogeneous(_) => return true,
+            Storage::Dense(data) => data,
+        };
         for k in 0..m {
             for i in 0..m {
-                let cik = self.get(i, k);
+                let cik = data[i * m + k];
                 if !cik.is_finite() {
                     continue;
                 }
                 for j in 0..m {
-                    let ckj = self.get(k, j);
-                    if ckj.is_finite() && self.get(i, j) > cik + ckj + tol {
+                    let ckj = data[k * m + j];
+                    if ckj.is_finite() && data[i * m + j] > cik + ckj + tol {
                         return false;
                     }
                 }
@@ -151,16 +238,21 @@ impl LatencyMatrix {
     /// distances.
     pub fn metric_close(&mut self) {
         let m = self.m;
+        let data = match &mut self.storage {
+            // Already metric: direct hop c never beats c + c.
+            Storage::Homogeneous(_) => return,
+            Storage::Dense(data) => data,
+        };
         for k in 0..m {
             for i in 0..m {
-                let cik = self.data[i * m + k];
+                let cik = data[i * m + k];
                 if !cik.is_finite() {
                     continue;
                 }
                 for j in 0..m {
-                    let through = cik + self.data[k * m + j];
-                    if through < self.data[i * m + j] {
-                        self.data[i * m + j] = through;
+                    let through = cik + data[k * m + j];
+                    if through < data[i * m + j] {
+                        data[i * m + j] = through;
                     }
                 }
             }
@@ -170,7 +262,25 @@ impl LatencyMatrix {
     /// Returns `true` when every off-diagonal entry is finite, i.e. the
     /// relay graph is complete.
     pub fn is_complete(&self) -> bool {
-        self.data.iter().all(|v| v.is_finite())
+        match &self.storage {
+            Storage::Homogeneous(c) => self.m < 2 || c.is_finite(),
+            Storage::Dense(data) => data.iter().all(|v| v.is_finite()),
+        }
+    }
+}
+
+impl PartialEq for LatencyMatrix {
+    /// Entry-wise equality regardless of representation: a densified
+    /// homogeneous matrix still equals its compact twin.
+    fn eq(&self, other: &Self) -> bool {
+        if self.m != other.m {
+            return false;
+        }
+        match (&self.storage, &other.storage) {
+            (Storage::Homogeneous(a), Storage::Homogeneous(b)) => self.m < 2 || a == b,
+            (Storage::Dense(a), Storage::Dense(b)) => a == b,
+            _ => (0..self.m).all(|i| (0..self.m).all(|j| self.get(i, j) == other.get(i, j))),
+        }
     }
 }
 
@@ -200,6 +310,50 @@ mod tests {
         assert_eq!(c.mean_latency(), 0.0);
         assert!(c.is_metric(0.0));
         assert!(c.is_complete());
+    }
+
+    #[test]
+    fn homogeneous_is_compact_and_densifies_on_nonuniform_write() {
+        let mut c = LatencyMatrix::homogeneous(5, 20.0);
+        assert_eq!(c.homogeneous_value(), Some(20.0));
+        c.set(1, 2, 20.0); // uniform write: stays compact
+        c.set(3, 3, 0.0); // diagonal write: stays compact
+        assert_eq!(c.homogeneous_value(), Some(20.0));
+        c.set(1, 2, 7.0); // breaks uniformity: densifies
+        assert_eq!(c.homogeneous_value(), None);
+        assert_eq!(c.get(1, 2), 7.0);
+        assert_eq!(c.get(2, 1), 20.0);
+        assert_eq!(c.get(4, 4), 0.0);
+    }
+
+    #[test]
+    fn compact_scales_to_figure2_sizes() {
+        // The dense form of this matrix would be 80 GB.
+        let c = LatencyMatrix::homogeneous(100_000, 20.0);
+        assert_eq!(c.len(), 100_000);
+        assert_eq!(c.get(0, 99_999), 20.0);
+        assert_eq!(c.get(99_999, 99_999), 0.0);
+        assert_eq!(c.mean_latency(), 20.0);
+        assert_eq!(c.max_latency(), 20.0);
+        assert!(c.is_metric(1e-12));
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    fn equality_is_semantic_across_representations() {
+        let compact = LatencyMatrix::homogeneous(4, 20.0);
+        let mut densified = LatencyMatrix::homogeneous(4, 20.0);
+        densified.set(0, 1, 5.0);
+        densified.set(0, 1, 20.0); // back to uniform content, dense storage
+        assert_eq!(compact, densified);
+        assert_eq!(densified, compact);
+        let mut data = vec![20.0; 16];
+        for i in 0..4 {
+            data[i * 4 + i] = 0.0;
+        }
+        assert_eq!(compact, LatencyMatrix::from_rows(4, data));
+        assert_ne!(compact, LatencyMatrix::homogeneous(4, 19.0));
+        assert_ne!(compact, LatencyMatrix::homogeneous(5, 20.0));
     }
 
     #[test]

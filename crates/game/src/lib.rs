@@ -3,7 +3,7 @@
 //! Implements §V of the paper: every organization selfishly minimizes
 //! the expected completion time `C_i` of its *own* requests.
 //!
-//! * [`best_response`] — the exact best response of one organization
+//! * [`best_response()`](best_response()) — the exact best response of one organization
 //!   (a single-row QP solved in closed form by water-filling; the
 //!   replication extension adds caps),
 //! * [`dynamics`] — sequential best-response dynamics with the paper's

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use std::cell::Cell;
 
@@ -161,6 +162,133 @@ where
     out.into_iter()
         .map(|v| v.expect("all slots filled"))
         .collect()
+}
+
+/// A persistent fan-out pool: `num_threads()` workers spawned **once**
+/// and fed owned work batches over channels, instead of a fresh
+/// `crossbeam::scope` (thread spawn + join) per parallel call.
+///
+/// The per-call maps above pay one spawn/join cycle per invocation,
+/// which is fine for a handful of large calls but dominates when a
+/// driver issues thousands of small batches — the event executor
+/// delivers one batch per virtual instant. [`with_pool`] hoists the
+/// spawn out of the loop; [`WorkerPool::map_mut`] then costs only a
+/// channel round-trip per batch, and each worker keeps its thread (and
+/// any thread-local scratch) alive across batches.
+///
+/// Ordering is identical to [`par_map_mut`]: items are chunked
+/// statically in submission order, chunks are reassembled by index, so
+/// results are bit-identical for every `DLB_THREADS` value (including
+/// the sequential paths).
+pub struct WorkerPool<'a, I, T, F> {
+    handler: &'a F,
+    /// One job lane per worker; empty when the pool runs sequentially.
+    jobs: Vec<Sender<(usize, Vec<I>)>>,
+    /// Shared return lane: `(chunk index, items back, results)`.
+    results: Receiver<(usize, Vec<I>, Vec<T>)>,
+}
+
+impl<I, T, F> WorkerPool<'_, I, T, F>
+where
+    I: Send,
+    T: Send,
+    F: Fn(&mut I) -> T + Sync,
+{
+    /// Applies the pool's handler to every item in place and returns
+    /// `(items, results)`, both in the original submission order.
+    /// Small batches (and sequential pools) run inline on the calling
+    /// thread — same cutoff and same results as [`par_map_mut`].
+    pub fn map_mut(&mut self, mut items: Vec<I>) -> (Vec<I>, Vec<T>) {
+        let n = items.len();
+        if self.jobs.is_empty() || n < SEQUENTIAL_CUTOFF {
+            let out = items.iter_mut().map(|item| (self.handler)(item)).collect();
+            return (items, out);
+        }
+        let chunk = n.div_ceil(self.jobs.len());
+        let mut sent = 0usize;
+        while !items.is_empty() {
+            let take = chunk.min(items.len());
+            let tail = items.split_off(take);
+            assert!(
+                self.jobs[sent].send((sent, items)).is_ok(),
+                "pool worker alive"
+            );
+            items = tail;
+            sent += 1;
+        }
+        let mut slots: Vec<Option<(Vec<I>, Vec<T>)>> = (0..sent).map(|_| None).collect();
+        for _ in 0..sent {
+            let (idx, chunk_items, chunk_out) = self.results.recv().expect("pool worker alive");
+            slots[idx] = Some((chunk_items, chunk_out));
+        }
+        let mut items_back = Vec::with_capacity(n);
+        let mut out_back = Vec::with_capacity(n);
+        for slot in slots {
+            let (ci, co) = slot.expect("every chunk returns once");
+            items_back.extend(ci);
+            out_back.extend(co);
+        }
+        (items_back, out_back)
+    }
+}
+
+/// Runs `body` with a [`WorkerPool`] whose workers apply `handler`.
+/// Workers are spawned once (inside one scope wrapping the whole call)
+/// and live until `body` returns; every [`WorkerPool::map_mut`] batch
+/// reuses them. With one thread available — or when called from inside
+/// another fan-out — no workers are spawned and every batch runs
+/// inline.
+pub fn with_pool<I, T, F, B, R>(handler: F, body: B) -> R
+where
+    I: Send,
+    T: Send,
+    F: Fn(&mut I) -> T + Sync,
+    B: for<'a> FnOnce(&mut WorkerPool<'a, I, T, F>) -> R,
+{
+    let threads = num_threads();
+    if threads <= 1 || in_parallel_region() {
+        // Keep an (empty) receiver so the struct shape is uniform; no
+        // sender exists, and `map_mut` never touches it sequentially.
+        let (_, results) = crossbeam::channel::unbounded();
+        let mut pool = WorkerPool {
+            handler: &handler,
+            jobs: Vec::new(),
+            results,
+        };
+        return body(&mut pool);
+    }
+    let result = crossbeam::scope(|scope| {
+        let (result_tx, results) = crossbeam::channel::unbounded();
+        let mut jobs = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<I>)>();
+            jobs.push(tx);
+            let result_tx = result_tx.clone();
+            let handler = &handler;
+            scope.spawn(move |_| {
+                mark_worker();
+                while let Ok((idx, mut chunk)) = rx.recv() {
+                    let out: Vec<T> = chunk.iter_mut().map(handler).collect();
+                    if result_tx.send((idx, chunk, out)).is_err() {
+                        break; // pool dropped mid-batch (body panicked)
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        let mut pool = WorkerPool {
+            handler: &handler,
+            jobs,
+            results,
+        };
+        body(&mut pool)
+        // `pool` drops here: job senders close, workers drain and
+        // exit, the scope joins them.
+    });
+    match result {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
 }
 
 /// Parallel fold over `0..n`: each worker folds a chunk starting from
@@ -344,5 +472,79 @@ mod tests {
     fn map_empty() {
         let v: Vec<u8> = par_map_indexed(0, |_| 0u8);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn pool_matches_sequential_map() {
+        let items: Vec<i64> = (0..5000).collect();
+        let (back, out) = with_pool(
+            |x: &mut i64| {
+                *x += 1;
+                *x * 3
+            },
+            |pool| pool.map_mut(items.clone()),
+        );
+        for (i, (&x, &o)) in back.iter().zip(out.iter()).enumerate() {
+            assert_eq!(x, i as i64 + 1);
+            assert_eq!(o, (i as i64 + 1) * 3);
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_batches() {
+        // Many small-ish batches through one pool; every batch must come
+        // back in submission order with the right results.
+        let (sums, lens) = with_pool(
+            |x: &mut u64| {
+                *x = x.wrapping_mul(2);
+                *x
+            },
+            |pool| {
+                let mut sums = Vec::new();
+                let mut lens = Vec::new();
+                for batch in 0..50u64 {
+                    let items: Vec<u64> = (0..(SEQUENTIAL_CUTOFF as u64 * 4 + batch)).collect();
+                    let (back, out) = pool.map_mut(items);
+                    assert!(back.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+                    sums.push(out.iter().sum::<u64>());
+                    lens.push(back.len());
+                }
+                (sums, lens)
+            },
+        );
+        for (batch, (&s, &l)) in sums.iter().zip(lens.iter()).enumerate() {
+            let n = SEQUENTIAL_CUTOFF as u64 * 4 + batch as u64;
+            assert_eq!(l as u64, n);
+            assert_eq!(s, n * (n - 1)); // Σ 2i for i in 0..n
+        }
+    }
+
+    #[test]
+    fn pool_small_batches_run_inline() {
+        let (back, out) = with_pool(|x: &mut u8| *x + 1, |pool| pool.map_mut(vec![1u8, 2, 3]));
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(out, vec![2, 3, 4]);
+        let (back, out) = with_pool(|x: &mut u8| *x, |pool| pool.map_mut(Vec::new()));
+        assert!(back.is_empty() && out.is_empty());
+    }
+
+    #[test]
+    fn pool_inside_fanout_degrades_sequentially() {
+        // A pool opened from inside another fan-out must not spawn a
+        // second generation of threads; results stay identical.
+        let outer = par_map_indexed(2 * SEQUENTIAL_CUTOFF, |i| {
+            with_pool(
+                move |x: &mut usize| *x + i,
+                |pool| {
+                    let (_, out) = pool.map_mut((0..2 * SEQUENTIAL_CUTOFF).collect());
+                    out.iter().sum::<usize>()
+                },
+            )
+        });
+        let n = 2 * SEQUENTIAL_CUTOFF;
+        for (i, &v) in outer.iter().enumerate() {
+            let expect: usize = (0..n).map(|j| j + i).sum();
+            assert_eq!(v, expect);
+        }
     }
 }

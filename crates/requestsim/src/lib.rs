@@ -5,7 +5,7 @@
 //! delay). This crate validates that abstraction from first principles
 //! by actually *executing* the requests:
 //!
-//! * [`discretize`] — turns a fractional [`dlb_core::Assignment`] into
+//! * [`discretize()`](discretize()) — turns a fractional [`dlb_core::Assignment`] into
 //!   integral per-request placements (largest-remainder rounding),
 //! * [`sim`] — a discrete-event simulator with two service disciplines:
 //!   [`sim::Discipline::RandomOrder`] (the model's assumption: each

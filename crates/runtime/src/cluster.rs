@@ -2,8 +2,8 @@
 //! coordinator thread loop, wired with unbounded channels.
 //!
 //! Round/termination logic lives in
-//! [`CoordinatorMachine`](crate::machine::CoordinatorMachine) and the
-//! per-node protocol in [`NodeMachine`](crate::machine::NodeMachine) —
+//! [`CoordinatorMachine`] and the per-node protocol in
+//! [`NodeMachine`](crate::machine::NodeMachine) —
 //! this module only supplies the *thread-shaped driver*: spawn `m`
 //! node threads, pump the coordinator's inbox, fan its broadcasts out
 //! over the channel mesh, and join. The event executor

@@ -12,17 +12,19 @@
 //!    ([`VirtualClock`]) to that instant; it can never reorder
 //!    deliveries.
 //! 2. **Shard the batch** — events are grouped into per-destination
-//!    run queues, and the destinations are fanned out over the
-//!    `dlb-par` worker pool ([`dlb_par::par_map_mut`], static
-//!    chunking: each worker owns a disjoint shard of node machines for
-//!    the duration of the batch). Machines only touch node-local
-//!    state, so the fan-out is race-free by construction, and the
-//!    order-preserving map keeps results bit-identical for every
+//!    run queues, and the destinations are fanned out over one
+//!    *persistent* `dlb-par` worker pool ([`dlb_par::with_pool`],
+//!    spawned once per run and fed every batch over channels — not a
+//!    thread spawn/join per batch; static chunking: each worker owns a
+//!    disjoint shard of node machines for the duration of the batch).
+//!    Machines only touch node-local state, so the fan-out is
+//!    race-free by construction, and the order-preserving, slot-
+//!    reassembled map keeps results bit-identical for every
 //!    `DLB_THREADS` value.
 //! 3. **Schedule the replies** — outbound frames are collected in
 //!    deterministic (destination, emission) order and pushed back into
 //!    the heap with per-link latencies from the caller's delay
-//!    function (`dlb-netsim`'s [`LinkDelayModel`] in the scenario
+//!    function (`dlb-netsim`'s `LinkDelayModel` in the scenario
 //!    layer), data-plane frames paying the measured one-way delay and
 //!    control-plane frames (coordinator ↔ node) travelling free — the
 //!    coordinator stands in for the converged gossip substrate, which
@@ -84,7 +86,7 @@ use std::sync::Arc;
 use dlb_core::events::EventHeap;
 use dlb_core::Instance;
 use dlb_faults::{FaultScript, FaultSummary};
-use dlb_par::par_map_mut;
+use dlb_par::with_pool;
 
 use crate::clock::{Clock, VirtualClock};
 use crate::cluster::{ClusterOptions, ClusterReport};
@@ -249,169 +251,177 @@ where
         script,
         summary: FaultSummary::default(),
     };
-    let mut out: Vec<Outbound> = Vec::new();
-    let mut now = 0.0f64;
-    let mut hash = 0xCBF2_9CE4_8422_2325u64; // FNV offset basis
-    let faulty = !script.is_empty();
-    // Which nodes the current round treats as crashed — refreshed from
-    // the coordinator's latch whenever the round advances.
-    let mut down = vec![false; m];
-    // The script's down set only changes at its crash/recovery
-    // instants; cache the phase so the oracle feed is O(1) per batch
-    // instead of an O(m) rebuild.
-    let mut down_phase = script.down_phase(now);
-    if faulty {
-        coordinator.set_down(script.down_at(now));
-    }
-    coordinator.start(&mut out);
-    let mut latched_round = coordinator.round_number();
-    for &j in coordinator.down_now() {
-        down[j as usize] = true;
-        // Down from the very first round: the run experienced this
-        // crash (the summary counts *latched* transitions, not script
-        // instants a finished run never reached).
-        fabric.summary.crashes += 1;
-    }
-    fabric.schedule(now, None, &mut out);
+    // The per-batch work the pool's workers run: drain one node's
+    // queue through its machine, collecting emissions. Spawning the
+    // pool once for the whole run (instead of a thread scope per
+    // batch) is what keeps the per-instant dispatch overhead flat at
+    // Figure-2 scale.
+    let handler = |(_, machine, frames): &mut (u32, NodeMachine, Vec<Arc<Frame>>)| {
+        let mut local_out = Vec::new();
+        for frame in frames.drain(..) {
+            machine.handle(&frame, &mut local_out);
+        }
+        local_out
+    };
+    with_pool(handler, move |pool| {
+        let mut out: Vec<Outbound> = Vec::new();
+        let mut now = 0.0f64;
+        let mut hash = 0xCBF2_9CE4_8422_2325u64; // FNV offset basis
+        let faulty = !script.is_empty();
+        // Which nodes the current round treats as crashed — refreshed from
+        // the coordinator's latch whenever the round advances.
+        let mut down = vec![false; m];
+        // The script's down set only changes at its crash/recovery
+        // instants; cache the phase so the oracle feed is O(1) per batch
+        // instead of an O(m) rebuild.
+        let mut down_phase = script.down_phase(now);
+        if faulty {
+            coordinator.set_down(script.down_at(now));
+        }
+        coordinator.start(&mut out);
+        let mut latched_round = coordinator.round_number();
+        for &j in coordinator.down_now() {
+            down[j as usize] = true;
+            // Down from the very first round: the run experienced this
+            // crash (the summary counts *latched* transitions, not script
+            // instants a finished run never reached).
+            fabric.summary.crashes += 1;
+        }
+        fabric.schedule(now, None, &mut out);
 
-    // Batch scratch, reused across iterations: per-node run queues plus
-    // the list of destinations touched this batch (in first-delivery
-    // order — deterministic, since events pop in (due, seq) order).
-    let mut run_queues: Vec<Vec<Arc<Frame>>> = (0..m).map(|_| Vec::new()).collect();
-    let mut touched: Vec<u32> = Vec::new();
-    let mut coord_frames: Vec<Arc<Frame>> = Vec::new();
+        // Batch scratch, reused across iterations: per-node run queues plus
+        // the list of destinations touched this batch (in first-delivery
+        // order — deterministic, since events pop in (due, seq) order).
+        let mut run_queues: Vec<Vec<Arc<Frame>>> = (0..m).map(|_| Vec::new()).collect();
+        let mut touched: Vec<u32> = Vec::new();
+        let mut coord_frames: Vec<Arc<Frame>> = Vec::new();
 
-    loop {
-        let Some(first) = fabric.heap.pop() else {
-            // In-flight traffic is exhausted. Under a fault script the
-            // shutdown cannot reach crashed nodes: freeze their
-            // ledgers into the final answer (their requests stay where
-            // they were when the node went down).
-            if coordinator.is_collecting() {
-                let frozen: Vec<u32> = coordinator.down_now().to_vec();
-                for j in frozen {
-                    let machine = machines[j as usize].as_ref().expect("machine parked");
-                    let frame = Frame::FinalLedger {
-                        from: j,
-                        ledger: ledger_to_wire(machine.ledger()),
-                    };
-                    coordinator.handle(&frame, &mut out);
-                    fabric.schedule(now, None, &mut out);
-                }
-            }
-            break;
-        };
-        now = first.due;
-        clock.wait_until(now);
-        // Classify the whole same-instant batch in (due, seq) order.
-        let mut next = Some(first);
-        while let Some(event) = next {
-            let (dest, frame) = event.item;
-            hash = hash_event(hash, event.due, dest, &frame);
-            match dest {
-                Dest::Node(j) => {
-                    if faulty && down[j as usize] && !matches!(*frame, Frame::Commit { .. }) {
-                        // Dead destination: only a Commit — the tail
-                        // of an exchange the initiator already applied
-                        // — still lands (see the module docs).
-                        fabric.summary.dropped_frames += 1;
-                    } else {
-                        if run_queues[j as usize].is_empty() {
-                            touched.push(j);
-                        }
-                        run_queues[j as usize].push(frame);
+        loop {
+            let Some(first) = fabric.heap.pop() else {
+                // In-flight traffic is exhausted. Under a fault script the
+                // shutdown cannot reach crashed nodes: freeze their
+                // ledgers into the final answer (their requests stay where
+                // they were when the node went down).
+                if coordinator.is_collecting() {
+                    let frozen: Vec<u32> = coordinator.down_now().to_vec();
+                    for j in frozen {
+                        let machine = machines[j as usize].as_ref().expect("machine parked");
+                        let frame = Frame::FinalLedger {
+                            from: j,
+                            ledger: ledger_to_wire(machine.ledger()),
+                        };
+                        coordinator.handle(&frame, &mut out);
+                        fabric.schedule(now, None, &mut out);
                     }
                 }
-                Dest::Coordinator => coord_frames.push(frame),
-            }
-            next = match fabric.heap.peek_due() {
-                Some(due) if due == now => fabric.heap.pop(),
-                _ => None,
+                break;
             };
-        }
-
-        // Fan the touched shards out over the worker pool. Each entry
-        // owns its machine for the batch, so `handle` runs without
-        // locks; order-preserving `par_map_mut` keeps the collected
-        // emissions independent of the worker count.
-        let mut work: Vec<(u32, NodeMachine, Vec<Arc<Frame>>)> = touched
-            .drain(..)
-            .map(|j| {
-                let machine = machines[j as usize].take().expect("machine present");
-                (j, machine, std::mem::take(&mut run_queues[j as usize]))
-            })
-            .collect();
-        let emissions: Vec<Vec<Outbound>> = par_map_mut(&mut work, |(_, machine, frames)| {
-            let mut local_out = Vec::new();
-            for frame in frames.drain(..) {
-                machine.handle(&frame, &mut local_out);
-            }
-            local_out
-        });
-        let sources: Vec<u32> = work
-            .into_iter()
-            .map(|(j, machine, queue)| {
-                machines[j as usize] = Some(machine);
-                run_queues[j as usize] = queue; // return the allocation
-                j
-            })
-            .collect();
-        for (src, mut outs) in sources.into_iter().zip(emissions) {
-            if faulty && down[src as usize] {
-                // A crashed node sends nothing (it only ever hears a
-                // final Commit; see above).
-                fabric.summary.dropped_frames += outs.len() as u64;
-                continue;
-            }
-            fabric.schedule(now, Some(src as usize), &mut outs);
-        }
-
-        if faulty && !coord_frames.is_empty() {
-            // Feed the liveness oracle before any report can close the
-            // round: a round beginning now latches the crashes due by
-            // now. The set is constant within a phase, so only a
-            // phase crossing rebuilds it.
-            let phase = script.down_phase(now);
-            if phase != down_phase {
-                down_phase = phase;
-                coordinator.set_down(script.down_at(now));
-            }
-        }
-        for frame in coord_frames.drain(..) {
-            coordinator.handle(&frame, &mut out);
-            fabric.schedule(now, None, &mut out);
-        }
-        if faulty && coordinator.round_number() != latched_round {
-            latched_round = coordinator.round_number();
-            // Rebuild the delivery gate from the fresh latch, counting
-            // the transitions the run actually experienced: a crash
-            // (or recovery) whose round never started is not an event
-            // of this run.
-            let latched = coordinator.down_now();
-            let mut idx = 0usize;
-            for (j, flag) in down.iter_mut().enumerate() {
-                let now_down = latched.get(idx).is_some_and(|&d| d as usize == j);
-                if now_down {
-                    idx += 1;
+            now = first.due;
+            clock.wait_until(now);
+            // Classify the whole same-instant batch in (due, seq) order.
+            let mut next = Some(first);
+            while let Some(event) = next {
+                let (dest, frame) = event.item;
+                hash = hash_event(hash, event.due, dest, &frame);
+                match dest {
+                    Dest::Node(j) => {
+                        if faulty && down[j as usize] && !matches!(*frame, Frame::Commit { .. }) {
+                            // Dead destination: only a Commit — the tail
+                            // of an exchange the initiator already applied
+                            // — still lands (see the module docs).
+                            fabric.summary.dropped_frames += 1;
+                        } else {
+                            if run_queues[j as usize].is_empty() {
+                                touched.push(j);
+                            }
+                            run_queues[j as usize].push(frame);
+                        }
+                    }
+                    Dest::Coordinator => coord_frames.push(frame),
                 }
-                match (*flag, now_down) {
-                    (false, true) => fabric.summary.crashes += 1,
-                    (true, false) => fabric.summary.recoveries += 1,
-                    _ => {}
+                next = match fabric.heap.peek_due() {
+                    Some(due) if due == now => fabric.heap.pop(),
+                    _ => None,
+                };
+            }
+
+            // Fan the touched shards out over the worker pool. Each entry
+            // owns its machine for the batch, so `handle` runs without
+            // locks; order-preserving `par_map_mut` keeps the collected
+            // emissions independent of the worker count.
+            let work: Vec<(u32, NodeMachine, Vec<Arc<Frame>>)> = touched
+                .drain(..)
+                .map(|j| {
+                    let machine = machines[j as usize].take().expect("machine present");
+                    (j, machine, std::mem::take(&mut run_queues[j as usize]))
+                })
+                .collect();
+            let (work, emissions) = pool.map_mut(work);
+            let sources: Vec<u32> = work
+                .into_iter()
+                .map(|(j, machine, queue)| {
+                    machines[j as usize] = Some(machine);
+                    run_queues[j as usize] = queue; // return the allocation
+                    j
+                })
+                .collect();
+            for (src, mut outs) in sources.into_iter().zip(emissions) {
+                if faulty && down[src as usize] {
+                    // A crashed node sends nothing (it only ever hears a
+                    // final Commit; see above).
+                    fabric.summary.dropped_frames += outs.len() as u64;
+                    continue;
                 }
-                *flag = now_down;
+                fabric.schedule(now, Some(src as usize), &mut outs);
+            }
+
+            if faulty && !coord_frames.is_empty() {
+                // Feed the liveness oracle before any report can close the
+                // round: a round beginning now latches the crashes due by
+                // now. The set is constant within a phase, so only a
+                // phase crossing rebuilds it.
+                let phase = script.down_phase(now);
+                if phase != down_phase {
+                    down_phase = phase;
+                    coordinator.set_down(script.down_at(now));
+                }
+            }
+            for frame in coord_frames.drain(..) {
+                coordinator.handle(&frame, &mut out);
+                fabric.schedule(now, None, &mut out);
+            }
+            if faulty && coordinator.round_number() != latched_round {
+                latched_round = coordinator.round_number();
+                // Rebuild the delivery gate from the fresh latch, counting
+                // the transitions the run actually experienced: a crash
+                // (or recovery) whose round never started is not an event
+                // of this run.
+                let latched = coordinator.down_now();
+                let mut idx = 0usize;
+                for (j, flag) in down.iter_mut().enumerate() {
+                    let now_down = latched.get(idx).is_some_and(|&d| d as usize == j);
+                    if now_down {
+                        idx += 1;
+                    }
+                    match (*flag, now_down) {
+                        (false, true) => fabric.summary.crashes += 1,
+                        (true, false) => fabric.summary.recoveries += 1,
+                        _ => {}
+                    }
+                    *flag = now_down;
+                }
+            }
+            if coordinator.is_done() {
+                break;
             }
         }
-        if coordinator.is_done() {
-            break;
-        }
-    }
 
-    let mut report = coordinator.into_report();
-    report.virtual_ms = now;
-    report.event_hash = hash;
-    report.faults = fabric.summary;
-    report
+        let mut report = coordinator.into_report();
+        report.virtual_ms = now;
+        report.event_hash = hash;
+        report.faults = fabric.summary;
+        report
+    }) // with_pool
 }
 
 #[cfg(test)]

@@ -77,5 +77,5 @@ mod proptests;
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use cluster::{run_cluster, ClusterOptions, ClusterReport};
 pub use executor::{run_cluster_events, run_cluster_events_faulted, run_cluster_events_with_clock};
-pub use machine::{CoordinatorMachine, Dest, NodeConfig, NodeMachine, Outbound};
+pub use machine::{CoordinatorMachine, Dest, NodeConfig, NodeMachine, Outbound, SelectPolicy};
 pub use message::{Frame, RoundOutcome};

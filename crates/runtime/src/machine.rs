@@ -76,6 +76,7 @@ use dlb_core::cost::total_cost;
 use dlb_core::{Assignment, Instance, SparseVec};
 use dlb_distributed::mine::partner_score;
 use dlb_distributed::transfer::calc_best_transfer;
+use dlb_topology::k_nearest_row;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -118,17 +119,40 @@ impl Outbound {
     }
 }
 
+/// Partner-selection policy: which peers a node scores at each round
+/// start — the runtime port of the analytic engine's `PartnerSelection`
+/// axis (`dlb_distributed::mine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectPolicy {
+    /// Score every live peer — the literal §IV scan, O(m) per node per
+    /// round (O(m²) per round cluster-wide).
+    Exact,
+    /// Score only a candidate index: the `k` delay-nearest peers (from
+    /// the node's own latency column, the §IV local-knowledge input)
+    /// merged with the coordinator's gossiped *hot set* of the most
+    /// over- and under-loaded live nodes. O(k) per round start; the
+    /// index is epoch-tagged and rebuilt only when the gossiped load
+    /// view actually changed. With `k ≥ m − 1` this is exactly
+    /// [`SelectPolicy::Exact`] (pinned by tests).
+    TopK(u32),
+}
+
 /// Static per-node configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeConfig {
     /// Probe a rotating peer with full Algorithm 1 when no partner
     /// clears the score floor (see the module docs).
     pub audit: bool,
+    /// Partner-selection policy (see [`SelectPolicy`]).
+    pub select: SelectPolicy,
 }
 
 impl Default for NodeConfig {
     fn default() -> Self {
-        Self { audit: true }
+        Self {
+            audit: true,
+            select: SelectPolicy::Exact,
+        }
     }
 }
 
@@ -159,15 +183,20 @@ fn local_cost(id: u32, instance: &Instance, ledger: &SparseVec) -> f64 {
         .sum()
 }
 
-/// Picks the proposal target: the peer with the best closed-form
-/// pairwise score computed from the gossiped loads — everything a real
-/// organization knows locally. Returns `None` when no peer clears the
-/// floor.
-fn choose_target(id: u32, instance: &Instance, loads: &[f64], excluded: &[u32]) -> Option<u32> {
-    let m = instance.len();
+/// Scores `candidates` (which must come in ascending id order so the
+/// keep-first tie-break matches the exact scan) and returns the best
+/// peer above the floor. `excluded` must be sorted ascending.
+fn score_best(
+    id: u32,
+    instance: &Instance,
+    loads: &[f64],
+    excluded: &[u32],
+    candidates: impl Iterator<Item = u32>,
+) -> Option<u32> {
+    debug_assert!(excluded.windows(2).all(|w| w[0] < w[1]), "excluded sorted");
     let mut best: Option<(u32, f64)> = None;
-    for j in 0..m as u32 {
-        if j == id || excluded.contains(&j) {
+    for j in candidates {
+        if j == id || excluded.binary_search(&j).is_ok() {
             continue;
         }
         let score = partner_score(instance, loads, id as usize, j as usize);
@@ -177,6 +206,14 @@ fn choose_target(id: u32, instance: &Instance, loads: &[f64], excluded: &[u32]) 
         }
     }
     best.filter(|&(_, s)| s > SCORE_FLOOR).map(|(j, _)| j)
+}
+
+/// Picks the proposal target by the exact scan: the peer with the best
+/// closed-form pairwise score computed from the gossiped loads —
+/// everything a real organization knows locally. Returns `None` when no
+/// peer clears the floor.
+fn choose_target(id: u32, instance: &Instance, loads: &[f64], excluded: &[u32]) -> Option<u32> {
+    score_best(id, instance, loads, excluded, 0..instance.len() as u32)
 }
 
 /// The all-local starting ledger of node `id`: its own load at home,
@@ -191,15 +228,114 @@ pub fn local_ledger(instance: &Instance, id: u32) -> SparseVec {
 }
 
 /// Deterministic audit rotation: visits every live peer once per
-/// `m − 1` rounds.
+/// `m − 1` rounds. Allocation-free: instead of materializing the
+/// candidate list, the rotation index is mapped to the `idx`-th live
+/// peer by a gap walk over the sorted removed ids (`excluded ∪ {id}`),
+/// which runs every round for every quiet node. `excluded` must be
+/// sorted ascending.
 fn audit_target(id: u32, m: usize, round: u64, excluded: &[u32]) -> Option<u32> {
-    let candidates: Vec<u32> = (0..m as u32)
-        .filter(|&j| j != id && !excluded.contains(&j))
-        .collect();
-    if candidates.is_empty() {
+    debug_assert!(excluded.windows(2).all(|w| w[0] < w[1]), "excluded sorted");
+    let removed = excluded.len() + usize::from(excluded.binary_search(&id).is_err());
+    let count = (m - removed.min(m)) as u64;
+    if count == 0 {
         return None;
     }
-    Some(candidates[(round as usize) % candidates.len()])
+    let mut candidate = (round % count) as u32;
+    // Walk the removed ids in ascending order (excluded merged with
+    // {id} on the fly): each removed id at or below the running
+    // candidate shifts it up by one.
+    let mut idx = 0usize;
+    let mut self_pending = true;
+    loop {
+        let next = match (excluded.get(idx).copied(), self_pending) {
+            (Some(e), true) if id <= e => {
+                self_pending = false;
+                if id == e {
+                    idx += 1;
+                }
+                id
+            }
+            (Some(e), _) => {
+                idx += 1;
+                e
+            }
+            (None, true) => {
+                self_pending = false;
+                id
+            }
+            (None, false) => break,
+        };
+        if next <= candidate {
+            candidate += 1;
+        } else {
+            break;
+        }
+    }
+    Some(candidate)
+}
+
+/// A node's lazily maintained partner-candidate index (used only under
+/// [`SelectPolicy::TopK`]).
+///
+/// `base` — the `k` delay-nearest peers from the node's own latency
+/// column — is computed once, on the first round start. `merged` —
+/// `base ∪` the round's gossiped hot set, ascending, minus self — is
+/// the actual scan list; it is rebuilt only when the coordinator's
+/// load-vector `epoch` advances, so quiet stretches (where the load
+/// view is frozen) cost nothing. Exclusions are *not* baked in: they
+/// are skipped at scoring time, which keeps the cache valid across
+/// crash/recovery churn.
+#[derive(Debug, Default)]
+struct CandidateIndex {
+    base: Vec<u32>,
+    merged: Vec<u32>,
+    epoch: Option<u64>,
+}
+
+impl CandidateIndex {
+    /// Rebuilds `merged` for `epoch` if it advanced; builds `base`
+    /// (and marks it built via the first epoch tag) on first use.
+    /// `hot` must be sorted ascending; `base` is by construction.
+    fn refresh(&mut self, id: u32, instance: &Instance, k: u32, epoch: u64, hot: &[u32]) {
+        if self.epoch == Some(epoch) {
+            return;
+        }
+        if self.epoch.is_none() {
+            self.base = k_nearest_row(instance.latency(), id as usize, k as usize);
+        }
+        self.epoch = Some(epoch);
+        self.merged.clear();
+        self.merged.reserve(self.base.len() + hot.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        loop {
+            let next = match (self.base.get(a).copied(), hot.get(b).copied()) {
+                (Some(x), Some(y)) => {
+                    if x <= y {
+                        a += 1;
+                        if x == y {
+                            b += 1;
+                        }
+                        x
+                    } else {
+                        b += 1;
+                        y
+                    }
+                }
+                (Some(x), None) => {
+                    a += 1;
+                    x
+                }
+                (None, Some(y)) => {
+                    b += 1;
+                    y
+                }
+                (None, None) => break,
+            };
+            if next != id {
+                self.merged.push(next);
+            }
+        }
+    }
 }
 
 /// One organization's protocol state machine (see the module docs).
@@ -209,6 +345,9 @@ pub struct NodeMachine {
     instance: Arc<Instance>,
     ledger: SparseVec,
     config: NodeConfig,
+    /// Partner-candidate cache for [`SelectPolicy::TopK`] (empty and
+    /// untouched under [`SelectPolicy::Exact`]).
+    index: CandidateIndex,
     /// 0 = "no round joined yet"; real rounds are 1-based (see the
     /// coordinator). A proposal overtaking our first RoundStart thus
     /// satisfies `r > round` and waits in the early queue instead of
@@ -236,6 +375,7 @@ impl NodeMachine {
             instance,
             ledger,
             config,
+            index: CandidateIndex::default(),
             round: 0,
             lock: Lock::Free,
             proposal: None,
@@ -286,6 +426,8 @@ impl NodeMachine {
                 round,
                 loads,
                 excluded,
+                epoch,
+                hot,
             } => {
                 if matches!(self.lock, Lock::AwaitingCommit(_)) {
                     // A commit for the previous round is still in
@@ -295,7 +437,7 @@ impl NodeMachine {
                     self.deferred = Some(frame.clone());
                     return;
                 }
-                self.start_round(*round, loads.as_slice(), excluded, out);
+                self.start_round(*round, loads.as_slice(), excluded, *epoch, hot, out);
             }
             Frame::Propose { from, round } => self.on_propose(*from, *round, out),
             Frame::Accept {
@@ -337,18 +479,33 @@ impl NodeMachine {
         round: u64,
         loads: &[f64],
         excluded: &[u32],
+        epoch: u64,
+        hot: &[u32],
         out: &mut Vec<Outbound>,
     ) {
         self.round = round;
         self.lock = Lock::Free;
         self.proposal = None;
         self.reported = false;
-        if excluded.contains(&self.id) {
+        if excluded.binary_search(&self.id).is_ok() {
             self.lock = Lock::Locked; // takes no part this round
             let report = self.report(RoundOutcome::NoProposal, None);
             out.push(report);
         } else {
-            let target = choose_target(self.id, &self.instance, loads, excluded).or_else(|| {
+            let scored = match self.config.select {
+                SelectPolicy::Exact => choose_target(self.id, &self.instance, loads, excluded),
+                SelectPolicy::TopK(k) => {
+                    self.index.refresh(self.id, &self.instance, k, epoch, hot);
+                    score_best(
+                        self.id,
+                        &self.instance,
+                        loads,
+                        excluded,
+                        self.index.merged.iter().copied(),
+                    )
+                }
+            };
+            let target = scored.or_else(|| {
                 if self.config.audit {
                     audit_target(self.id, self.instance.len(), round, excluded)
                 } else {
@@ -561,6 +718,18 @@ pub struct CoordinatorMachine {
     down: Vec<u32>,
     seen: Vec<bool>,
     round_moved: f64,
+    /// Load-vector epoch for the nodes' candidate caches: bumped at a
+    /// round start iff the gossiped view (loads or exclusions) changed
+    /// since the last bump. Stays 0 under [`SelectPolicy::Exact`].
+    epoch: u64,
+    /// The loads snapshot at the last epoch bump.
+    epoch_loads: Vec<f64>,
+    /// The excluded set at the last epoch bump.
+    last_excluded: Vec<u32>,
+    /// The gossiped hot set of the current epoch: the most under- and
+    /// over-loaded live nodes by `l_j / s_j`, sorted by id. Shared by
+    /// every RoundStart of the epoch.
+    hot: Arc<Vec<u32>>,
     ledgers: Vec<Option<SparseVec>>,
     collected: usize,
     /// Forensic log of every report (debug builds): used to diagnose
@@ -580,6 +749,11 @@ impl CoordinatorMachine {
         for &f in &options.failed {
             assert!((f as usize) < m, "failed node {f} out of range");
         }
+        let mut options = options.clone();
+        // The excluded sets on the wire are sorted (nodes look peers up
+        // by binary search); normalize the caller's failed list once.
+        options.failed.sort_unstable();
+        options.failed.dedup();
         let loads = instance.own_loads().to_vec();
         // Initial local costs: all requests at home, no latency.
         let local_costs: Vec<f64> = (0..m)
@@ -591,7 +765,7 @@ impl CoordinatorMachine {
         let initial_cost = total_cost(&instance, &Assignment::local(&instance));
         Self {
             instance,
-            options: options.clone(),
+            options,
             phase: Phase::Rounds,
             round: 0,
             loads,
@@ -609,6 +783,10 @@ impl CoordinatorMachine {
             down: Vec::new(),
             seen: vec![false; m],
             round_moved: 0.0,
+            epoch: 0,
+            epoch_loads: Vec::new(),
+            last_excluded: Vec::new(),
+            hot: Arc::new(Vec::new()),
             ledgers: (0..m).map(|_| None).collect(),
             collected: 0,
             report_log: Vec::new(),
@@ -679,17 +857,56 @@ impl CoordinatorMachine {
         self.down = self.pending_down.clone();
         self.expected = self.len() - self.down.len();
         let mut excluded = self.options.failed.clone();
-        for &j in &self.down {
-            if !excluded.contains(&j) {
-                excluded.push(j);
+        excluded.extend_from_slice(&self.down);
+        excluded.sort_unstable();
+        excluded.dedup();
+        if let SelectPolicy::TopK(k) = self.options.node.select {
+            // Epoch maintenance for the nodes' candidate caches: bump
+            // (and rebuild the hot set) only when the gossiped view
+            // actually moved, so quiet stretches rebuild nothing.
+            if self.epoch == 0 || self.loads != self.epoch_loads || excluded != self.last_excluded {
+                self.epoch += 1;
+                self.epoch_loads.clone_from(&self.loads);
+                self.last_excluded.clone_from(&excluded);
+                self.hot = Arc::new(self.build_hot(&excluded, k));
             }
         }
         let frame = Arc::new(Frame::RoundStart {
             round: self.round,
             loads: Arc::new(self.loads.clone()),
             excluded,
+            epoch: self.epoch,
+            hot: Arc::clone(&self.hot),
         });
         self.broadcast_live(frame, out);
+    }
+
+    /// The hot set of an epoch: the `⌈k/2⌉`-ish most under-loaded and
+    /// most over-loaded live nodes by normalized load `l_j / s_j` —
+    /// the peers *every* node may profitably trade with regardless of
+    /// delay, grafted onto each node's delay-nearest candidates. Pure
+    /// function of (loads, excluded): ties break by id, output sorted
+    /// ascending, so the set is identical for every thread count.
+    fn build_hot(&self, excluded: &[u32], k: u32) -> Vec<u32> {
+        let h = (k as usize / 2).max(1);
+        let mut live: Vec<u32> = (0..self.len() as u32)
+            .filter(|j| excluded.binary_search(j).is_err())
+            .collect();
+        if live.len() <= 2 * h {
+            return live;
+        }
+        let key = |j: u32| self.loads[j as usize] / self.instance.speed(j as usize);
+        let by_key = |a: &u32, b: &u32| key(*a).total_cmp(&key(*b)).then(a.cmp(b));
+        // Lowest h …
+        live.select_nth_unstable_by(h - 1, by_key);
+        let mut hot: Vec<u32> = live[..h].to_vec();
+        // … and highest h of the remainder.
+        let rest = &mut live[h..];
+        let split = rest.len() - h;
+        rest.select_nth_unstable_by(split, by_key);
+        hot.extend_from_slice(&rest[split..]);
+        hot.sort_unstable();
+        hot
     }
 
     fn shutdown(&mut self, out: &mut Vec<Outbound>) {
@@ -887,6 +1104,72 @@ mod tests {
     }
 
     #[test]
+    fn audit_gap_walk_matches_materialized_rotation() {
+        for m in [1usize, 2, 5, 9] {
+            for id in 0..m as u32 {
+                for excluded in [vec![], vec![0], vec![1, 3], vec![0, 1, 2, 3]] {
+                    let excluded: Vec<u32> =
+                        excluded.into_iter().filter(|&e| (e as usize) < m).collect();
+                    let naive: Vec<u32> = (0..m as u32)
+                        .filter(|&j| j != id && !excluded.contains(&j))
+                        .collect();
+                    for round in 0..12u64 {
+                        let want = if naive.is_empty() {
+                            None
+                        } else {
+                            Some(naive[round as usize % naive.len()])
+                        };
+                        assert_eq!(
+                            audit_target(id, m, round, &excluded),
+                            want,
+                            "m={m} id={id} excluded={excluded:?} round={round}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_index_merges_and_caches_by_epoch() {
+        let instance = Instance::homogeneous(10, 1.0, 1.0, 0.0);
+        let mut idx = CandidateIndex::default();
+        // Homogeneous → base is the wheel successors of 3: {4,5,6,7}.
+        idx.refresh(3, &instance, 4, 1, &[0, 3, 9]);
+        assert_eq!(
+            idx.merged,
+            vec![0, 4, 5, 6, 7, 9],
+            "hot merged, self dropped"
+        );
+        // Same epoch: cache hit, even with a different hot set.
+        idx.refresh(3, &instance, 4, 1, &[1]);
+        assert_eq!(idx.merged, vec![0, 4, 5, 6, 7, 9]);
+        // Epoch advance: merged rebuilt from the kept base.
+        idx.refresh(3, &instance, 4, 2, &[1, 5]);
+        assert_eq!(idx.merged, vec![1, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn topk_with_saturating_k_matches_exact_scan() {
+        let instance = Instance::homogeneous(6, 1.0, 1.0, 0.0);
+        let mut idx = CandidateIndex::default();
+        idx.refresh(0, &instance, 5, 1, &[]);
+        for loads in [
+            vec![0.0, 300.0, 0.0, 10.0, 5.0, 80.0],
+            vec![50.0; 6],
+            vec![9.0, 0.0, 0.0, 0.0, 0.0, 900.0],
+        ] {
+            for excluded in [vec![], vec![1], vec![1, 5]] {
+                assert_eq!(
+                    score_best(0, &instance, &loads, &excluded, idx.merged.iter().copied()),
+                    choose_target(0, &instance, &loads, &excluded),
+                    "loads={loads:?} excluded={excluded:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn local_cost_matches_definition() {
         let instance = Instance::homogeneous(2, 2.0, 5.0, 0.0);
         let mut ledger = SparseVec::new();
@@ -919,6 +1202,8 @@ mod tests {
                 round: 1,
                 loads: Arc::new(vec![0.0, 0.0]),
                 excluded: vec![],
+                epoch: 0,
+                hot: Arc::new(vec![]),
             },
         );
         assert!(matches!(*out[0].frame, Frame::Propose { .. }));
@@ -972,6 +1257,8 @@ mod tests {
                 round: 1,
                 loads: Arc::new(vec![0.0, 0.0, 0.0]),
                 excluded: vec![],
+                epoch: 0,
+                hot: Arc::new(vec![]),
             },
         );
         // The audit rotation targets peer 1 in round 1; its Busy frees
@@ -986,6 +1273,8 @@ mod tests {
                 round: 2,
                 loads: Arc::new(vec![1.0, 1.0, 1.0]),
                 excluded: vec![],
+                epoch: 0,
+                hot: Arc::new(vec![]),
             },
         );
         assert!(out.is_empty(), "round start must wait for the commit");

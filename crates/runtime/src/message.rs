@@ -77,8 +77,18 @@ pub enum Frame {
         /// the thread runtime makes — shares it instead of carrying
         /// one of `m` copies.
         loads: Arc<Vec<f64>>,
-        /// Servers excluded this round (failed / crashed).
+        /// Servers excluded this round (failed / crashed), sorted
+        /// ascending by id.
         excluded: Vec<u32>,
+        /// Load-vector epoch: advances only when the gossiped view
+        /// (loads or exclusions) changed since the previous round.
+        /// Nodes running `SelectPolicy::TopK` rebuild their candidate
+        /// merge iff this advances; stays 0 under exact selection.
+        epoch: u64,
+        /// The epoch's gossiped hot set (most over-/under-loaded live
+        /// nodes), sorted ascending by id; empty under exact
+        /// selection. One `Arc` per epoch, shared like `loads`.
+        hot: Arc<Vec<u32>>,
     },
     /// Node → node: "let us run Algorithm 1 on our pair".
     Propose {
@@ -190,6 +200,8 @@ impl Frame {
                 round,
                 loads,
                 excluded,
+                epoch,
+                hot,
             } => {
                 buf.put_u8(TAG_ROUND_START);
                 buf.put_u64_le(*round);
@@ -199,6 +211,11 @@ impl Frame {
                 }
                 buf.put_u32_le(excluded.len() as u32);
                 for &x in excluded {
+                    buf.put_u32_le(x);
+                }
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(hot.len() as u32);
+                for &x in hot.iter() {
                     buf.put_u32_le(x);
                 }
             }
@@ -288,14 +305,22 @@ impl Frame {
                 }
                 let loads = Arc::new((0..n).map(|_| buf.get_f64_le()).collect());
                 let k = buf.get_u32_le() as usize;
-                if buf.remaining() < k * 4 {
+                if buf.remaining() < k * 4 + 12 {
                     return None;
                 }
                 let excluded = (0..k).map(|_| buf.get_u32_le()).collect();
+                let epoch = buf.get_u64_le();
+                let h = buf.get_u32_le() as usize;
+                if buf.remaining() < h * 4 {
+                    return None;
+                }
+                let hot = Arc::new((0..h).map(|_| buf.get_u32_le()).collect());
                 Some(Frame::RoundStart {
                     round,
                     loads,
                     excluded,
+                    epoch,
+                    hot,
                 })
             }
             TAG_PROPOSE => {
@@ -420,6 +445,15 @@ mod tests {
             round: 7,
             loads: Arc::new(vec![1.0, 2.5, 0.0]),
             excluded: vec![2],
+            epoch: 0,
+            hot: Arc::new(vec![]),
+        });
+        roundtrip(Frame::RoundStart {
+            round: 8,
+            loads: Arc::new(vec![4.0, 0.0, 9.5]),
+            excluded: vec![],
+            epoch: 3,
+            hot: Arc::new(vec![0, 2]),
         });
         roundtrip(Frame::Propose { from: 3, round: 9 });
         roundtrip(Frame::Accept {
@@ -477,6 +511,24 @@ mod tests {
             // Must never panic; shorter prefixes must either fail or
             // decode to a *different*, self-consistent frame (they
             // cannot equal the original).
+            if let Some(decoded) = Frame::decode(truncated) {
+                assert_ne!(decoded, frame);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_round_start_truncation() {
+        let frame = Frame::RoundStart {
+            round: 5,
+            loads: Arc::new(vec![1.0, 2.0]),
+            excluded: vec![1],
+            epoch: 9,
+            hot: Arc::new(vec![0, 1, 7]),
+        };
+        let bytes = frame.encode();
+        for cut in 1..bytes.len() {
+            let truncated = bytes.slice(0..cut);
             if let Some(decoded) = Frame::decode(truncated) {
                 assert_ne!(decoded, frame);
             }

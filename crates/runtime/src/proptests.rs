@@ -27,12 +27,16 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (
             any::<u64>(),
             proptest::collection::vec(0.0f64..1e9, 0..50),
+            proptest::collection::vec(0u32..64, 0..8),
+            any::<u64>(),
             proptest::collection::vec(0u32..64, 0..8)
         )
-            .prop_map(|(round, loads, excluded)| Frame::RoundStart {
+            .prop_map(|(round, loads, excluded, epoch, hot)| Frame::RoundStart {
                 round,
                 loads: std::sync::Arc::new(loads),
-                excluded
+                excluded,
+                epoch,
+                hot: std::sync::Arc::new(hot),
             }),
         (any::<u32>(), any::<u64>()).prop_map(|(from, round)| Frame::Propose { from, round }),
         (any::<u32>(), any::<u64>(), arb_ledger()).prop_map(|(from, round, ledger)| {

@@ -14,10 +14,12 @@ use dlb_distributed::{Engine, EngineOptions, RoundMode};
 use dlb_faults::FaultSummary;
 use dlb_game::{run_best_response_dynamics, DynamicsOptions};
 use dlb_netsim::LinkDelayModel;
-use dlb_runtime::{run_cluster, run_cluster_events_faulted, ClusterOptions};
+use dlb_runtime::{
+    run_cluster, run_cluster_events_faulted, ClusterOptions, NodeConfig, SelectPolicy,
+};
 use dlb_solver::solve_bcd;
 
-use crate::spec::{AlgoSpec, RuntimeSpec, ScenarioSpec};
+use crate::spec::{AlgoSpec, RuntimeSpec, ScenarioSpec, SelectSpec};
 use dlb_core::Instance;
 
 /// The uniform result of running any scenario.
@@ -198,6 +200,13 @@ impl Runner for ProtocolRunner {
             max_rounds: spec.budget,
             quiescent_rounds: spec.patience.max(1),
             quiescent_volume: spec.eps,
+            node: NodeConfig {
+                select: match spec.select {
+                    SelectSpec::Exact => SelectPolicy::Exact,
+                    SelectSpec::TopK(k) => SelectPolicy::TopK(k),
+                },
+                ..Default::default()
+            },
             ..Default::default()
         };
         let start = Instant::now();

@@ -11,7 +11,7 @@
 //! algo=batched net=pl m=500 load=peak avg=200 seed=7
 //! ```
 //!
-//! [`ScenarioSpec::parse`] and the [`Display`] impl round-trip exactly,
+//! [`ScenarioSpec::parse`] and the [`Display`](fmt::Display) impl round-trip exactly,
 //! so specs can travel through shell flags, bench grids, and committed
 //! JSON-lines records without a serialization dependency.
 
@@ -198,6 +198,51 @@ impl RuntimeSpec {
     }
 }
 
+/// Partner-selection policy of the protocol runtime (the `select=`
+/// key). The engine/game/solver algorithms reject non-default values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectSpec {
+    /// Every node scores every live peer each round — the literal §IV
+    /// scan, O(m²) per round cluster-wide.
+    #[default]
+    Exact,
+    /// `topk:K`: every node scores only its `K` delay-nearest peers
+    /// (from its own latency column) plus the gossiped hot set of
+    /// load-extreme nodes — O(K) per node per round, the index behind
+    /// 100k-node event runs. `K ≥ m − 1` reproduces `exact` bit for
+    /// bit.
+    TopK(u32),
+}
+
+impl SelectSpec {
+    fn parse(v: &str) -> Result<Self, SpecError> {
+        if v == "exact" {
+            return Ok(SelectSpec::Exact);
+        }
+        if let Some(k) = v.strip_prefix("topk:") {
+            let k: u32 = k.parse().map_err(|_| {
+                SpecError(format!("select: '{k}' is not a positive candidate count"))
+            })?;
+            if k == 0 {
+                return Err(SpecError("select: topk needs at least 1 candidate".into()));
+            }
+            return Ok(SelectSpec::TopK(k));
+        }
+        Err(SpecError(format!(
+            "select: '{v}' is not exact or topk:K (e.g. topk:32)"
+        )))
+    }
+}
+
+impl fmt::Display for SelectSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectSpec::Exact => write!(f, "exact"),
+            SelectSpec::TopK(k) => write!(f, "topk:{k}"),
+        }
+    }
+}
+
 fn parse_load(v: &str) -> Result<LoadDistribution, SpecError> {
     match v {
         "const" => Ok(LoadDistribution::Constant),
@@ -245,6 +290,11 @@ pub struct ScenarioSpec {
     /// the deterministic event-driven executor. Other algorithms
     /// ignore it.
     pub runtime: RuntimeSpec,
+    /// Partner-selection policy of the protocol runtime (`select=`):
+    /// the exact per-round scan or the delay-aware `topk:K` candidate
+    /// index. Only meaningful for `algo=protocol`;
+    /// [`ScenarioSpec::parse`] rejects other combinations.
+    pub select: SelectSpec,
     /// Fault schedule injected into the run (`faults=`), e.g.
     /// `faults=crash:0.1@500ms,loss:0.05`. Only meaningful for
     /// `algo=protocol runtime=events` (the deterministic simulation
@@ -273,6 +323,7 @@ impl Default for ScenarioSpec {
             // before the budget binds.
             budget: 2_000,
             runtime: RuntimeSpec::Threads,
+            select: SelectSpec::Exact,
             faults: FaultPlan::default(),
         }
     }
@@ -352,6 +403,15 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the partner-selection policy. Only `algo=protocol` reads
+    /// it: [`ScenarioSpec::parse`] rejects other combinations up
+    /// front, and the protocol runner panics on them (the builder
+    /// alone cannot see the final key combination).
+    pub fn select(mut self, select: SelectSpec) -> Self {
+        self.select = select;
+        self
+    }
+
     /// Sets the fault schedule. Only `algo=protocol runtime=events`
     /// can replay one: [`ScenarioSpec::parse`] rejects other
     /// combinations up front, and the run entry points panic on them
@@ -401,6 +461,7 @@ impl ScenarioSpec {
                     }
                 }
                 "runtime" => spec.runtime = RuntimeSpec::parse(value)?,
+                "select" => spec.select = SelectSpec::parse(value)?,
                 "faults" => {
                     spec.faults = FaultPlan::parse(value)
                         .map_err(|e| SpecError(format!("faults: {}", e.0)))?
@@ -408,13 +469,20 @@ impl ScenarioSpec {
                 _ => {
                     return Err(SpecError(format!(
                         "unknown key '{key}' (valid: algo net m lat load avg speeds seed gran \
-                         eps patience budget runtime faults)"
+                         eps patience budget runtime select faults)"
                     )))
                 }
             }
             // `split_once` borrows from `token`, which lives as long as
             // `text`; remember the key for duplicate detection.
             seen.push(key);
+        }
+        if spec.select != SelectSpec::Exact && spec.algo != AlgoSpec::Protocol {
+            return Err(SpecError(
+                "select= requires algo=protocol (partner selection is a protocol-runtime \
+                 policy; the analytic engines have their own pruning axis)"
+                    .into(),
+            ));
         }
         if !spec.faults.is_empty()
             && (spec.algo != AlgoSpec::Protocol || spec.runtime != RuntimeSpec::Events)
@@ -515,6 +583,9 @@ impl fmt::Display for ScenarioSpec {
         if self.runtime != d.runtime {
             write!(f, " runtime={}", self.runtime.label())?;
         }
+        if self.select != d.select {
+            write!(f, " select={}", self.select)?;
+        }
         if self.faults != d.faults {
             write!(f, " faults={}", self.faults)?;
         }
@@ -611,6 +682,16 @@ mod tests {
             ("budget=0", "at least 1"),
             ("seed=1 seed=2", "given twice"),
             ("runtime=fibers", "not one of threads|events"),
+            ("algo=protocol select=nearest", "not exact or topk:K"),
+            (
+                "algo=protocol select=topk:",
+                "not a positive candidate count",
+            ),
+            (
+                "algo=protocol select=topk:x",
+                "not a positive candidate count",
+            ),
+            ("algo=protocol select=topk:0", "at least 1 candidate"),
             ("warp=9", "unknown key 'warp'"),
         ] {
             let err = ScenarioSpec::parse(text).unwrap_err();
@@ -631,6 +712,43 @@ mod tests {
         // The default is omitted from the canonical text form.
         let threads = ScenarioSpec::new().runtime(RuntimeSpec::Threads);
         assert!(!threads.to_string().contains("runtime="));
+    }
+
+    #[test]
+    fn select_key_round_trips_and_validates() {
+        assert_eq!(ScenarioSpec::default().select, SelectSpec::Exact);
+        let spec: ScenarioSpec = "algo=protocol runtime=events m=40 select=topk:32"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.select, SelectSpec::TopK(32));
+        assert_eq!(
+            spec.to_string(),
+            "algo=protocol net=homog m=40 runtime=events select=topk:32"
+        );
+        assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
+        // select=exact is the default and is omitted from the text form;
+        // writing it explicitly still parses.
+        let explicit: ScenarioSpec = "algo=protocol select=exact".parse().unwrap();
+        assert!(!explicit.to_string().contains("select="));
+        // The builder mirrors the text form.
+        let built = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(RuntimeSpec::Events)
+            .servers(40)
+            .select(SelectSpec::TopK(32));
+        assert_eq!(built, spec);
+        // select= works on the thread runtime too — but only for the
+        // protocol algorithm.
+        assert!(ScenarioSpec::parse("algo=protocol select=topk:8").is_ok());
+        for text in ["select=topk:8", "algo=batched select=topk:8"] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                err.0.contains("requires algo=protocol"),
+                "'{text}' -> {err}"
+            );
+        }
+        // Key order must not matter for the validation.
+        assert!(ScenarioSpec::parse("select=topk:8 algo=protocol").is_ok());
     }
 
     #[test]

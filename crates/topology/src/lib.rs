@@ -14,6 +14,8 @@
 //!   footnote 3,
 //! * [`restricted`] — trust-restricted neighbor graphs (forbidden links
 //!   become infinite latencies),
+//! * [`nearest`] — delay-nearest-k candidate queries (the static half
+//!   of the runtime's `select=topk:K` partner index),
 //! * [`structured`] — star / ring / torus topologies as regular
 //!   counterpoints for sensitivity experiments.
 //!
@@ -23,11 +25,13 @@
 #![forbid(unsafe_code)]
 
 pub mod euclidean;
+pub mod nearest;
 pub mod planetlab;
 pub mod restricted;
 pub mod structured;
 
 pub use euclidean::EuclideanConfig;
+pub use nearest::k_nearest_row;
 pub use planetlab::PlanetLabConfig;
 pub use restricted::{out_degree, restrict_to_k_nearest, restrict_to_neighbors};
 
