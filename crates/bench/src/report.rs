@@ -420,6 +420,57 @@ mod tests {
         assert_eq!(&lines[3][m_end - 4..m_end], "2000");
     }
 
+    /// Run records (shape v2) always carry the fault and detector
+    /// field groups, and the report renders them as columns — the
+    /// operator-facing view of what the failure detector did.
+    #[test]
+    fn renders_fault_and_detector_columns_for_run_records() {
+        let run = dlb_scenario::RunRecord {
+            scenario: "algo=protocol runtime=events m=8 detect=adaptive".into(),
+            algo: "protocol",
+            m: 8,
+            history: vec![10.0, 4.0],
+            iterations: 7,
+            converged: true,
+            wall_secs: 1.25,
+            faults: dlb_faults::FaultSummary {
+                crashes: 2,
+                dropped_frames: 5,
+                ..Default::default()
+            },
+            detector: dlb_runtime::DetectorSummary {
+                suspicions: 3,
+                false_positives: 1,
+                detection_latency_ms: 212.5,
+                rejoin_ms: 90.0,
+                aborted_exchanges: 2,
+            },
+        };
+        let line = Record::from_run("run", &run).to_json();
+        let report = render_report(&line).unwrap();
+        for col in [
+            "fault_crashes",
+            "fault_dropped_frames",
+            "detector_suspicions",
+            "detector_false_positives",
+            "detector_latency_ms",
+            "detector_rejoin_ms",
+            "detector_aborted_exchanges",
+        ] {
+            assert!(report.contains(col), "missing column {col}:\n{report}");
+        }
+        assert!(report.contains("212.5"), "{report}");
+        // Quiet runs keep the same shape, zero-filled (v2 contract).
+        let quiet = dlb_scenario::RunRecord {
+            faults: Default::default(),
+            detector: Default::default(),
+            ..run
+        };
+        let json = Record::from_run("run", &quiet).to_json();
+        assert!(json.contains("\"fault_crashes\":0"), "{json}");
+        assert!(json.contains("\"detector_suspicions\":0"), "{json}");
+    }
+
     #[test]
     fn number_formatting_is_compact() {
         assert_eq!(fmt_num(2000.0), "2000");

@@ -75,8 +75,14 @@ impl Record {
     /// under the given `kind` tag. This is the one shape every CLI
     /// command and ported harness emits, so `dlb report` renders them
     /// all the same way.
+    ///
+    /// Record shape, v2: the `fault_*` and `detector_*` field groups
+    /// are always present (zeroed on quiet runs). v1 omitted `fault_*`
+    /// on fault-free records, which made downstream schemas dependent
+    /// on the scenario's content; a stable shape lets `dlb report` and
+    /// external consumers project columns without sniffing rows.
     pub fn from_run(kind: &str, run: &dlb_scenario::RunRecord) -> Self {
-        let mut r = Record::new(kind)
+        Record::new(kind)
             .str("scenario", &run.scenario)
             .str("algo", run.algo)
             .int("m", run.m as i64)
@@ -84,19 +90,24 @@ impl Record {
             .num("final_cost", run.final_cost())
             .int("iterations", run.iterations as i64)
             .bool("converged", run.converged)
-            .num("wall_secs", run.wall_secs);
-        // The fault-event summary rides along only when the scenario
-        // injected something, so fault-free records keep their exact
-        // historical shape.
-        if !run.faults.is_quiet() {
-            r = r
-                .int("fault_crashes", run.faults.crashes as i64)
-                .int("fault_recoveries", run.faults.recoveries as i64)
-                .int("fault_dropped_frames", run.faults.dropped_frames as i64)
-                .int("fault_delayed_frames", run.faults.delayed_frames as i64)
-                .num("fault_extra_delay_ms", run.faults.extra_delay_ms);
-        }
-        r.nums("history", &run.history)
+            .num("wall_secs", run.wall_secs)
+            .int("fault_crashes", run.faults.crashes as i64)
+            .int("fault_recoveries", run.faults.recoveries as i64)
+            .int("fault_dropped_frames", run.faults.dropped_frames as i64)
+            .int("fault_delayed_frames", run.faults.delayed_frames as i64)
+            .num("fault_extra_delay_ms", run.faults.extra_delay_ms)
+            .int("detector_suspicions", run.detector.suspicions as i64)
+            .int(
+                "detector_false_positives",
+                run.detector.false_positives as i64,
+            )
+            .num("detector_latency_ms", run.detector.detection_latency_ms)
+            .num("detector_rejoin_ms", run.detector.rejoin_ms)
+            .int(
+                "detector_aborted_exchanges",
+                run.detector.aborted_exchanges as i64,
+            )
+            .nums("history", &run.history)
     }
 
     /// Renders the record as one JSON object.

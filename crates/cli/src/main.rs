@@ -72,10 +72,21 @@ run:
                       crash:F@Tms[..Tms] (fraction F crashes at T,
                       optional recovery), loss:P[@Tms..Tms] (per-frame
                       loss), spike:Fx@Tms..Tms (delay multiplier),
-                      part:Tms..Tms (bipartition). Example:
-                      faults=crash:0.1@500ms,loss:0.05 — one seed fixes
-                      workload, delays, and the fault trajectory, so
-                      records reproduce bit for bit
+                      part:Tms..Tms (bipartition), slow:F@Fx[@Tms..Tms]
+                      (fraction F straggles at Fx× outbound delay).
+                      Example: faults=crash:0.1@500ms,loss:0.05 — one
+                      seed fixes workload, delays, and the fault
+                      trajectory, so records reproduce bit for bit
+    detect=oracle     oracle | timeout:MS | adaptive — liveness source,
+                      algo=protocol runtime=events only. oracle consults
+                      the fault script directly (the idealized baseline);
+                      timeout:MS suspects any node silent MS past the
+                      round start; adaptive learns per-node report
+                      cadence (phi-accrual-style) and sets per-node
+                      deadlines. Suspected nodes are excluded from the
+                      next round, wrongly suspected stragglers rejoin
+                      with exact load conservation, and the record
+                      carries a detector_* summary
 
 report:
   dlb report FILE...          (e.g. dlb report BENCH_figure2.json)

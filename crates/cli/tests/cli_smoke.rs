@@ -123,6 +123,60 @@ fn event_protocol_runs_emit_reproducible_records() {
     assert_eq!(*field(row, "iterations"), Value::Num(run.iterations as f64));
 }
 
+/// The `detect=` axis end to end: a faulted adaptive-detector run
+/// succeeds, emits the v2 record shape (fault_* and detector_* always
+/// present), reproduces bit for bit, and a misplaced `detect=` on the
+/// thread runtime is rejected at parse time with a pointed message.
+#[test]
+fn detect_axis_rides_the_cli_end_to_end() {
+    let text = "algo=protocol runtime=events m=16 avg=80 seed=5 patience=9 budget=800 \
+                faults=crash:0.2@150ms,slow:0.2@4x detect=adaptive";
+    let mut records = Vec::new();
+    for tag in ["a", "b"] {
+        let out_path = std::env::temp_dir().join(format!("dlb_cli_detect_{tag}.jsonl"));
+        let output = dlb()
+            .args([
+                "run",
+                "--scenario",
+                text,
+                "--out",
+                out_path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("dlb binary runs");
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        records.push(std::fs::read_to_string(&out_path).unwrap());
+        let _ = std::fs::remove_file(&out_path);
+    }
+    assert_eq!(records[0], records[1], "detect records must be bit-equal");
+    let rows = parse_jsonl(&records[0]).unwrap();
+    let row = &rows[0];
+    assert_eq!(*field(row, "converged"), Value::Bool(true));
+    let Value::Num(suspicions) = *field(row, "detector_suspicions") else {
+        panic!("detector_suspicions must be numeric");
+    };
+    assert!(suspicions > 0.0, "crashes must be suspected from silence");
+    let Value::Num(crashes) = *field(row, "fault_crashes") else {
+        panic!("fault_crashes must be numeric");
+    };
+    assert_eq!(crashes, 3.0, "20% of 16 nodes");
+
+    let output = dlb()
+        .args(["run", "--scenario", "algo=protocol m=8 detect=adaptive"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("detect= requires"),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
 #[test]
 fn legacy_aliases_emit_run_records_through_the_sink() {
     let out_path = std::env::temp_dir().join("dlb_cli_alias.jsonl");
@@ -148,10 +202,11 @@ fn legacy_aliases_emit_run_records_through_the_sink() {
 }
 
 const GOLDEN_REPORT: &str = "\
-== run (2 records) ==
-scenario                                            algo          m  initial_cost  final_cost  iterations  converged  wall_secs  history
-algo=sequential net=homog m=8                       sequential    8     1234.5000        1000           7       true     0.2500  [3 pts]
-algo=batched net=pl m=500 load=peak avg=200 seed=7  batched     500      2.3349e9    1.2278e7          20      false     5.5000  [2 pts]
+== run (3 records) ==
+scenario                                                                                        algo          m  initial_cost  final_cost  iterations  converged  wall_secs  history  fault_crashes  fault_recoveries  fault_dropped_frames  fault_delayed_frames  fault_extra_delay_ms  detector_suspicions  detector_false_positives  detector_latency_ms  detector_rejoin_ms  detector_aborted_exchanges
+algo=sequential net=homog m=8                                                                   sequential    8     1234.5000        1000           7       true     0.2500  [3 pts]              -                 -                     -                     -                     -                    -                         -                    -                   -                           -
+algo=batched net=pl m=500 load=peak avg=200 seed=7                                              batched     500      2.3349e9    1.2278e7          20      false     5.5000  [2 pts]              -                 -                     -                     -                     -                    -                         -                    -                   -                           -
+algo=protocol net=homog m=16 runtime=events faults=crash:0.2@150ms,slow:0.2@4x detect=adaptive  protocol     16    60943.2000  38049.9300         539       true    41.4080  [2 pts]              3                 0                    15                  3188            98918.2700                   12                         9             134.2400           1094.1200                           9
 
 == table_row (1 record) ==
 table   bucket   dist     avg  max     std   n

@@ -4,8 +4,9 @@
 //! load-balancing results (arXiv cs/0506098, arXiv 1109.6925) analyze
 //! convergence under *idealized* communication. This crate makes the
 //! other regime measurable: it injects node crashes and recoveries,
-//! per-link frame loss, delay-spike windows, and network partitions
-//! into the workspace's virtual-time simulations — the protocol
+//! per-link frame loss, delay-spike windows, network partitions, and
+//! slow-but-alive stragglers into the workspace's virtual-time
+//! simulations — the protocol
 //! executor in `dlb-runtime` and the scheduled gossip in `dlb-gossip`
 //! — so "how far does §IV degrade when the network misbehaves?" is a
 //! scenario, not a thought experiment.
@@ -59,7 +60,11 @@
 #![forbid(unsafe_code)]
 
 pub mod plan;
+#[cfg(all(test, feature = "proptests"))]
+mod proptests;
 pub mod script;
 
-pub use plan::{CrashFault, FaultError, FaultPlan, LossFault, PartitionFault, SpikeFault};
-pub use script::{FaultScript, FaultSummary, LinkOutcome};
+pub use plan::{
+    CrashFault, FaultError, FaultPlan, LossFault, PartitionFault, SlowFault, SpikeFault,
+};
+pub use script::{FaultScript, FaultSummary, LinkOutcome, MAX_RETRANSMITS, RETRANSMIT_MS};

@@ -11,12 +11,14 @@
 //! loss:0.2@100ms..900ms       ...or only inside a window
 //! spike:4x@200ms..800ms       link delays ×4 inside the window
 //! part:500ms..1500ms          bipartition drops crossing frames
+//! slow:0.05@4x                5% of the nodes send at 4× delay
+//! slow:0.05@4x@100ms..900ms   ...or only inside a window
 //! ```
 //!
 //! [`FaultPlan::parse`] and the [`Display`](std::fmt::Display) impl
 //! round-trip exactly (primitives render in the fixed order crash,
-//! loss, spike, part), so plans travel through scenario text, shell
-//! flags, and committed JSON records unchanged.
+//! loss, spike, part, slow), so plans travel through scenario text,
+//! shell flags, and committed JSON records unchanged.
 
 use std::fmt;
 use std::str::FromStr;
@@ -80,6 +82,21 @@ pub struct PartitionFault {
     pub to_ms: f64,
 }
 
+/// A fraction of the nodes straggles: slow-but-alive nodes whose
+/// outbound frames take `factor`× the base link delay, optionally
+/// confined to a window (`slow:FRAC@Fx` / `slow:FRAC@Fx@Tms..Tms`).
+/// Stragglers keep participating in the protocol — they exist to
+/// exercise the failure detector's false-positive path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowFault {
+    /// Fraction of the cluster that straggles, in `(0, 1]`.
+    pub frac: f64,
+    /// Outbound delay multiplier, ≥ 1.
+    pub factor: f64,
+    /// Active window `[from, to)` in ms; `None` = the whole run.
+    pub window: Option<(f64, f64)>,
+}
+
 /// A declarative, seed-independent fault schedule: at most one
 /// primitive of each kind (see the [module docs](self) for the text
 /// grammar). [`FaultPlan::compile`] turns it into the per-run
@@ -94,6 +111,8 @@ pub struct FaultPlan {
     pub spike: Option<SpikeFault>,
     /// Network bipartition window.
     pub partition: Option<PartitionFault>,
+    /// Straggler (slow-but-alive) schedule.
+    pub slow: Option<SlowFault>,
 }
 
 impl FaultPlan {
@@ -155,6 +174,27 @@ impl FaultPlan {
     /// Adds a bipartition over `[from_ms, to_ms)`.
     pub fn partition(mut self, from_ms: f64, to_ms: f64) -> Self {
         self.partition = Some(PartitionFault { from_ms, to_ms });
+        self
+    }
+
+    /// Adds whole-run stragglers: `frac` of the nodes send every frame
+    /// at `factor`× the base link delay.
+    pub fn slow(mut self, frac: f64, factor: f64) -> Self {
+        self.slow = Some(SlowFault {
+            frac,
+            factor,
+            window: None,
+        });
+        self
+    }
+
+    /// Adds stragglers active only inside a window.
+    pub fn slow_window(mut self, frac: f64, factor: f64, from_ms: f64, to_ms: f64) -> Self {
+        self.slow = Some(SlowFault {
+            frac,
+            factor,
+            window: Some((from_ms, to_ms)),
+        });
         self
     }
 
@@ -254,9 +294,43 @@ impl FaultPlan {
                     let (from_ms, to_ms) = parse_window("part window", value)?;
                     plan.partition = Some(PartitionFault { from_ms, to_ms });
                 }
+                "slow" => {
+                    if plan.slow.is_some() {
+                        return Err(FaultError("slow given twice".into()));
+                    }
+                    let (frac, rest) = value.split_once('@').ok_or_else(|| {
+                        FaultError(format!(
+                            "slow '{value}' needs '@FACTORx' (try 'slow:0.05@4x')"
+                        ))
+                    })?;
+                    let frac = parse_unit("slow fraction", frac)?;
+                    if frac <= 0.0 || frac > 1.0 {
+                        return Err(FaultError(format!(
+                            "slow fraction {frac} must be in (0, 1]"
+                        )));
+                    }
+                    let (factor, window) = match rest.split_once('@') {
+                        Some((fx, w)) => (fx, Some(parse_window("slow window", w)?)),
+                        None => (rest, None),
+                    };
+                    let factor = factor.strip_suffix('x').ok_or_else(|| {
+                        FaultError(format!("slow factor '{factor}' needs an 'x' suffix"))
+                    })?;
+                    let factor = parse_unit("slow factor", factor)?;
+                    if factor < 1.0 {
+                        return Err(FaultError(format!(
+                            "slow factor {factor} must be at least 1"
+                        )));
+                    }
+                    plan.slow = Some(SlowFault {
+                        frac,
+                        factor,
+                        window,
+                    });
+                }
                 _ => {
                     return Err(FaultError(format!(
-                        "unknown fault kind '{kind}' (valid: crash loss spike part)"
+                        "unknown fault kind '{kind}' (valid: crash loss spike part slow)"
                     )))
                 }
             }
@@ -335,6 +409,13 @@ impl fmt::Display for FaultPlan {
         }
         if let Some(p) = &self.partition {
             write!(f, "{sep}part:{}ms..{}ms", p.from_ms, p.to_ms)?;
+            sep = ",";
+        }
+        if let Some(s) = &self.slow {
+            write!(f, "{sep}slow:{}@{}x", s.frac, s.factor)?;
+            if let Some((a, b)) = s.window {
+                write!(f, "@{a}ms..{b}ms")?;
+            }
         }
         Ok(())
     }
@@ -390,7 +471,9 @@ mod tests {
             "loss:0.2@100ms..900ms",
             "spike:4x@200ms..800ms",
             "part:500ms..1500ms",
-            "crash:0.1@500ms,loss:0.05,spike:2.5x@0ms..300ms,part:50ms..60ms",
+            "slow:0.05@4x",
+            "slow:0.2@2.5x@100ms..900ms",
+            "crash:0.1@500ms,loss:0.05,spike:2.5x@0ms..300ms,part:50ms..60ms,slow:0.1@3x",
         ] {
             let plan: FaultPlan = text.parse().unwrap();
             assert_eq!(plan.to_string(), text);
@@ -417,10 +500,15 @@ mod tests {
                 .churn(0.2, 100.0, 300.0)
                 .loss_window(0.5, 0.0, 50.0)
                 .spike(2.0, 10.0, 20.0)
-                .partition(5.0, 6.0),
-            "crash:0.2@100ms..300ms,loss:0.5@0ms..50ms,spike:2x@10ms..20ms,part:5ms..6ms"
+                .partition(5.0, 6.0)
+                .slow(0.05, 4.0),
+            "crash:0.2@100ms..300ms,loss:0.5@0ms..50ms,spike:2x@10ms..20ms,part:5ms..6ms,slow:0.05@4x"
                 .parse()
                 .unwrap()
+        );
+        assert_eq!(
+            FaultPlan::new().slow_window(0.1, 2.0, 50.0, 80.0),
+            "slow:0.1@2x@50ms..80ms".parse().unwrap()
         );
     }
 
@@ -446,6 +534,13 @@ mod tests {
             ("part:5ms..5ms", "must come after"),
             ("part:1ms..2ms,part:3ms..4ms", "part given twice"),
             ("crash:0.1@NaNms", "finite and non-negative"),
+            ("slow:0.1", "needs '@FACTORx'"),
+            ("slow:0@4x", "must be in (0, 1]"),
+            ("slow:1.5@4x", "must be in (0, 1]"),
+            ("slow:0.1@4", "'x' suffix"),
+            ("slow:0.1@0.5x", "at least 1"),
+            ("slow:0.1@4x@9ms..3ms", "must come after"),
+            ("slow:0.1@2x,slow:0.1@3x", "slow given twice"),
         ] {
             let err = FaultPlan::parse(text).unwrap_err();
             assert!(err.0.contains(needle), "'{text}' -> {err}");

@@ -21,12 +21,13 @@ pub const RETRANSMIT_MS: f64 = 200.0;
 
 /// Retransmission attempts are capped here so a pathological loss
 /// probability cannot push a frame past every horizon.
-const MAX_RETRANSMITS: u32 = 12;
+pub const MAX_RETRANSMITS: u32 = 12;
 
 /// Stream salts: distinct SplitMix64 domains per decision family.
 const SALT_CRASH: u64 = 0xC4A5_11D0;
 const SALT_SIDE: u64 = 0x51DE_0B1F;
 const SALT_LOSS: u64 = 0x10D5_50FF;
+const SALT_SLOW: u64 = 0x5107_AC3E;
 
 /// What the fault layer did to one reliable data-plane frame (the
 /// executor's summary accounting).
@@ -92,6 +93,9 @@ pub struct FaultScript {
     /// Per node: partition side (only meaningful with a partition
     /// primitive).
     side: Vec<bool>,
+    /// Per node: whether it is a straggler (only meaningful with a
+    /// slow primitive).
+    straggler: Vec<bool>,
 }
 
 impl FaultScript {
@@ -121,12 +125,28 @@ impl FaultScript {
         let side = (0..m)
             .map(|i| splitmix(seed ^ SALT_SIDE ^ i as u64) & 1 == 1)
             .collect();
+        let mut straggler = vec![false; m];
+        if let Some(s) = &plan.slow {
+            // Same partial Fisher-Yates as the crash victims, on its
+            // own salt stream: slow and crashed sets are independent.
+            let k = ((s.frac * m as f64).round() as usize).min(m);
+            let mut order: Vec<usize> = (0..m).collect();
+            for i in 0..k {
+                let r = splitmix(seed ^ SALT_SLOW ^ (i as u64).wrapping_mul(0x9E37)) as usize;
+                let j = i + r % (m - i);
+                order.swap(i, j);
+            }
+            for &victim in &order[..k] {
+                straggler[victim] = true;
+            }
+        }
         Self {
             seed,
             plan: *plan,
             crash_at,
             recover_at,
             side,
+            straggler,
         }
     }
 
@@ -164,6 +184,32 @@ impl FaultScript {
         (0..self.len() as u32)
             .filter(|&j| self.node_down(j as usize, t))
             .collect()
+    }
+
+    /// The instant `node` crashes (`f64::INFINITY` = never). This is a
+    /// *measurement* hook — detection-latency accounting diffs a
+    /// detector's suspicion instant against it — never a protocol
+    /// input: an oracle-free run must not consult it to decide
+    /// anything.
+    pub fn crash_time(&self, node: usize) -> f64 {
+        self.crash_at[node]
+    }
+
+    /// Outbound delay multiplier for frames sent by `src` at time `t`:
+    /// the slow primitive's factor while `src` straggles, `1.0`
+    /// otherwise.
+    pub fn slow_factor(&self, src: usize, t: f64) -> f64 {
+        match &self.plan.slow {
+            Some(s) if self.straggler[src] && s.window.is_none_or(|(a, b)| (a..b).contains(&t)) => {
+                s.factor
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Nodes the slow primitive turned into stragglers.
+    pub fn straggler_count(&self) -> u32 {
+        self.straggler.iter().filter(|&&b| b).count() as u32
     }
 
     /// Nodes that crash at some point during the script (regardless of
@@ -426,6 +472,37 @@ mod tests {
             s.reliable_link(100.0, 0, 1, 7, 10.0),
             LinkOutcome::default()
         );
+    }
+
+    #[test]
+    fn stragglers_multiply_outbound_delay() {
+        let plan = FaultPlan::new().slow(0.25, 4.0);
+        let s = plan.compile(13, 20);
+        assert_eq!(s.straggler_count(), 5);
+        let factors: Vec<f64> = (0..20).map(|i| s.slow_factor(i, 100.0)).collect();
+        assert_eq!(factors.iter().filter(|&&f| f == 4.0).count(), 5);
+        assert_eq!(factors.iter().filter(|&&f| f == 1.0).count(), 15);
+        // Victims are a pure function of the seed; stragglers stay up.
+        let again: Vec<f64> = (0..20)
+            .map(|i| plan.compile(13, 20).slow_factor(i, 100.0))
+            .collect();
+        assert_eq!(factors, again);
+        assert!(s.down_at(1e9).is_empty());
+        // A windowed slow stops at the window's end.
+        let windowed = FaultPlan::new()
+            .slow_window(1.0, 3.0, 100.0, 200.0)
+            .compile(13, 4);
+        assert_eq!(windowed.straggler_count(), 4);
+        assert_eq!(windowed.slow_factor(0, 99.9), 1.0);
+        assert_eq!(windowed.slow_factor(0, 100.0), 3.0);
+        assert_eq!(windowed.slow_factor(0, 200.0), 1.0);
+        // crash_time is a pure accessor.
+        let churn = FaultPlan::new().crash(0.5, 300.0).compile(5, 8);
+        for j in 0..8 {
+            let t = churn.crash_time(j);
+            assert!(t == 300.0 || t == f64::INFINITY);
+            assert_eq!(t.is_finite(), churn.node_down(j, 300.0));
+        }
     }
 
     #[test]

@@ -30,6 +30,66 @@ use crate::machine::{CoordinatorMachine, Dest, Outbound};
 use crate::message::Frame;
 use crate::node::{run_node, NodeConfig, NodeLinks};
 
+/// How the coordinator learns that a node has crashed.
+///
+/// The baseline [`DetectMode::Oracle`] is the script-fed liveness
+/// oracle: the driver tells the coordinator which nodes are down
+/// (ground truth, zero detection latency) — the idealized-failure
+/// regime every parity test pins. The other two modes move detection
+/// *into the protocol*: the coordinator arms a per-round report
+/// deadline and suspects any node whose report has not arrived when it
+/// fires; exchanges get their own retransmission timeout so a proposer
+/// whose partner dies mid-exchange aborts and rolls back locally.
+/// Under both in-protocol modes the oracle is provably unreached
+/// ([`CoordinatorMachine::set_down`] panics if consulted).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DetectMode {
+    /// Ground-truth liveness from the fault script (the default).
+    #[default]
+    Oracle,
+    /// Fixed per-round report deadline, in virtual milliseconds after
+    /// the round start. Aggressive values trade detection latency for
+    /// false positives (wrongly suspected stragglers, which later
+    /// rejoin through the probation path).
+    Timeout(f64),
+    /// Phi-accrual-style adaptive deadline: a per-node running
+    /// mean/variance over observed report latencies (Welford, pure
+    /// f64, no RNG) sets each node's bound at `μ + 4σ + 1 ms`; nodes
+    /// with fewer than three observations fall back to the global
+    /// estimator, which itself boots at
+    /// [`ADAPTIVE_BOOTSTRAP_MS`](crate::machine::ADAPTIVE_BOOTSTRAP_MS).
+    /// Deterministic across repeats and `DLB_THREADS`.
+    Adaptive,
+}
+
+/// What the in-protocol failure detector did during a run (all zeros
+/// under [`DetectMode::Oracle`] and for the thread runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DetectorSummary {
+    /// Nodes suspected after missing a report deadline (a node
+    /// re-suspected in a later round counts again).
+    pub suspicions: u32,
+    /// Suspicions that turned out wrong: the node was alive and its
+    /// late report triggered the probation/rejoin handshake.
+    pub false_positives: u32,
+    /// Mean virtual time from a node's physical crash to its
+    /// suspicion, over true-positive detections (`0` when none).
+    pub detection_latency_ms: f64,
+    /// Total virtual time wrongly-suspected nodes spent excluded
+    /// before rejoining.
+    pub rejoin_ms: f64,
+    /// Exchanges a node aborted and rolled back after its partner went
+    /// silent mid-exchange.
+    pub aborted_exchanges: u32,
+}
+
+impl DetectorSummary {
+    /// Whether the detector has nothing to report.
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// Cluster configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterOptions {
@@ -49,6 +109,19 @@ pub struct ClusterOptions {
     pub failed: Vec<u32>,
     /// Per-node protocol configuration.
     pub node: NodeConfig,
+    /// How crashed nodes are detected (see [`DetectMode`]). Only the
+    /// event executor honors the in-protocol modes; the thread runtime
+    /// (which has no virtual clock to arm deadlines on) requires
+    /// [`DetectMode::Oracle`].
+    pub detect: DetectMode,
+    /// Exchange retransmission timeout (virtual ms) under in-protocol
+    /// detection: how long a node waits for its partner's next
+    /// data-plane frame before aborting the exchange and rolling back.
+    /// Must exceed the worst-case frame round trip (including fault
+    /// retransmissions and partition holds) or live exchanges tear;
+    /// the scenario layer derives a safe bound from the fault plan.
+    /// Ignored under [`DetectMode::Oracle`].
+    pub exchange_rto_ms: f64,
 }
 
 impl Default for ClusterOptions {
@@ -59,6 +132,8 @@ impl Default for ClusterOptions {
             quiescent_volume: 1e-9,
             failed: Vec::new(),
             node: NodeConfig::default(),
+            detect: DetectMode::Oracle,
+            exchange_rto_ms: 10_000.0,
         }
     }
 }
@@ -107,6 +182,9 @@ pub struct ClusterReport {
     /// What the fault script injected during the run (all zeros for
     /// the thread runtime and for fault-free event runs).
     pub faults: dlb_faults::FaultSummary,
+    /// What the in-protocol failure detector did (all zeros under
+    /// [`DetectMode::Oracle`] and for the thread runtime).
+    pub detector: DetectorSummary,
 }
 
 /// Runs the full message-passing protocol for `instance` on the thread
@@ -115,6 +193,11 @@ pub struct ClusterReport {
 /// [`run_cluster_events`](crate::executor::run_cluster_events), which
 /// hosts the same protocol on the event executor in a single process.
 pub fn run_cluster(instance: &Instance, options: &ClusterOptions) -> ClusterReport {
+    assert!(
+        matches!(options.detect, DetectMode::Oracle),
+        "the thread runtime has no virtual clock to arm deadlines on; \
+         in-protocol detection needs the event executor"
+    );
     let m = instance.len();
     let shared = Arc::new(instance.clone());
     let mut coordinator = CoordinatorMachine::new(Arc::clone(&shared), options);

@@ -89,8 +89,8 @@ use dlb_faults::{FaultScript, FaultSummary};
 use dlb_par::with_pool;
 
 use crate::clock::{Clock, VirtualClock};
-use crate::cluster::{ClusterOptions, ClusterReport};
-use crate::machine::{CoordinatorMachine, Dest, NodeMachine, Outbound};
+use crate::cluster::{ClusterOptions, ClusterReport, DetectMode};
+use crate::machine::{CoordinatorMachine, Dest, NodeMachine, Outbound, RtoKind};
 use crate::message::{ledger_to_wire, Frame};
 
 /// One-way delay of control-plane frames (coordinator ↔ node), in
@@ -98,8 +98,31 @@ use crate::message::{ledger_to_wire, Frame};
 /// gossip layer, not a physical host (see the module docs).
 const CONTROL_DELAY_MS: f64 = 0.0;
 
-/// What travels on the heap: a frame headed for an inbox.
-type Delivery = (Dest, Arc<Frame>);
+/// What travels on the heap: frame deliveries plus, under in-protocol
+/// failure detection, the two timer species. Under
+/// [`DetectMode::Oracle`] only frames are ever pushed, so the oracle
+/// event stream (sequence numbers, hashes, everything) is byte-for-
+/// byte what it was before timers existed.
+enum Event {
+    /// A frame headed for an inbox.
+    Frame(Dest, Arc<Frame>),
+    /// The coordinator's report deadline for the given round.
+    Deadline(u64),
+    /// An exchange retransmission timer: (node, round, guarded wait).
+    Rto(u32, u64, RtoKind),
+}
+
+/// What lands in a node's per-batch run queue.
+enum Inbox {
+    Frame(Arc<Frame>),
+    Rto(u64, RtoKind),
+}
+
+/// What lands in the coordinator's per-batch queue.
+enum CoordItem {
+    Frame(Arc<Frame>),
+    Deadline(u64),
+}
 
 /// FNV-1a-style mixing of one word into the event-order fingerprint.
 fn mix(h: u64, v: u64) -> u64 {
@@ -128,19 +151,35 @@ fn hash_event(mut h: u64, due: f64, dest: Dest, frame: &Frame) -> u64 {
         Frame::Report { from, round, .. } => (6, *from, *round),
         Frame::Shutdown => (7, 0, 0),
         Frame::FinalLedger { from, .. } => (8, *from, 0),
+        Frame::CommitAck { from, round } => (9, *from, *round),
     };
     h = mix(h, tag);
     h = mix(h, from as u64);
     mix(h, round)
 }
 
+/// Folds a fired timer into the fingerprint. Tags 16/17 are disjoint
+/// from the frame tags, and timers only exist under in-protocol
+/// detection, so oracle hashes are untouched.
+fn hash_timer(mut h: u64, due: f64, tag: u64, node: u64, round: u64) -> u64 {
+    h = mix(h, due.to_bits());
+    h = mix(h, node);
+    h = mix(h, tag);
+    mix(h, round)
+}
+
 /// The simulated network: the shared event heap plus the delay model
 /// and fault script every scheduled frame passes through.
 struct Fabric<'s, D> {
-    heap: EventHeap<Delivery>,
+    heap: EventHeap<Event>,
     delays: D,
     script: &'s FaultScript,
     summary: FaultSummary,
+    /// Exchange retransmission timeout under in-protocol detection:
+    /// `Some(ms)` arms an abort timer whenever an exchange frame is
+    /// dropped at a dead host (see [`Fabric::arm_abort`]); `None`
+    /// (oracle) pushes no timers at all.
+    rto: Option<f64>,
 }
 
 impl<D: Fn(usize, usize) -> f64> Fabric<'_, D> {
@@ -158,21 +197,58 @@ impl<D: Fn(usize, usize) -> f64> Fabric<'_, D> {
                     if self.script.is_empty() {
                         d
                     } else {
+                        // A straggler's outbound frames crawl: the slow
+                        // multiplier scales the base delay before the
+                        // loss/partition composition on top of it.
+                        let base = d * self.script.slow_factor(i, now);
                         // The seq this push will receive keys the
                         // per-frame loss decisions.
-                        let fault =
-                            self.script
-                                .reliable_link(now, i, j as usize, self.heap.next_seq(), d);
-                        if fault.extra_ms > 0.0 {
+                        let fault = self.script.reliable_link(
+                            now,
+                            i,
+                            j as usize,
+                            self.heap.next_seq(),
+                            base,
+                        );
+                        let extra = (base - d) + fault.extra_ms;
+                        if extra > 0.0 {
                             self.summary.delayed_frames += 1;
-                            self.summary.extra_delay_ms += fault.extra_ms;
+                            self.summary.extra_delay_ms += extra;
                         }
-                        d + fault.extra_ms
+                        d + extra
                     }
                 }
                 _ => CONTROL_DELAY_MS,
             };
-            self.heap.push(now + delay, (o.to, o.frame));
+            self.heap.push(now + delay, Event::Frame(o.to, o.frame));
+        }
+    }
+
+    /// A data-plane frame just vanished into a dead host. Under
+    /// in-protocol detection the sender is now waiting on an answer
+    /// that can never come: arm its retransmission timeout so the
+    /// machine aborts the exchange after `exchange_rto_ms` of silence.
+    ///
+    /// Arming at the *drop* instead of blindly at every send keeps the
+    /// abort exact — a timer only exists when the wait is provably
+    /// unresolvable — which is the behavior of a correctly provisioned
+    /// real-world RTO (one that exceeds the worst-case round trip, so
+    /// it never tears an exchange both parties are still driving).
+    fn arm_abort(&mut self, now: f64, frame: &Frame) {
+        let Some(rto_ms) = self.rto else { return };
+        let armed = match frame {
+            // Our proposal died with the acceptor; nobody will answer.
+            Frame::Propose { from, round } => Some((*from, *round, RtoKind::Answer)),
+            // Our acceptance died with the initiator; no Commit comes.
+            Frame::Accept { from, round, .. } => Some((*from, *round, RtoKind::CommitWait)),
+            // Our Commit died with the acceptor; nothing was installed
+            // and no ack comes — the held-back half must be dropped.
+            Frame::Commit { from, round, .. } => Some((*from, *round, RtoKind::Ack)),
+            _ => None,
+        };
+        if let Some((waiter, round, kind)) = armed {
+            self.heap
+                .push(now + rto_ms, Event::Rto(waiter, round, kind));
         }
     }
 }
@@ -236,12 +312,20 @@ where
     );
     let shared = Arc::new(instance.clone());
     let mut coordinator = CoordinatorMachine::new(Arc::clone(&shared), options);
+    let use_oracle = matches!(options.detect, DetectMode::Oracle);
+    // In-protocol detection requires two-phase exchanges: an aborting
+    // initiator may only roll back state it has not applied yet, so
+    // the transfer must be held until the acceptor's CommitAck.
+    let mut node_config = options.node;
+    if !use_oracle {
+        node_config.two_phase = true;
+    }
     let mut machines: Vec<Option<NodeMachine>> = (0..m)
         .map(|id| {
             Some(NodeMachine::local(
                 id as u32,
                 Arc::clone(&shared),
-                options.node,
+                node_config,
             ))
         })
         .collect();
@@ -250,16 +334,20 @@ where
         delays,
         script,
         summary: FaultSummary::default(),
+        rto: (!use_oracle).then_some(options.exchange_rto_ms),
     };
     // The per-batch work the pool's workers run: drain one node's
     // queue through its machine, collecting emissions. Spawning the
     // pool once for the whole run (instead of a thread scope per
     // batch) is what keeps the per-instant dispatch overhead flat at
     // Figure-2 scale.
-    let handler = |(_, machine, frames): &mut (u32, NodeMachine, Vec<Arc<Frame>>)| {
+    let handler = |(_, machine, items): &mut (u32, NodeMachine, Vec<Inbox>)| {
         let mut local_out = Vec::new();
-        for frame in frames.drain(..) {
-            machine.handle(&frame, &mut local_out);
+        for item in items.drain(..) {
+            match item {
+                Inbox::Frame(frame) => machine.handle(&frame, &mut local_out),
+                Inbox::Rto(round, kind) => machine.on_rto(round, kind, &mut local_out),
+            }
         }
         local_out
     };
@@ -268,42 +356,99 @@ where
         let mut now = 0.0f64;
         let mut hash = 0xCBF2_9CE4_8422_2325u64; // FNV offset basis
         let faulty = !script.is_empty();
-        // Which nodes the current round treats as crashed — refreshed from
-        // the coordinator's latch whenever the round advances.
+        // Which nodes currently take no deliveries. Under the oracle
+        // this is the coordinator's round-latched down set; under
+        // in-protocol detection it is raw physics — the script's down
+        // set at `now`, latched at nothing (the protocol is on its own
+        // to notice).
         let mut down = vec![false; m];
         // The script's down set only changes at its crash/recovery
-        // instants; cache the phase so the oracle feed is O(1) per batch
+        // instants; cache the phase so the refresh is O(1) per batch
         // instead of an O(m) rebuild.
         let mut down_phase = script.down_phase(now);
-        if faulty {
+        if faulty && use_oracle {
             coordinator.set_down(script.down_at(now));
         }
         coordinator.start(&mut out);
         let mut latched_round = coordinator.round_number();
-        for &j in coordinator.down_now() {
-            down[j as usize] = true;
-            // Down from the very first round: the run experienced this
-            // crash (the summary counts *latched* transitions, not script
-            // instants a finished run never reached).
-            fabric.summary.crashes += 1;
+        if use_oracle {
+            for &j in coordinator.down_now() {
+                down[j as usize] = true;
+                // Down from the very first round: the run experienced
+                // this crash (the summary counts *latched* transitions,
+                // not script instants a finished run never reached).
+                fabric.summary.crashes += 1;
+            }
+        } else {
+            for &j in &script.down_at(now) {
+                down[j as usize] = true;
+                fabric.summary.crashes += 1;
+            }
         }
         fabric.schedule(now, None, &mut out);
+        // In-protocol detection bookkeeping: the round whose report
+        // deadline has been armed, the suspect set last seen (to
+        // attribute detection latency), and the true-positive latency
+        // accumulator.
+        let mut armed_round = 0u64;
+        let mut prev_suspects: Vec<u32> = Vec::new();
+        let mut tp_count = 0u32;
+        let mut tp_latency_sum = 0.0f64;
+        if !use_oracle {
+            armed_round = coordinator.round_number();
+            if let Some(due) = coordinator.arm_deadline(now) {
+                fabric.heap.push(due, Event::Deadline(armed_round));
+            }
+        }
 
         // Batch scratch, reused across iterations: per-node run queues plus
         // the list of destinations touched this batch (in first-delivery
         // order — deterministic, since events pop in (due, seq) order).
-        let mut run_queues: Vec<Vec<Arc<Frame>>> = (0..m).map(|_| Vec::new()).collect();
+        let mut run_queues: Vec<Vec<Inbox>> = (0..m).map(|_| Vec::new()).collect();
         let mut touched: Vec<u32> = Vec::new();
-        let mut coord_frames: Vec<Arc<Frame>> = Vec::new();
+        let mut coord_items: Vec<CoordItem> = Vec::new();
 
         loop {
-            let Some(first) = fabric.heap.pop() else {
-                // In-flight traffic is exhausted. Under a fault script the
-                // shutdown cannot reach crashed nodes: freeze their
-                // ledgers into the final answer (their requests stay where
-                // they were when the node went down).
+            // Pop the next live event, silently discarding timers whose
+            // wait already resolved (a cancelled timer never fires — it
+            // neither advances virtual time nor enters the hash).
+            // Machine state at pop time is deterministic, so the
+            // discard decisions are too.
+            let first = loop {
+                match fabric.heap.pop() {
+                    None => break None,
+                    Some(ev) => {
+                        let stale = match &ev.item {
+                            Event::Frame(..) => false,
+                            Event::Deadline(round) => {
+                                coordinator.is_collecting()
+                                    || coordinator.is_done()
+                                    || *round != coordinator.round_number()
+                            }
+                            Event::Rto(j, round, kind) => !machines[*j as usize]
+                                .as_ref()
+                                .expect("machine parked")
+                                .rto_pending(*round, *kind),
+                        };
+                        if !stale {
+                            break Some(ev);
+                        }
+                    }
+                }
+            };
+            let Some(first) = first else {
+                // In-flight traffic is exhausted. The shutdown cannot
+                // reach crashed nodes: freeze their ledgers into the
+                // final answer (their requests stay where they were when
+                // the node went down). Under the oracle the missing set
+                // is the latched down set; under in-protocol detection
+                // it is whoever never answered the shutdown.
                 if coordinator.is_collecting() {
-                    let frozen: Vec<u32> = coordinator.down_now().to_vec();
+                    let frozen: Vec<u32> = if use_oracle {
+                        coordinator.down_now().to_vec()
+                    } else {
+                        coordinator.missing_ledgers()
+                    };
                     for j in frozen {
                         let machine = machines[j as usize].as_ref().expect("machine parked");
                         let frame = Frame::FinalLedger {
@@ -318,26 +463,86 @@ where
             };
             now = first.due;
             clock.wait_until(now);
+            if faulty && !use_oracle {
+                // In-protocol detection takes raw crash physics: the
+                // delivery gate follows the script's down set the
+                // instant it changes, not at round boundaries — nobody
+                // tells the protocol, which is the point.
+                let phase = script.down_phase(now);
+                if phase != down_phase {
+                    down_phase = phase;
+                    let phys = script.down_at(now);
+                    let mut idx = 0usize;
+                    for (j, flag) in down.iter_mut().enumerate() {
+                        let now_down = phys.get(idx).is_some_and(|&d| d as usize == j);
+                        if now_down {
+                            idx += 1;
+                        }
+                        match (*flag, now_down) {
+                            (false, true) => fabric.summary.crashes += 1,
+                            (true, false) => fabric.summary.recoveries += 1,
+                            _ => {}
+                        }
+                        *flag = now_down;
+                    }
+                }
+            }
             // Classify the whole same-instant batch in (due, seq) order.
             let mut next = Some(first);
             while let Some(event) = next {
-                let (dest, frame) = event.item;
-                hash = hash_event(hash, event.due, dest, &frame);
-                match dest {
-                    Dest::Node(j) => {
-                        if faulty && down[j as usize] && !matches!(*frame, Frame::Commit { .. }) {
-                            // Dead destination: only a Commit — the tail
-                            // of an exchange the initiator already applied
-                            // — still lands (see the module docs).
-                            fabric.summary.dropped_frames += 1;
-                        } else {
+                match event.item {
+                    Event::Frame(dest, frame) => {
+                        hash = hash_event(hash, event.due, dest, &frame);
+                        match dest {
+                            Dest::Node(j) => {
+                                // Dead destination: one frame species per
+                                // mode still lands — the instant the
+                                // exchange became *decided*. Oracle: the
+                                // Commit (the initiator applied on Accept).
+                                // Detection: the CommitAck (the acceptor
+                                // installed on Commit; the dead initiator
+                                // applies its held-back half exactly as a
+                                // recovery log would, so its frozen ledger
+                                // matches the partner's installed one).
+                                // Everything else is dropped, and under
+                                // detection each dropped exchange frame
+                                // arms the sender's abort timeout.
+                                let spared = if use_oracle {
+                                    matches!(*frame, Frame::Commit { .. })
+                                } else {
+                                    matches!(*frame, Frame::CommitAck { .. })
+                                };
+                                if faulty && down[j as usize] && !spared {
+                                    fabric.summary.dropped_frames += 1;
+                                    if !use_oracle {
+                                        fabric.arm_abort(now, &frame);
+                                    }
+                                } else {
+                                    if run_queues[j as usize].is_empty() {
+                                        touched.push(j);
+                                    }
+                                    run_queues[j as usize].push(Inbox::Frame(frame));
+                                }
+                            }
+                            Dest::Coordinator => coord_items.push(CoordItem::Frame(frame)),
+                        }
+                    }
+                    Event::Deadline(round) => {
+                        hash = hash_timer(hash, event.due, 16, u64::MAX, round);
+                        coord_items.push(CoordItem::Deadline(round));
+                    }
+                    Event::Rto(j, round, kind) => {
+                        hash = hash_timer(hash, event.due, 17, j as u64, round);
+                        // A dead node's timer fires into the void; if it
+                        // recovers later still mid-exchange, the drain
+                        // freeze recovers its ledger.
+                        if !(faulty && down[j as usize]) {
                             if run_queues[j as usize].is_empty() {
                                 touched.push(j);
                             }
-                            run_queues[j as usize].push(frame);
+                            run_queues[j as usize].push(Inbox::Rto(round, kind));
                         }
                     }
-                    Dest::Coordinator => coord_frames.push(frame),
                 }
                 next = match fabric.heap.peek_due() {
                     Some(due) if due == now => fabric.heap.pop(),
@@ -349,7 +554,7 @@ where
             // owns its machine for the batch, so `handle` runs without
             // locks; order-preserving `par_map_mut` keeps the collected
             // emissions independent of the worker count.
-            let work: Vec<(u32, NodeMachine, Vec<Arc<Frame>>)> = touched
+            let work: Vec<(u32, NodeMachine, Vec<Inbox>)> = touched
                 .drain(..)
                 .map(|j| {
                     let machine = machines[j as usize].take().expect("machine present");
@@ -375,7 +580,7 @@ where
                 fabric.schedule(now, Some(src as usize), &mut outs);
             }
 
-            if faulty && !coord_frames.is_empty() {
+            if faulty && use_oracle && !coord_items.is_empty() {
                 // Feed the liveness oracle before any report can close the
                 // round: a round beginning now latches the crashes due by
                 // now. The set is constant within a phase, so only a
@@ -386,11 +591,14 @@ where
                     coordinator.set_down(script.down_at(now));
                 }
             }
-            for frame in coord_frames.drain(..) {
-                coordinator.handle(&frame, &mut out);
+            for item in coord_items.drain(..) {
+                match item {
+                    CoordItem::Frame(frame) => coordinator.handle_at(&frame, now, &mut out),
+                    CoordItem::Deadline(round) => coordinator.on_deadline(round, now, &mut out),
+                }
                 fabric.schedule(now, None, &mut out);
             }
-            if faulty && coordinator.round_number() != latched_round {
+            if faulty && use_oracle && coordinator.round_number() != latched_round {
                 latched_round = coordinator.round_number();
                 // Rebuild the delivery gate from the fresh latch, counting
                 // the transitions the run actually experienced: a crash
@@ -411,6 +619,36 @@ where
                     *flag = now_down;
                 }
             }
+            if !use_oracle {
+                if coordinator.round_number() != armed_round {
+                    // A fresh round needs a fresh report deadline; the
+                    // previous round's timer (if still queued) dies at
+                    // pop time.
+                    armed_round = coordinator.round_number();
+                    if let Some(due) = coordinator.arm_deadline(now) {
+                        fabric.heap.push(due, Event::Deadline(armed_round));
+                    }
+                }
+                // Measurement hook, invisible to the protocol: a node
+                // newly suspected while the script says it is down is a
+                // true positive, and its detection latency runs from the
+                // scripted crash instant.
+                let cur = coordinator.suspects_now();
+                if cur != prev_suspects {
+                    let mut pi = 0usize;
+                    for &s in &cur {
+                        while pi < prev_suspects.len() && prev_suspects[pi] < s {
+                            pi += 1;
+                        }
+                        let known = pi < prev_suspects.len() && prev_suspects[pi] == s;
+                        if !known && script.node_down(s as usize, now) {
+                            tp_count += 1;
+                            tp_latency_sum += now - script.crash_time(s as usize);
+                        }
+                    }
+                    prev_suspects = cur;
+                }
+            }
             if coordinator.is_done() {
                 break;
             }
@@ -420,6 +658,9 @@ where
         report.virtual_ms = now;
         report.event_hash = hash;
         report.faults = fabric.summary;
+        if tp_count > 0 {
+            report.detector.detection_latency_ms = tp_latency_sum / tp_count as f64;
+        }
         report
     }) // with_pool
 }
@@ -759,5 +1000,219 @@ mod tests {
         assert_eq!(plain.virtual_ms, scripted.virtual_ms);
         assert_eq!(plain.assignment.loads(), scripted.assignment.loads());
         assert_eq!(plain.faults, scripted.faults);
+    }
+
+    /// Exact per-owner conservation: every request ends up on exactly
+    /// one server, aborted or not.
+    fn assert_conserved(report: &ClusterReport, instance: &Instance) {
+        report.assignment.check_invariants(instance).unwrap();
+        for k in 0..instance.len() {
+            let total = report.assignment.owner_total(k);
+            assert!(
+                (total - instance.own_load(k)).abs() < 1e-6,
+                "owner {k}: {total} != {}",
+                instance.own_load(k)
+            );
+        }
+    }
+
+    /// In-protocol timeout detection: nobody feeds the oracle (the
+    /// coordinator asserts if anyone tries), yet scripted crashes are
+    /// suspected from pure silence, survivors converge, and
+    /// conservation holds exactly.
+    #[test]
+    fn timeout_detection_finds_crashes_from_silence() {
+        let mut instance = Instance::homogeneous(8, 1.0, 0.0, 0.0);
+        instance.set_own_loads(vec![800.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let script = FaultPlan::new().crash(0.25, 30.0).compile(5, 8);
+        assert_eq!(script.down_at(1e12).len(), 2);
+        let options = ClusterOptions {
+            detect: DetectMode::Timeout(250.0),
+            exchange_rto_ms: 400.0,
+            ..Default::default()
+        };
+        let report = run_cluster_events_faulted(&instance, &options, |_, _| 5.0, &script);
+        assert_conserved(&report, &instance);
+        assert!(report.quiescent, "survivors must still quiesce");
+        assert!(
+            report.detector.suspicions >= 2,
+            "both crashes suspected: {:?}",
+            report.detector
+        );
+        assert!(
+            report.detector.detection_latency_ms > 0.0
+                && report.detector.detection_latency_ms <= 300.0,
+            "silence noticed within a deadline: {:?}",
+            report.detector
+        );
+        assert_eq!(report.faults.crashes, 2);
+    }
+
+    /// A straggler is slow, not dead: an over-aggressive fixed timeout
+    /// wrongly suspects it, the probation path readmits it, its
+    /// exclusion time is recorded, and not a single unit of load is
+    /// lost across the wrongful exclusion.
+    #[test]
+    fn wrongly_suspected_straggler_rejoins_with_exact_conservation() {
+        let mut rng = rng_for(84, 0xD5);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 90.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(12, 20.0), &mut rng);
+        // A healthy exchange chain is ~4 link hops (40 ms); the 60 ms
+        // deadline clears it, but a straggler's 5× outbound legs
+        // overrun it — suspected, yet very much alive.
+        let script = FaultPlan::new().slow(0.25, 5.0).compile(9, 12);
+        assert!(script.straggler_count() > 0);
+        let options = ClusterOptions {
+            detect: DetectMode::Timeout(60.0),
+            // Generous exchange RTO: partners must wait stragglers
+            // out, only the coordinator gets impatient.
+            exchange_rto_ms: 20_000.0,
+            ..Default::default()
+        };
+        let report = run_cluster_events_faulted(&instance, &options, |_, _| 10.0, &script);
+        assert_conserved(&report, &instance);
+        assert!(report.quiescent);
+        assert!(
+            report.detector.false_positives > 0,
+            "the tight timeout must fire on a straggler: {:?}",
+            report.detector
+        );
+        assert!(report.detector.rejoin_ms > 0.0);
+        assert!(report.detector.suspicions >= report.detector.false_positives);
+        assert_eq!(report.faults.crashes, 0, "nobody actually died");
+    }
+
+    /// Adaptive detection learns the stragglers' latency instead of
+    /// suspecting them forever: same workload and script as the tight
+    /// fixed timeout, strictly fewer false positives.
+    #[test]
+    fn adaptive_detection_tolerates_stragglers() {
+        let mut rng = rng_for(84, 0xD5);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 90.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(12, 20.0), &mut rng);
+        let script = FaultPlan::new().slow(0.25, 5.0).compile(9, 12);
+        let run = |detect: DetectMode| {
+            let options = ClusterOptions {
+                detect,
+                exchange_rto_ms: 20_000.0,
+                ..Default::default()
+            };
+            run_cluster_events_faulted(&instance, &options, |_, _| 10.0, &script)
+        };
+        let fixed = run(DetectMode::Timeout(60.0));
+        let adaptive = run(DetectMode::Adaptive);
+        assert_conserved(&adaptive, &instance);
+        assert!(adaptive.quiescent);
+        assert!(
+            adaptive.detector.false_positives < fixed.detector.false_positives,
+            "adaptive {:?} must beat fixed {:?} on false positives",
+            adaptive.detector,
+            fixed.detector
+        );
+    }
+
+    /// Crashes and stragglers together, adaptive detection: the dead
+    /// are detected, the slow survive, conservation is exact — the
+    /// acceptance-drill scenario at test scale.
+    #[test]
+    fn adaptive_detection_under_crash_and_slow() {
+        let mut rng = rng_for(77, 0xD7);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 90.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(12, 10.0), &mut rng);
+        let script = FaultPlan::new()
+            .crash(0.2, 120.0)
+            .slow(0.2, 4.0)
+            .compile(13, 12);
+        let options = ClusterOptions {
+            detect: DetectMode::Adaptive,
+            exchange_rto_ms: 2_000.0,
+            ..Default::default()
+        };
+        let report = run_cluster_events_faulted(&instance, &options, half_rtt(&instance), &script);
+        assert_conserved(&report, &instance);
+        assert!(report.quiescent);
+        assert!(report.detector.suspicions > 0);
+        assert!(report.faults.crashes > 0);
+    }
+
+    /// One detect-mode run, twice: every observable — event hash,
+    /// history, detector counters — is bit-identical. The worker-count
+    /// sweep lives in the scenario determinism tests; this pins the
+    /// single-process replay.
+    #[test]
+    fn detect_runs_are_bit_identical_across_repeats() {
+        let mut rng = rng_for(51, 0xD9);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 70.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(10, 10.0), &mut rng);
+        let script = FaultPlan::new()
+            .crash(0.2, 80.0)
+            .slow(0.3, 8.0)
+            .compile(3, 10);
+        let options = ClusterOptions {
+            detect: DetectMode::Adaptive,
+            exchange_rto_ms: 1_500.0,
+            ..Default::default()
+        };
+        let a = run_cluster_events_faulted(&instance, &options, half_rtt(&instance), &script);
+        let b = run_cluster_events_faulted(&instance, &options, half_rtt(&instance), &script);
+        assert_eq!(a.event_hash, b.event_hash);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.virtual_ms, b.virtual_ms);
+        assert_eq!(a.assignment.loads(), b.assignment.loads());
+        assert_eq!(a.detector, b.detector);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    /// Two-phase exchanges under the oracle-free happy path reach the
+    /// same fixpoint as the classic single-phase protocol — the extra
+    /// ack round-trip costs time, not quality.
+    #[test]
+    fn two_phase_reaches_the_single_phase_fixpoint() {
+        let mut rng = rng_for(62, 0xDA);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 80.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(9, 12.0), &mut rng);
+        let classic =
+            run_cluster_events(&instance, &ClusterOptions::default(), half_rtt(&instance));
+        let detect = run_cluster_events(
+            &instance,
+            &ClusterOptions {
+                detect: DetectMode::Timeout(5_000.0),
+                ..Default::default()
+            },
+            half_rtt(&instance),
+        );
+        assert_conserved(&detect, &instance);
+        assert!(detect.quiescent);
+        let err: f64 = (detect.final_cost - classic.final_cost).abs();
+        assert!(
+            err < 1e-6 * classic.final_cost.max(1.0),
+            "two-phase fixpoint drifted: {} vs {}",
+            detect.final_cost,
+            classic.final_cost
+        );
+        assert!(
+            detect.virtual_ms > classic.virtual_ms,
+            "the ack leg costs virtual time"
+        );
     }
 }

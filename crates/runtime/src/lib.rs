@@ -75,7 +75,10 @@ pub mod node;
 mod proptests;
 
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use cluster::{run_cluster, ClusterOptions, ClusterReport};
+pub use cluster::{run_cluster, ClusterOptions, ClusterReport, DetectMode, DetectorSummary};
 pub use executor::{run_cluster_events, run_cluster_events_faulted, run_cluster_events_with_clock};
-pub use machine::{CoordinatorMachine, Dest, NodeConfig, NodeMachine, Outbound, SelectPolicy};
+pub use machine::{
+    CoordinatorMachine, Dest, NodeConfig, NodeMachine, Outbound, RtoKind, SelectPolicy,
+    ADAPTIVE_BOOTSTRAP_MS,
+};
 pub use message::{Frame, RoundOutcome};

@@ -80,7 +80,7 @@ use dlb_topology::k_nearest_row;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crate::cluster::{ClusterOptions, ClusterReport};
+use crate::cluster::{ClusterOptions, ClusterReport, DetectMode, DetectorSummary};
 use crate::message::{ledger_to_wire, wire_to_ledger, Frame, RoundOutcome};
 
 /// Where an outbound frame is headed.
@@ -145,6 +145,16 @@ pub struct NodeConfig {
     pub audit: bool,
     /// Partner-selection policy (see [`SelectPolicy`]).
     pub select: SelectPolicy,
+    /// Run exchanges in two phases: the initiator applies its half of
+    /// the transfer only when the acceptor's [`Frame::CommitAck`]
+    /// proves the other half was installed. Required under in-protocol
+    /// failure detection ([`DetectMode`] other than oracle), where a
+    /// partner can die mid-exchange: whichever side times out rolls
+    /// back having applied *nothing*, so conservation is exact without
+    /// the driver special-casing dead destinations. Off by default —
+    /// the oracle runtimes keep the single-phase wire schedule the
+    /// parity tests pin.
+    pub two_phase: bool,
 }
 
 impl Default for NodeConfig {
@@ -152,8 +162,34 @@ impl Default for NodeConfig {
         Self {
             audit: true,
             select: SelectPolicy::Exact,
+            two_phase: false,
         }
     }
+}
+
+/// Which in-flight wait an exchange retransmission timeout guards.
+/// Drivers running in-protocol detection arm one RTO per data-plane
+/// frame they schedule and deliver it via [`NodeMachine::on_rto`];
+/// a timer whose wait already resolved is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtoKind {
+    /// Initiator waiting for `Accept`/`Busy` after its `Propose`.
+    Answer,
+    /// Acceptor waiting for the `Commit` after its `Accept`.
+    CommitWait,
+    /// Initiator waiting for the `CommitAck` after its `Commit`.
+    Ack,
+}
+
+/// The initiator's half of a two-phase exchange, held back until the
+/// acceptor's `CommitAck` proves the other half was installed.
+#[derive(Debug)]
+struct PendingExchange {
+    partner: u32,
+    ledger: SparseVec,
+    partner_load: f64,
+    partner_cost: f64,
+    moved: f64,
 }
 
 /// Exchange-lock state within a round.
@@ -362,6 +398,9 @@ pub struct NodeMachine {
     early_proposals: VecDeque<Frame>,
     /// A `RoundStart`/`Shutdown` stashed while a commit is in flight.
     deferred: Option<Frame>,
+    /// Two-phase exchange awaiting the acceptor's `CommitAck` (only
+    /// under [`NodeConfig::two_phase`]).
+    pending: Option<PendingExchange>,
     /// Whether the final ledger has been sent (machine finished).
     done: bool,
 }
@@ -382,6 +421,7 @@ impl NodeMachine {
             reported: false,
             early_proposals: VecDeque::new(),
             deferred: None,
+            pending: None,
             done: false,
         }
     }
@@ -407,12 +447,30 @@ impl NodeMachine {
     /// Consumes one inbound frame, appending any outbound frames to
     /// `out` in send order.
     pub fn handle(&mut self, frame: &Frame, out: &mut Vec<Outbound>) {
+        if self.done {
+            // Our final ledger is already in the coordinator's hands;
+            // nothing may mutate it. A straggling proposer (possible
+            // under in-protocol detection, where rounds end on a
+            // deadline) gets a NACK so its own round can close; every
+            // other late frame is stale by construction and ignored.
+            if let Frame::Propose { from, round } = frame {
+                out.push(Outbound::node(
+                    *from,
+                    Frame::Busy {
+                        from: self.id,
+                        round: *round,
+                    },
+                ));
+            }
+            return;
+        }
         match frame {
             Frame::Shutdown => {
-                if matches!(self.lock, Lock::AwaitingCommit(_)) {
-                    // An exchange we accepted is still in flight; the
-                    // committed ledger must make it into the final
-                    // answer or requests would be torn in half.
+                if self.exchange_open() {
+                    // An exchange is still in flight (we await an
+                    // Accept/Busy answer, a Commit or, two-phase, a
+                    // CommitAck); its ledger must make it into the
+                    // final answer or requests would be torn in half.
                     self.deferred = Some(Frame::Shutdown);
                     return;
                 }
@@ -429,11 +487,11 @@ impl NodeMachine {
                 epoch,
                 hot,
             } => {
-                if matches!(self.lock, Lock::AwaitingCommit(_)) {
-                    // A commit for the previous round is still in
-                    // flight (the initiator reports to the coordinator
-                    // before our Commit arrives). Join the round the
-                    // moment it lands.
+                if self.exchange_open() {
+                    // A frame for the previous round's exchange is
+                    // still in flight (the initiator reports to the
+                    // coordinator before our Commit arrives). Join the
+                    // round the moment it lands.
                     self.deferred = Some(frame.clone());
                     return;
                 }
@@ -451,11 +509,25 @@ impl NodeMachine {
                 round,
                 ledger,
             } => self.on_commit(*from, *round, ledger, out),
+            Frame::CommitAck { from, round } => self.on_commit_ack(*from, *round, out),
             Frame::Report { .. } | Frame::FinalLedger { .. } => {
                 // Control-plane frames never reach node inboxes.
                 debug_assert!(false, "node {} received a coordinator frame", self.id);
             }
         }
+    }
+
+    /// Is any leg of an exchange still unresolved? Control frames
+    /// (RoundStart, Shutdown) must wait behind an open exchange: our
+    /// ledger may still change, and a torn exchange loses requests.
+    /// Under the oracle runtimes rounds only end once every node
+    /// reported — and a node reports only with all legs closed — so
+    /// this fires exclusively under in-protocol detection, where the
+    /// coordinator's deadline can end a round over a busy node.
+    fn exchange_open(&self) -> bool {
+        self.proposal.is_some()
+            || matches!(self.lock, Lock::AwaitingCommit(_))
+            || self.pending.is_some()
     }
 
     fn report(
@@ -626,7 +698,6 @@ impl NodeMachine {
             self.id as usize,
             from as usize,
         );
-        self.ledger = outcome.ledger_i;
         let partner_ledger = outcome.ledger_j;
         let partner_load = partner_ledger.sum();
         let partner_cost = local_cost(from, &self.instance, &partner_ledger);
@@ -640,11 +711,28 @@ impl NodeMachine {
         ));
         self.proposal = None;
         self.lock = Lock::Locked;
-        let report = self.report(
-            RoundOutcome::Exchanged,
-            Some((from, partner_load, partner_cost, outcome.moved)),
-        );
-        out.push(report);
+        if self.config.two_phase {
+            // Hold our half back until the acceptor's CommitAck: if it
+            // died before installing, the Ack RTO rolls us back with
+            // nothing half-applied on either side.
+            self.pending = Some(PendingExchange {
+                partner: from,
+                ledger: outcome.ledger_i,
+                partner_load,
+                partner_cost,
+                moved: outcome.moved,
+            });
+        } else {
+            self.ledger = outcome.ledger_i;
+            let report = self.report(
+                RoundOutcome::Exchanged,
+                Some((from, partner_load, partner_cost, outcome.moved)),
+            );
+            out.push(report);
+            if let Some(frame) = self.deferred.take() {
+                self.handle(&frame, out);
+            }
+        }
     }
 
     fn on_busy(&mut self, from: u32, r: u64, out: &mut Vec<Outbound>) {
@@ -656,6 +744,11 @@ impl NodeMachine {
         // round.
         let report = self.report(RoundOutcome::Lost, None);
         out.push(report);
+        // A control frame held behind the outstanding proposal can go
+        // ahead now.
+        if let Some(frame) = self.deferred.take() {
+            self.handle(&frame, out);
+        }
     }
 
     fn on_commit(&mut self, from: u32, r: u64, new_wire: &[(u32, f64)], out: &mut Vec<Outbound>) {
@@ -664,6 +757,17 @@ impl NodeMachine {
         }
         self.ledger = wire_to_ledger(new_wire);
         self.lock = Lock::Locked;
+        if self.config.two_phase {
+            // Install-then-ack is atomic from the driver's view: the
+            // initiator applies its half only on this ack.
+            out.push(Outbound::node(
+                from,
+                Frame::CommitAck {
+                    from: self.id,
+                    round: r,
+                },
+            ));
+        }
         if !self.reported {
             // Collision-yield path: our initiator role ended in an
             // acceptance; close the round's report.
@@ -675,6 +779,124 @@ impl NodeMachine {
             self.handle(&frame, out);
         }
     }
+
+    fn on_commit_ack(&mut self, from: u32, r: u64, out: &mut Vec<Outbound>) {
+        if r != self.round || self.pending.as_ref().map(|p| p.partner) != Some(from) {
+            return; // stale ack; ignore
+        }
+        let p = self.pending.take().expect("pending matched");
+        self.ledger = p.ledger;
+        let report = self.report(
+            RoundOutcome::Exchanged,
+            Some((p.partner, p.partner_load, p.partner_cost, p.moved)),
+        );
+        out.push(report);
+        if let Some(frame) = self.deferred.take() {
+            self.handle(&frame, out);
+        }
+    }
+
+    /// Would an `(round, kind)` retransmission timeout still fire?
+    ///
+    /// The executor calls this when a timer pops to discard stale
+    /// entries — a timer whose wait already resolved was logically
+    /// cancelled and must not advance virtual time.
+    pub fn rto_pending(&self, r: u64, kind: RtoKind) -> bool {
+        if self.done || r != self.round {
+            return false;
+        }
+        match kind {
+            RtoKind::Answer => self.proposal.is_some(),
+            RtoKind::CommitWait => matches!(self.lock, Lock::AwaitingCommit(_)),
+            RtoKind::Ack => self.pending.is_some(),
+        }
+    }
+
+    /// An exchange retransmission timeout fired. The driver arms one
+    /// per data-plane frame it schedules under in-protocol detection;
+    /// `kind` says which wait the timer guarded. A timer whose wait
+    /// already resolved — or that belongs to an earlier round — is a
+    /// no-op. When the wait is still open the partner is gone: the
+    /// machine rolls the exchange back locally (nothing of a two-phase
+    /// transfer has been applied yet, so rollback is dropping state)
+    /// and closes its round report with [`RoundOutcome::Aborted`].
+    pub fn on_rto(&mut self, r: u64, kind: RtoKind, out: &mut Vec<Outbound>) {
+        if self.done || r != self.round {
+            return;
+        }
+        let fired = match kind {
+            RtoKind::Answer => {
+                // Our Propose was never answered; free the initiator
+                // role. We stay available as an acceptor.
+                self.proposal.take().is_some()
+            }
+            RtoKind::CommitWait => {
+                // We accepted but the initiator's Commit never came;
+                // nothing was installed, so releasing the lock is the
+                // whole rollback.
+                if matches!(self.lock, Lock::AwaitingCommit(_)) {
+                    self.lock = Lock::Free;
+                    true
+                } else {
+                    false
+                }
+            }
+            // Our Commit was never acknowledged; the acceptor died
+            // before installing, so dropping the held-back half undoes
+            // the exchange exactly.
+            RtoKind::Ack => self.pending.take().is_some(),
+        };
+        if !fired {
+            return;
+        }
+        if !self.reported {
+            let report = self.report(RoundOutcome::Aborted, None);
+            out.push(report);
+        }
+        // A control frame stashed behind the dead exchange can go
+        // ahead now.
+        if let Some(frame) = self.deferred.take() {
+            self.handle(&frame, out);
+        }
+    }
+}
+
+/// Report-deadline bound used by [`DetectMode::Adaptive`] before the
+/// global latency estimator has three samples (virtual ms). Generous
+/// on purpose: the first rounds calibrate the estimator, and a too-low
+/// boot value would mass-suspect the whole cluster before any latency
+/// has been observed.
+pub const ADAPTIVE_BOOTSTRAP_MS: f64 = 10_000.0;
+
+/// One entry of the coordinator's suspect list.
+#[derive(Debug, Clone, Copy)]
+struct Suspect {
+    node: u32,
+    /// Virtual time the deadline fired on this node.
+    at_ms: f64,
+    /// Start time of the round whose missing report triggered the
+    /// suspicion — the baseline for the late report's latency sample.
+    round_start_ms: f64,
+}
+
+/// Welford accumulators `(count, mean, M2)` over report latencies —
+/// pure f64 arithmetic in arrival order, which the executor makes
+/// deterministic across repeats and `DLB_THREADS`.
+fn welford_feed(acc: &mut (u64, f64, f64), x: f64) {
+    acc.0 += 1;
+    let d = x - acc.1;
+    acc.1 += d / acc.0 as f64;
+    acc.2 += d * (x - acc.1);
+}
+
+/// The phi-accrual-style bound `μ + 4σ + 1 ms` once the accumulator
+/// has three samples; `None` before that.
+fn welford_bound(acc: &(u64, f64, f64)) -> Option<f64> {
+    if acc.0 < 3 {
+        return None;
+    }
+    let var = (acc.2 / (acc.0 - 1) as f64).max(0.0);
+    Some(acc.1 + 4.0 * var.sqrt() + 1.0)
 }
 
 /// Which stage of its life the coordinator is in.
@@ -732,6 +954,25 @@ pub struct CoordinatorMachine {
     hot: Arc<Vec<u32>>,
     ledgers: Vec<Option<SparseVec>>,
     collected: usize,
+    /// Virtual time of the last [`Self::handle_at`]/[`Self::on_deadline`]
+    /// call. Stays `0` under the oracle drivers, which never pass a
+    /// clock.
+    now_ms: f64,
+    /// Virtual time the current round's `RoundStart` went out.
+    round_started_at: f64,
+    /// In-protocol detection: currently suspected nodes, sorted by id.
+    /// Always empty under [`DetectMode::Oracle`].
+    suspects: Vec<Suspect>,
+    /// Per-node Welford accumulators over report latencies
+    /// ([`DetectMode::Adaptive`] only).
+    node_lat: Vec<(u64, f64, f64)>,
+    /// Global Welford accumulator — the fallback bound for nodes with
+    /// fewer than three samples.
+    global_lat: (u64, f64, f64),
+    /// Running detector counters. `detection_latency_ms` stays `0`
+    /// here: only the driver knows physical crash times, so it fills
+    /// that field in after the run.
+    detector: DetectorSummary,
     /// Forensic log of every report (debug builds): used to diagnose
     /// protocol violations with full context.
     report_log: Vec<(u64, u32, RoundOutcome)>,
@@ -789,8 +1030,23 @@ impl CoordinatorMachine {
             hot: Arc::new(Vec::new()),
             ledgers: (0..m).map(|_| None).collect(),
             collected: 0,
+            now_ms: 0.0,
+            round_started_at: 0.0,
+            suspects: Vec::new(),
+            node_lat: vec![(0, 0.0, 0.0); m],
+            global_lat: (0, 0.0, 0.0),
+            detector: DetectorSummary::default(),
             report_log: Vec::new(),
         }
+    }
+
+    fn in_protocol_detect(&self) -> bool {
+        !matches!(self.options.detect, DetectMode::Oracle)
+    }
+
+    /// Index of `node` in the sorted suspect list, if suspected.
+    fn suspect_index(&self, node: u32) -> Option<usize> {
+        self.suspects.binary_search_by_key(&node, |s| s.node).ok()
     }
 
     /// Number of organizations in the cluster.
@@ -825,6 +1081,11 @@ impl CoordinatorMachine {
     /// always complete among the nodes that entered it. Fault-free
     /// drivers never call this.
     pub fn set_down(&mut self, down: Vec<u32>) {
+        assert!(
+            matches!(self.options.detect, DetectMode::Oracle),
+            "liveness oracle consulted under in-protocol detection ({:?})",
+            self.options.detect
+        );
         debug_assert!(down.windows(2).all(|w| w[0] < w[1]), "down set not sorted");
         debug_assert!(down.len() < self.len(), "at least one node must live");
         self.pending_down = down;
@@ -851,13 +1112,19 @@ impl CoordinatorMachine {
         self.reports = 0;
         self.round_moved = 0.0;
         self.seen.iter_mut().for_each(|s| *s = false);
+        self.round_started_at = self.now_ms;
         // Latch the liveness oracle for the round: crashed nodes get no
         // RoundStart, owe no report, and are announced as excluded so
-        // no live node proposes to (or audits) them.
+        // no live node proposes to (or audits) them. Under in-protocol
+        // detection the oracle is never fed (`down` stays empty) and
+        // the suspect list plays the same role.
         self.down = self.pending_down.clone();
-        self.expected = self.len() - self.down.len();
+        let mut skip = self.down.clone();
+        skip.extend(self.suspects.iter().map(|s| s.node));
+        skip.sort_unstable();
+        self.expected = self.len() - skip.len();
         let mut excluded = self.options.failed.clone();
-        excluded.extend_from_slice(&self.down);
+        excluded.extend_from_slice(&skip);
         excluded.sort_unstable();
         excluded.dedup();
         if let SelectPolicy::TopK(k) = self.options.node.select {
@@ -878,7 +1145,7 @@ impl CoordinatorMachine {
             epoch: self.epoch,
             hot: Arc::clone(&self.hot),
         });
-        self.broadcast_live(frame, out);
+        self.broadcast_except(&skip, frame, out);
     }
 
     /// The hot set of an epoch: the `⌈k/2⌉`-ish most under-loaded and
@@ -916,13 +1183,21 @@ impl CoordinatorMachine {
 
     /// Queues `frame` for every node not in the latched down set —
     /// one merge pass over the sorted `down` list, not a `contains`
-    /// scan per node.
+    /// scan per node. Note that the down set is *empty* under
+    /// in-protocol detection, so the `Shutdown` broadcast reaches all
+    /// `m` nodes there — including suspected ones, whose frozen
+    /// ledgers the coordinator still wants back if they are alive.
     fn broadcast_live(&self, frame: Arc<Frame>, out: &mut Vec<Outbound>) {
+        self.broadcast_except(&self.down, frame, out);
+    }
+
+    /// Queues `frame` for every node not in the sorted `skip` list.
+    fn broadcast_except(&self, skip: &[u32], frame: Arc<Frame>, out: &mut Vec<Outbound>) {
         let mut idx = 0usize;
         out.extend(
             (0..self.len() as u32)
                 .filter(|&j| {
-                    if self.down.get(idx) == Some(&j) {
+                    if skip.get(idx) == Some(&j) {
                         idx += 1;
                         false
                     } else {
@@ -951,6 +1226,20 @@ impl CoordinatorMachine {
                     exchange,
                 },
             ) => {
+                if self.in_protocol_detect() {
+                    if let Some(idx) = self.suspect_index(*from) {
+                        // A suspected node spoke: the suspicion was
+                        // wrong. Probation/rejoin instead of the
+                        // normal round accounting.
+                        self.rejoin(idx, *outcome, *load, *local_cost, *exchange);
+                        return;
+                    }
+                    if matches!(self.options.detect, DetectMode::Adaptive) {
+                        let lat = self.now_ms - self.round_started_at;
+                        welford_feed(&mut self.node_lat[*from as usize], lat);
+                        welford_feed(&mut self.global_lat, lat);
+                    }
+                }
                 if cfg!(debug_assertions) {
                     self.report_log.push((*r, *from, *outcome));
                     if *r != self.round || self.seen[*from as usize] {
@@ -976,6 +1265,9 @@ impl CoordinatorMachine {
                         self.round_moved += volume;
                     }
                     RoundOutcome::Lost => self.lost += 1,
+                    // The node rolled back an exchange whose partner
+                    // went silent (in-protocol detection only).
+                    RoundOutcome::Aborted => self.detector.aborted_exchanges += 1,
                     // Accepted = collision-yield acceptor; the
                     // initiator's Exchanged report carries the exchange
                     // itself.
@@ -994,8 +1286,27 @@ impl CoordinatorMachine {
                     self.phase = Phase::Done;
                 }
             }
-            // Late round reports during collection — drop.
-            (Phase::Collecting, Frame::Report { .. }) => {}
+            // Late round reports during collection: dropped under the
+            // oracle; under in-protocol detection one from a suspected
+            // node still completes the probation handshake (it proves
+            // the suspicion wrong, which the detector must own up to).
+            (
+                Phase::Collecting,
+                Frame::Report {
+                    from,
+                    outcome,
+                    load,
+                    local_cost,
+                    exchange,
+                    ..
+                },
+            ) => {
+                if self.in_protocol_detect() {
+                    if let Some(idx) = self.suspect_index(*from) {
+                        self.rejoin(idx, *outcome, *load, *local_cost, *exchange);
+                    }
+                }
+            }
             (_, other) => {
                 debug_assert!(
                     matches!(other, Frame::FinalLedger { .. }),
@@ -1004,6 +1315,130 @@ impl CoordinatorMachine {
                 );
             }
         }
+    }
+
+    /// Clock-aware variant of [`Self::handle`] for drivers running
+    /// in-protocol detection: records the frame's arrival instant (the
+    /// latency sample source and rejoin timestamp) before delegating.
+    pub fn handle_at(&mut self, frame: &Frame, now: f64, out: &mut Vec<Outbound>) {
+        self.now_ms = now;
+        self.handle(frame, out);
+    }
+
+    /// The probation/rejoin handshake: a report from a suspected node
+    /// proves it alive. The node leaves the suspect list (so the next
+    /// `RoundStart` re-includes it — that broadcast *is* the resync:
+    /// fresh round number, fresh load view; its frozen ledger was
+    /// never touched, so load conservation is exact through wrongful
+    /// exclusion and re-admission), and the coordinator adopts the
+    /// report's load view so the rejoin round starts from truth.
+    fn rejoin(
+        &mut self,
+        idx: usize,
+        outcome: RoundOutcome,
+        load: f64,
+        local_cost: f64,
+        exchange: Option<(u32, f64, f64, f64)>,
+    ) {
+        let s = self.suspects.remove(idx);
+        self.detector.false_positives += 1;
+        self.detector.rejoin_ms += self.now_ms - s.at_ms;
+        self.loads[s.node as usize] = load;
+        self.local_costs[s.node as usize] = local_cost;
+        match outcome {
+            RoundOutcome::Exchanged => {
+                let (partner, partner_load, partner_cost, volume) =
+                    exchange.expect("exchange data present");
+                self.loads[partner as usize] = partner_load;
+                self.local_costs[partner as usize] = partner_cost;
+                self.exchanges += 1;
+                self.moved += volume;
+                self.round_moved += volume;
+            }
+            RoundOutcome::Aborted => self.detector.aborted_exchanges += 1,
+            RoundOutcome::Lost | RoundOutcome::Accepted | RoundOutcome::NoProposal => {}
+        }
+        if matches!(self.options.detect, DetectMode::Adaptive) {
+            // The late report is exactly the sample the estimator was
+            // missing: feeding it teaches the detector this node's
+            // true latency, which is how adaptive stops re-suspecting
+            // a persistent straggler.
+            let lat = self.now_ms - s.round_start_ms;
+            welford_feed(&mut self.node_lat[s.node as usize], lat);
+            welford_feed(&mut self.global_lat, lat);
+        }
+    }
+
+    /// The report deadline for the round that just started, or `None`
+    /// under [`DetectMode::Oracle`] (no deadline) or once rounds are
+    /// over. Drivers call this after every round advance and schedule
+    /// [`Self::on_deadline`] at the returned instant.
+    pub fn arm_deadline(&self, now: f64) -> Option<f64> {
+        if self.phase != Phase::Rounds {
+            return None;
+        }
+        match self.options.detect {
+            DetectMode::Oracle => None,
+            DetectMode::Timeout(ms) => Some(now + ms),
+            DetectMode::Adaptive => {
+                let global = welford_bound(&self.global_lat).unwrap_or(ADAPTIVE_BOOTSTRAP_MS);
+                let mut worst = f64::NEG_INFINITY;
+                for j in 0..self.len() as u32 {
+                    if self.suspect_index(j).is_some() {
+                        continue; // owes no report this round
+                    }
+                    worst = worst.max(welford_bound(&self.node_lat[j as usize]).unwrap_or(global));
+                }
+                // All nodes suspected: keep a heartbeat so the round
+                // still ends and the run can reach its budget.
+                Some(now + if worst.is_finite() { worst } else { global })
+            }
+        }
+    }
+
+    /// The report deadline fired. Stale timers (earlier round, or the
+    /// round already ended) are no-ops. Otherwise every node that owed
+    /// a report and stayed silent becomes *suspected* — excluded from
+    /// the next `RoundStart` — and the round ends on the reports that
+    /// made it.
+    pub fn on_deadline(&mut self, round: u64, now: f64, out: &mut Vec<Outbound>) {
+        if self.phase != Phase::Rounds || round != self.round {
+            return;
+        }
+        debug_assert!(self.in_protocol_detect(), "deadline armed under oracle");
+        self.now_ms = now;
+        let round_start_ms = self.round_started_at;
+        for j in 0..self.len() as u32 {
+            if !self.seen[j as usize] && self.suspect_index(j).is_none() {
+                let pos = self.suspects.partition_point(|s| s.node < j);
+                self.suspects.insert(
+                    pos,
+                    Suspect {
+                        node: j,
+                        at_ms: now,
+                        round_start_ms,
+                    },
+                );
+                self.detector.suspicions += 1;
+            }
+        }
+        self.end_round(out);
+    }
+
+    /// Currently suspected nodes, sorted ascending. Drivers diff this
+    /// across interactions to attribute detection latency (they know
+    /// the physical crash times; the coordinator does not).
+    pub fn suspects_now(&self) -> Vec<u32> {
+        self.suspects.iter().map(|s| s.node).collect()
+    }
+
+    /// Nodes whose final ledger has not arrived. Once collecting and
+    /// the event heap is dry, these are exactly the dead nodes: the
+    /// driver freezes their machines' local ledgers into the answer.
+    pub fn missing_ledgers(&self) -> Vec<u32> {
+        (0..self.len() as u32)
+            .filter(|&j| self.ledgers[j as usize].is_none())
+            .collect()
     }
 
     fn end_round(&mut self, out: &mut Vec<Outbound>) {
@@ -1054,6 +1489,7 @@ impl CoordinatorMachine {
             virtual_ms: 0.0,
             event_hash: 0,
             faults: dlb_faults::FaultSummary::default(),
+            detector: self.detector,
         }
     }
 }

@@ -37,6 +37,11 @@ pub enum RoundOutcome {
     /// took part as the acceptor; the initiator separately reports the
     /// exchange itself.
     Accepted,
+    /// The node timed out waiting on its exchange partner mid-protocol
+    /// and rolled the tentative transfer back locally. Only emitted
+    /// under in-protocol failure detection (`detect != oracle`), where
+    /// exchanges carry their own retransmission timeout.
+    Aborted,
 }
 
 impl RoundOutcome {
@@ -46,6 +51,7 @@ impl RoundOutcome {
             RoundOutcome::Lost => 1,
             RoundOutcome::Exchanged => 2,
             RoundOutcome::Accepted => 3,
+            RoundOutcome::Aborted => 4,
         }
     }
 
@@ -55,6 +61,7 @@ impl RoundOutcome {
             1 => Some(RoundOutcome::Lost),
             2 => Some(RoundOutcome::Exchanged),
             3 => Some(RoundOutcome::Accepted),
+            4 => Some(RoundOutcome::Aborted),
             _ => None,
         }
     }
@@ -146,6 +153,17 @@ pub enum Frame {
         /// [`RoundOutcome::Exchanged`].
         exchange: Option<(u32, f64, f64, f64)>,
     },
+    /// Node → node: the acceptor installed the committed ledger. Only
+    /// sent under in-protocol failure detection, where the initiator
+    /// applies its own half of the transfer on this acknowledgement
+    /// instead of at [`Frame::Commit`] time — so a partner that dies
+    /// mid-exchange leaves *nothing* half-applied on either side.
+    CommitAck {
+        /// Acknowledging (acceptor) node.
+        from: u32,
+        /// Round of the exchange.
+        round: u64,
+    },
     /// Coordinator → node: stop after sending back the final ledger.
     Shutdown,
     /// Node → coordinator: the node's final ledger.
@@ -165,6 +183,7 @@ const TAG_COMMIT: u8 = 5;
 const TAG_REPORT: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
 const TAG_FINAL_LEDGER: u8 = 8;
+const TAG_COMMIT_ACK: u8 = 9;
 
 fn put_ledger(buf: &mut BytesMut, ledger: &[(u32, f64)]) {
     buf.put_u32_le(ledger.len() as u32);
@@ -273,6 +292,11 @@ impl Frame {
                     }
                     None => buf.put_u8(0),
                 }
+            }
+            Frame::CommitAck { from, round } => {
+                buf.put_u8(TAG_COMMIT_ACK);
+                buf.put_u32_le(*from);
+                buf.put_u64_le(*round);
             }
             Frame::Shutdown => {
                 buf.put_u8(TAG_SHUTDOWN);
@@ -401,6 +425,15 @@ impl Frame {
                     exchange,
                 })
             }
+            TAG_COMMIT_ACK => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
+                Some(Frame::CommitAck {
+                    from: buf.get_u32_le(),
+                    round: buf.get_u64_le(),
+                })
+            }
             TAG_SHUTDOWN => Some(Frame::Shutdown),
             TAG_FINAL_LEDGER => {
                 if buf.remaining() < 4 {
@@ -491,11 +524,32 @@ mod tests {
             local_cost: 1.25,
             exchange: None,
         });
+        roundtrip(Frame::Report {
+            from: 3,
+            round: 6,
+            outcome: RoundOutcome::Aborted,
+            load: 11.0,
+            local_cost: 2.5,
+            exchange: None,
+        });
+        roundtrip(Frame::CommitAck { from: 5, round: 3 });
         roundtrip(Frame::Shutdown);
         roundtrip(Frame::FinalLedger {
             from: 6,
             ledger: vec![(6, 100.0)],
         });
+    }
+
+    #[test]
+    fn decode_rejects_commit_ack_truncation() {
+        let frame = Frame::CommitAck { from: 5, round: 3 };
+        let bytes = frame.encode();
+        for cut in 1..bytes.len() {
+            let truncated = bytes.slice(0..cut);
+            if let Some(decoded) = Frame::decode(truncated) {
+                assert_ne!(decoded, frame);
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn arb_outcome() -> impl Strategy<Value = RoundOutcome> {
         Just(RoundOutcome::Lost),
         Just(RoundOutcome::Exchanged),
         Just(RoundOutcome::Accepted),
+        Just(RoundOutcome::Aborted),
     ]
 }
 
@@ -74,6 +75,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             }),
         Just(Frame::Shutdown),
         (any::<u32>(), arb_ledger()).prop_map(|(from, ledger)| Frame::FinalLedger { from, ledger }),
+        (any::<u32>(), any::<u64>()).prop_map(|(from, round)| Frame::CommitAck { from, round }),
     ]
 }
 

@@ -49,7 +49,9 @@ pub mod runner;
 pub mod spec;
 
 pub use runner::{runner_for, RunRecord, Runner};
-pub use spec::{AlgoSpec, NetSpec, RuntimeSpec, ScenarioSpec, SelectSpec, SpecError, SpeedKind};
+pub use spec::{
+    AlgoSpec, DetectSpec, NetSpec, RuntimeSpec, ScenarioSpec, SelectSpec, SpecError, SpeedKind,
+};
 
 // The fault axis's plan/summary types, so spec-level callers need no
 // direct dlb-faults dependency.

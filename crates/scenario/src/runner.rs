@@ -11,15 +11,17 @@ use std::time::Instant;
 use dlb_core::cost::total_cost;
 use dlb_core::Assignment;
 use dlb_distributed::{Engine, EngineOptions, RoundMode};
-use dlb_faults::FaultSummary;
+use dlb_faults::{FaultSummary, MAX_RETRANSMITS, RETRANSMIT_MS};
 use dlb_game::{run_best_response_dynamics, DynamicsOptions};
+use dlb_netsim::rtt::QueueModel;
 use dlb_netsim::LinkDelayModel;
 use dlb_runtime::{
-    run_cluster, run_cluster_events_faulted, ClusterOptions, NodeConfig, SelectPolicy,
+    run_cluster, run_cluster_events_faulted, ClusterOptions, DetectMode, DetectorSummary,
+    NodeConfig, SelectPolicy,
 };
 use dlb_solver::solve_bcd;
 
-use crate::spec::{AlgoSpec, RuntimeSpec, ScenarioSpec, SelectSpec};
+use crate::spec::{AlgoSpec, DetectSpec, RuntimeSpec, ScenarioSpec, SelectSpec};
 use dlb_core::Instance;
 
 /// The uniform result of running any scenario.
@@ -50,6 +52,12 @@ pub struct RunRecord {
     /// actually injected (crashes, recoveries, dropped and delayed
     /// frames). All zeros when the scenario has no fault schedule.
     pub faults: FaultSummary,
+    /// Failure-detector summary: what the scenario's `detect=` mode
+    /// observed (suspicions, false positives, detection latency,
+    /// rejoin time, aborted exchanges). All zeros under the default
+    /// `detect=oracle`, which consults the fault script directly and
+    /// never suspects anyone.
+    pub detector: DetectorSummary,
 }
 
 impl RunRecord {
@@ -80,6 +88,33 @@ fn assert_faults_runnable(spec: &ScenarioSpec) {
             || (spec.algo == AlgoSpec::Protocol && spec.runtime == RuntimeSpec::Events),
         "faults= requires algo=protocol runtime=events, got '{spec}'"
     );
+    assert!(
+        spec.detect == DetectSpec::Oracle
+            || (spec.algo == AlgoSpec::Protocol && spec.runtime == RuntimeSpec::Events),
+        "detect= requires algo=protocol runtime=events, got '{spec}'"
+    );
+}
+
+/// An exchange retransmission timeout that cannot tear an alive–alive
+/// exchange under this scenario's own fault plan: twice the worst-case
+/// one-way frame time, plus margin. The worst case stacks the slowest
+/// link (max one-way latency plus the jitter tail bound the netsim
+/// tests use), the straggler and spike multipliers, the reliable
+/// transport's full retransmission budget when loss is scheduled, and
+/// the longest partition hold. Deterministic — a pure function of the
+/// spec and the instance's latency matrix — so records stay
+/// bit-reproducible.
+fn exchange_rto_ms(spec: &ScenarioSpec, instance: &Instance) -> f64 {
+    let jitter_tail = 40.0 * QueueModel::default().base_jitter_ms;
+    let d_max = instance.latency().max_latency() / 2.0 + jitter_tail;
+    let slow = spec.faults.slow.map_or(1.0, |s| s.factor);
+    let spike = spec.faults.spike.map_or(1.0, |s| s.factor);
+    let retrans = spec
+        .faults
+        .loss
+        .map_or(0.0, |_| f64::from(MAX_RETRANSMITS) * RETRANSMIT_MS);
+    let hold = spec.faults.partition.map_or(0.0, |p| p.to_ms - p.from_ms);
+    2.0 * (d_max * slow.max(1.0) * spike.max(1.0) + retrans + hold) + 50.0
 }
 
 /// Executes scenarios for one algorithm family.
@@ -134,6 +169,7 @@ impl Runner for EngineRunner {
             converged: report.converged,
             wall_secs: start.elapsed().as_secs_f64(),
             faults: FaultSummary::default(),
+            detector: DetectorSummary::default(),
         }
     }
 }
@@ -174,6 +210,7 @@ impl Runner for NashRunner {
             converged: report.converged,
             wall_secs: start.elapsed().as_secs_f64(),
             faults: FaultSummary::default(),
+            detector: DetectorSummary::default(),
         }
     }
 }
@@ -207,6 +244,12 @@ impl Runner for ProtocolRunner {
                 },
                 ..Default::default()
             },
+            detect: match spec.detect {
+                DetectSpec::Oracle => DetectMode::Oracle,
+                DetectSpec::Timeout(ms) => DetectMode::Timeout(ms),
+                DetectSpec::Adaptive => DetectMode::Adaptive,
+            },
+            exchange_rto_ms: exchange_rto_ms(spec, &instance),
             ..Default::default()
         };
         let start = Instant::now();
@@ -242,6 +285,7 @@ impl Runner for ProtocolRunner {
             converged: report.quiescent,
             wall_secs: secs,
             faults: report.faults,
+            detector: report.detector,
         }
     }
 }
@@ -269,6 +313,7 @@ impl Runner for BcdRunner {
             converged: report.converged,
             wall_secs: start.elapsed().as_secs_f64(),
             faults: FaultSummary::default(),
+            detector: DetectorSummary::default(),
         }
     }
 }
@@ -465,6 +510,86 @@ mod tests {
             .servers(4)
             .faults(dlb_faults::FaultPlan::new().loss(0.1));
         EngineRunner.run_on(&spec, spec.build_instance());
+    }
+
+    /// The same goes for the `detect=` axis: in-protocol failure
+    /// detection needs the virtual clock, so the thread runtime must
+    /// refuse rather than silently fall back to the oracle.
+    #[test]
+    #[should_panic(expected = "detect= requires algo=protocol runtime=events")]
+    fn builder_detect_modes_cannot_ride_the_thread_runtime() {
+        ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .servers(4)
+            .detect(crate::spec::DetectSpec::Adaptive)
+            .run();
+    }
+
+    /// A faulted `detect=adaptive` run carries a populated detector
+    /// summary in its record, reproduces bit for bit, and still
+    /// converges — crashes detected from silence, stragglers
+    /// re-admitted, all without consulting the oracle.
+    #[test]
+    fn detector_summary_rides_the_record_deterministically() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(crate::spec::RuntimeSpec::Events)
+            .servers(16)
+            .avg_load(80.0)
+            .seed(5)
+            .termination(1e-9, 9, 800)
+            .faults(
+                dlb_faults::FaultPlan::new()
+                    .crash(0.2, 150.0)
+                    .slow(0.2, 4.0),
+            )
+            .detect(crate::spec::DetectSpec::Adaptive);
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a, b, "detect runs must be bit-identical");
+        assert!(a.converged);
+        assert!(
+            a.detector.suspicions > 0,
+            "crashed nodes must be suspected from silence: {:?}",
+            a.detector
+        );
+        assert!(a.detector.detection_latency_ms > 0.0);
+        // The oracle mode on the same scenario reports a quiet detector.
+        let oracle = spec.detect(crate::spec::DetectSpec::Oracle).run();
+        assert!(oracle.detector.is_quiet(), "{:?}", oracle.detector);
+    }
+
+    /// The derived exchange RTO clears the worst frame any plan can
+    /// produce, so alive–alive exchanges never tear (see
+    /// `exchange_rto_ms`).
+    #[test]
+    fn derived_rto_dominates_the_plan_worst_case() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(crate::spec::RuntimeSpec::Events)
+            .servers(12)
+            .faults(
+                dlb_faults::FaultPlan::new()
+                    .loss(0.2)
+                    .spike(3.0, 100.0, 600.0)
+                    .partition(200.0, 450.0)
+                    .slow(0.2, 4.0),
+            );
+        let instance = spec.build_instance();
+        let rto = exchange_rto_ms(&spec, &instance);
+        let d_max = instance.latency().max_latency() / 2.0;
+        // One maximally unlucky one-way frame: slowest link × both
+        // multipliers, the full retransmission budget, the partition.
+        let worst = d_max * 4.0 * 3.0 + f64::from(MAX_RETRANSMITS) * RETRANSMIT_MS + 250.0;
+        assert!(rto > worst, "rto {rto} vs worst one-way {worst}");
+        // A fault-free spec still gets a sane, small timeout.
+        let calm = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(crate::spec::RuntimeSpec::Events)
+            .servers(12);
+        let calm_rto = exchange_rto_ms(&calm, &instance);
+        assert!(calm_rto > 2.0 * d_max);
+        assert!(calm_rto < worst);
     }
 
     #[test]

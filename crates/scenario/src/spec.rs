@@ -243,6 +243,63 @@ impl fmt::Display for SelectSpec {
     }
 }
 
+/// Liveness-detection mode of the protocol runtime (the `detect=`
+/// key). Only `algo=protocol runtime=events` can run the in-protocol
+/// detectors; [`ScenarioSpec::parse`] rejects other combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DetectSpec {
+    /// The script-fed liveness oracle: the coordinator is told who is
+    /// down at every round boundary. The baseline all parity and
+    /// determinism tests pin — byte-identical to the pre-detector
+    /// runtime.
+    #[default]
+    Oracle,
+    /// `timeout:MS` — fixed per-round report deadline in virtual ms.
+    /// Silence past the deadline means suspected and excluded until
+    /// the node speaks again.
+    Timeout(f64),
+    /// Phi-accrual-style adaptive deadlines learned from each node's
+    /// report-latency history (mean + 4σ + 1 ms, globally bootstrapped)
+    /// — no RNG, deterministic across worker counts.
+    Adaptive,
+}
+
+impl DetectSpec {
+    fn parse(v: &str) -> Result<Self, SpecError> {
+        match v {
+            "oracle" => return Ok(DetectSpec::Oracle),
+            "adaptive" => return Ok(DetectSpec::Adaptive),
+            _ => {}
+        }
+        if let Some(ms) = v.strip_prefix("timeout:") {
+            let ms: f64 = ms
+                .strip_suffix("ms")
+                .unwrap_or(ms)
+                .parse()
+                .map_err(|_| SpecError(format!("detect: '{ms}' is not a deadline in ms")))?;
+            if !ms.is_finite() || ms <= 0.0 {
+                return Err(SpecError(
+                    "detect: the timeout deadline must be positive".into(),
+                ));
+            }
+            return Ok(DetectSpec::Timeout(ms));
+        }
+        Err(SpecError(format!(
+            "detect: '{v}' is not one of oracle|timeout:MS|adaptive (e.g. timeout:200ms)"
+        )))
+    }
+}
+
+impl fmt::Display for DetectSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectSpec::Oracle => write!(f, "oracle"),
+            DetectSpec::Timeout(ms) => write!(f, "timeout:{ms}ms"),
+            DetectSpec::Adaptive => write!(f, "adaptive"),
+        }
+    }
+}
+
 fn parse_load(v: &str) -> Result<LoadDistribution, SpecError> {
     match v {
         "const" => Ok(LoadDistribution::Constant),
@@ -301,6 +358,12 @@ pub struct ScenarioSpec {
     /// that can replay faults); [`ScenarioSpec::parse`] rejects other
     /// combinations. Compiled per run with the scenario's seed.
     pub faults: FaultPlan,
+    /// Liveness-detection mode (`detect=`): the script-fed oracle
+    /// (default), a fixed report deadline (`timeout:MS`), or adaptive
+    /// per-node deadlines (`adaptive`). Only meaningful for
+    /// `algo=protocol runtime=events`; [`ScenarioSpec::parse`] rejects
+    /// other combinations.
+    pub detect: DetectSpec,
 }
 
 impl Default for ScenarioSpec {
@@ -325,6 +388,7 @@ impl Default for ScenarioSpec {
             runtime: RuntimeSpec::Threads,
             select: SelectSpec::Exact,
             faults: FaultPlan::default(),
+            detect: DetectSpec::Oracle,
         }
     }
 }
@@ -421,6 +485,16 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the liveness-detection mode. Only `algo=protocol
+    /// runtime=events` can run the in-protocol detectors:
+    /// [`ScenarioSpec::parse`] rejects other combinations up front,
+    /// and the run entry points panic on them (the builder alone
+    /// cannot see the final key combination).
+    pub fn detect(mut self, detect: DetectSpec) -> Self {
+        self.detect = detect;
+        self
+    }
+
     /// Parses the text form. Empty input yields the default scenario;
     /// unknown keys, malformed values, and duplicate keys are errors.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
@@ -466,10 +540,11 @@ impl ScenarioSpec {
                     spec.faults = FaultPlan::parse(value)
                         .map_err(|e| SpecError(format!("faults: {}", e.0)))?
                 }
+                "detect" => spec.detect = DetectSpec::parse(value)?,
                 _ => {
                     return Err(SpecError(format!(
                         "unknown key '{key}' (valid: algo net m lat load avg speeds seed gran \
-                         eps patience budget runtime select faults)"
+                         eps patience budget runtime select faults detect)"
                     )))
                 }
             }
@@ -490,6 +565,15 @@ impl ScenarioSpec {
             return Err(SpecError(
                 "faults= requires algo=protocol runtime=events (the deterministic \
                  simulation is what can replay a fault schedule)"
+                    .into(),
+            ));
+        }
+        if spec.detect != DetectSpec::Oracle
+            && (spec.algo != AlgoSpec::Protocol || spec.runtime != RuntimeSpec::Events)
+        {
+            return Err(SpecError(
+                "detect= requires algo=protocol runtime=events (in-protocol failure \
+                 detection needs the virtual clock to arm deadlines on)"
                     .into(),
             ));
         }
@@ -588,6 +672,9 @@ impl fmt::Display for ScenarioSpec {
         }
         if self.faults != d.faults {
             write!(f, " faults={}", self.faults)?;
+        }
+        if self.detect != d.detect {
+            write!(f, " detect={}", self.detect)?;
         }
         Ok(())
     }
@@ -792,6 +879,72 @@ mod tests {
         // Bad plans surface the faults-specific message.
         let err = ScenarioSpec::parse("algo=protocol runtime=events faults=warp:1").unwrap_err();
         assert!(err.0.contains("faults: unknown fault kind"), "{err}");
+    }
+
+    #[test]
+    fn detect_key_round_trips_and_validates() {
+        assert_eq!(ScenarioSpec::default().detect, DetectSpec::Oracle);
+        let spec: ScenarioSpec = "algo=protocol runtime=events m=40 detect=timeout:200ms"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.detect, DetectSpec::Timeout(200.0));
+        assert_eq!(
+            spec.to_string(),
+            "algo=protocol net=homog m=40 runtime=events detect=timeout:200ms"
+        );
+        assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
+        // The ms suffix is optional on input, canonical on output.
+        let bare: ScenarioSpec = "algo=protocol runtime=events detect=timeout:200"
+            .parse()
+            .unwrap();
+        assert_eq!(bare.detect, DetectSpec::Timeout(200.0));
+        let adaptive: ScenarioSpec = "algo=protocol runtime=events detect=adaptive"
+            .parse()
+            .unwrap();
+        assert_eq!(adaptive.detect, DetectSpec::Adaptive);
+        assert_eq!(
+            adaptive.to_string().parse::<ScenarioSpec>().unwrap(),
+            adaptive
+        );
+        // detect=oracle is the default and omitted from the text form.
+        let explicit: ScenarioSpec = "algo=protocol detect=oracle".parse().unwrap();
+        assert!(!explicit.to_string().contains("detect="));
+        // The builder mirrors the text form.
+        let built = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(RuntimeSpec::Events)
+            .servers(40)
+            .detect(DetectSpec::Timeout(200.0));
+        assert_eq!(built, spec);
+    }
+
+    #[test]
+    fn detect_requires_the_event_protocol() {
+        for text in [
+            "detect=adaptive",               // default algo=sequential
+            "algo=protocol detect=adaptive", // default runtime=threads
+            "algo=batched runtime=events detect=timeout:100ms",
+        ] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                err.0.contains("requires algo=protocol runtime=events"),
+                "'{text}' -> {err}"
+            );
+        }
+        // Key order must not matter for the validation, and the oracle
+        // default never trips it.
+        assert!(ScenarioSpec::parse("detect=adaptive runtime=events algo=protocol").is_ok());
+        assert!(ScenarioSpec::parse("algo=batched detect=oracle").is_ok());
+        for (text, needle) in [
+            ("detect=psychic", "not one of oracle|timeout:MS|adaptive"),
+            ("detect=timeout:", "not a deadline in ms"),
+            ("detect=timeout:x", "not a deadline in ms"),
+            ("detect=timeout:0", "must be positive"),
+            ("detect=timeout:-5ms", "must be positive"),
+        ] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(err.0.contains(needle), "'{text}' -> {err}");
+        }
     }
 
     #[test]

@@ -47,6 +47,47 @@ fn fault_records_are_bit_identical_across_thread_counts_and_repeats() {
     assert!(r.scenario.contains("faults=crash:0.2@50ms..600ms"));
 }
 
+/// The same contract for the in-protocol failure detector: under every
+/// `detect=` mode the whole record — including the new
+/// `DetectorSummary` — must be bit-identical across `DLB_THREADS`
+/// values and repeats. Suspicion, probation, and rejoin all run on the
+/// virtual clock, so worker parallelism must never leak into them.
+#[test]
+fn detect_records_are_bit_identical_across_thread_counts_and_repeats() {
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for detect in ["timeout:400ms", "adaptive"] {
+        let spec: ScenarioSpec = format!(
+            "algo=protocol runtime=events m=24 avg=60 seed=11 eps=1e-9 patience=5 budget=800 \
+             faults=crash:0.2@150ms,slow:0.2@4x detect={detect}"
+        )
+        .parse()
+        .expect("detect spec parses");
+        let mut records: Vec<RunRecord> = Vec::new();
+        for threads in ["1", "4"] {
+            std::env::set_var("DLB_THREADS", threads);
+            records.push(spec.run());
+            records.push(spec.run());
+        }
+        std::env::remove_var("DLB_THREADS");
+        records.push(spec.run());
+        for r in &records[1..] {
+            assert_eq!(records[0], *r, "{detect}: detect RunRecord diverged");
+        }
+        let r = &records[0];
+        assert!(r.converged, "{detect}: survivors must converge");
+        assert!(
+            r.detector.suspicions > 0,
+            "{detect}: crashes must be suspected from silence: {:?}",
+            r.detector
+        );
+        assert!(
+            r.detector.detection_latency_ms > 0.0,
+            "{detect}: latency of true detections is measured"
+        );
+        assert!(r.scenario.ends_with(&format!("detect={detect}")));
+    }
+}
+
 #[test]
 fn fault_trajectories_are_seed_sensitive() {
     let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());

@@ -141,6 +141,44 @@
 //! dissemination-under-churn in virtual ms. The shell form is
 //! `dlb run algo=protocol runtime=events faults=crash:0.1@500ms,loss:0.05 m=2000`.
 //!
+//! ## In-protocol failure detection: `detect=`
+//!
+//! By default the coordinator learns liveness from the fault script
+//! itself — an *oracle*, fine for parity tests but nothing a
+//! deployment could have. The `detect=` axis replaces it with an
+//! in-protocol failure detector: `timeout:MS` suspects any node
+//! silent `MS` past the round start, `adaptive` learns each node's
+//! report cadence (a phi-accrual-style estimator, no RNG) and sets
+//! per-node deadlines. Suspected nodes are excluded from the next
+//! round; a wrongly suspected straggler that reports late is
+//! re-admitted through a probation handshake with exact load
+//! conservation; exchanges carry their own retransmission timeout, so
+//! a proposer whose partner dies mid-exchange aborts and rolls back
+//! rather than leaking load. The record's `detector` summary says
+//! what happened:
+//!
+//! ```
+//! use delay_lb::prelude::*;
+//!
+//! let spec: ScenarioSpec =
+//!     "algo=protocol runtime=events m=24 avg=60 seed=11 patience=5 budget=800 \
+//!      faults=crash:0.2@150ms,slow:0.2@4x detect=adaptive"
+//!         .parse()
+//!         .unwrap();
+//! let (a, b) = (spec.run(), spec.run());
+//! assert_eq!(a, b); // suspicion/rejoin replay exactly, too
+//! assert!(a.converged);
+//! assert!(a.detector.suspicions > 0); // crashes noticed from silence
+//! assert!(a.detector.detection_latency_ms > 0.0); // in virtual ms
+//! ```
+//!
+//! `detect=oracle` stays the baseline (byte-identical to the
+//! pre-detector runtime); `slow:FRAC@Fx` stragglers exist to exercise
+//! the false-positive path — see `BENCH_detector.json` for the
+//! detection-latency / false-positive trade curve. The shell form is
+//! `dlb run algo=protocol runtime=events m=2000
+//! faults=crash:0.1@500ms..2000ms,slow:0.05@4x detect=adaptive`.
+//!
 //! ## Crate map
 //!
 //! | module | contents |
@@ -190,10 +228,12 @@ pub mod prelude {
         epsilon_nash_gap, run_best_response_dynamics, theorem1_bounds, DynamicsOptions,
     };
     pub use dlb_runtime::{
-        run_cluster, run_cluster_events, run_cluster_events_faulted, ClusterOptions, VirtualClock,
+        run_cluster, run_cluster_events, run_cluster_events_faulted, ClusterOptions, DetectMode,
+        DetectorSummary, VirtualClock,
     };
     pub use dlb_scenario::{
-        AlgoSpec, NetSpec, RunRecord, Runner, RuntimeSpec, ScenarioSpec, SelectSpec, SpeedKind,
+        AlgoSpec, DetectSpec, NetSpec, RunRecord, Runner, RuntimeSpec, ScenarioSpec, SelectSpec,
+        SpeedKind,
     };
     pub use dlb_solver::{solve_bcd, solve_pgd, PgdOptions};
     pub use dlb_topology::PlanetLabConfig;
