@@ -420,7 +420,7 @@ mod tests {
         assert_eq!(&lines[3][m_end - 4..m_end], "2000");
     }
 
-    /// Run records (shape v2) always carry the fault and detector
+    /// Run records (shape v3) always carry the fault and detector
     /// field groups, and the report renders them as columns — the
     /// operator-facing view of what the failure detector did.
     #[test]
@@ -445,6 +445,7 @@ mod tests {
                 rejoin_ms: 90.0,
                 aborted_exchanges: 2,
             },
+            stream: Default::default(),
         };
         let line = Record::from_run("run", &run).to_json();
         let report = render_report(&line).unwrap();
@@ -469,6 +470,56 @@ mod tests {
         let json = Record::from_run("run", &quiet).to_json();
         assert!(json.contains("\"fault_crashes\":0"), "{json}");
         assert!(json.contains("\"detector_suspicions\":0"), "{json}");
+    }
+
+    /// Streamed run records (shape v3) append the `stream_*` group and
+    /// the report renders its columns; unstreamed records omit the
+    /// group entirely, keeping pre-v3 output byte-identical.
+    #[test]
+    fn renders_stream_columns_only_for_streamed_runs() {
+        let run = dlb_scenario::RunRecord {
+            scenario: "algo=protocol runtime=events m=8 arrivals=poisson:200 duration=1000".into(),
+            algo: "protocol",
+            m: 8,
+            history: vec![10.0, 4.0],
+            iterations: 9,
+            converged: true,
+            wall_secs: 1.1,
+            faults: Default::default(),
+            detector: Default::default(),
+            stream: dlb_runtime::StreamSummary {
+                served: 180,
+                dropped: 20,
+                p50_ms: 31.5,
+                p99_ms: 140.25,
+                imbalance_ms: 415.0,
+            },
+        };
+        let line = Record::from_run("run", &run).to_json();
+        let report = render_report(&line).unwrap();
+        for col in [
+            "stream_served",
+            "stream_dropped",
+            "stream_p50_ms",
+            "stream_p99_ms",
+            "stream_imbalance_ms",
+        ] {
+            assert!(report.contains(col), "missing column {col}:\n{report}");
+        }
+        assert!(report.contains("140.25"), "{report}");
+        // An unstreamed record has no stream_* keys at all.
+        let quiet = dlb_scenario::RunRecord {
+            stream: Default::default(),
+            ..run
+        };
+        let json = Record::from_run("run", &quiet).to_json();
+        assert!(!json.contains("stream_"), "{json}");
+        // Mixed files still render: the report fills the missing
+        // stream cells with '-'.
+        let mixed = format!("{line}\n{json}\n");
+        let report = render_report(&mixed).unwrap();
+        assert!(report.contains("stream_served"), "{report}");
+        assert!(report.contains('-'), "{report}");
     }
 
     #[test]

@@ -76,13 +76,20 @@ impl Record {
     /// command and ported harness emits, so `dlb report` renders them
     /// all the same way.
     ///
-    /// Record shape, v2: the `fault_*` and `detector_*` field groups
+    /// Record shape, v3: the `fault_*` and `detector_*` field groups
     /// are always present (zeroed on quiet runs). v1 omitted `fault_*`
     /// on fault-free records, which made downstream schemas dependent
     /// on the scenario's content; a stable shape lets `dlb report` and
     /// external consumers project columns without sniffing rows.
+    /// v3 appends the `stream_*` group — but only on streamed runs
+    /// (`arrivals=` scenarios): the group is new, so emitting it
+    /// unconditionally would silently reshape every existing
+    /// no-stream record (and break the CI byte-identity check against
+    /// pre-stream output). Streamed scenarios are themselves new, so
+    /// conditioning on `stream.is_quiet()` changes no record that
+    /// could exist before v3.
     pub fn from_run(kind: &str, run: &dlb_scenario::RunRecord) -> Self {
-        Record::new(kind)
+        let mut r = Record::new(kind)
             .str("scenario", &run.scenario)
             .str("algo", run.algo)
             .int("m", run.m as i64)
@@ -106,8 +113,16 @@ impl Record {
             .int(
                 "detector_aborted_exchanges",
                 run.detector.aborted_exchanges as i64,
-            )
-            .nums("history", &run.history)
+            );
+        if !run.stream.is_quiet() {
+            r = r
+                .int("stream_served", run.stream.served as i64)
+                .int("stream_dropped", run.stream.dropped as i64)
+                .num("stream_p50_ms", run.stream.p50_ms)
+                .num("stream_p99_ms", run.stream.p99_ms)
+                .num("stream_imbalance_ms", run.stream.imbalance_ms);
+        }
+        r.nums("history", &run.history)
     }
 
     /// Renders the record as one JSON object.

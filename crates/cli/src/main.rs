@@ -87,6 +87,28 @@ run:
                       next round, wrongly suspected stragglers rejoin
                       with exact load conservation, and the record
                       carries a detector_* summary
+    arrivals=         open-system request stream, algo=protocol
+                      runtime=events only; requires duration=.
+                      Comma-separated processes, rates in requests per
+                      second of virtual time: poisson:RATE (constant
+                      rate over the whole run), burst:RATE@Tms..Tms
+                      (extra rate inside the window),
+                      diurnal:RATE@PERIODms (sinusoidal rate, one
+                      cycle per period). Requests arrive at their home
+                      organization, are routed where the protocol has
+                      placed that organization's load, and are served
+                      at the host's speed; the protocol keeps
+                      rebalancing while the stream runs instead of
+                      quiescing. The record carries a stream_* summary
+                      (served/dropped counts, p50/p99 sojourn in
+                      virtual ms, time spent imbalanced). One seed
+                      fixes the arrival times, routing draws, delays,
+                      and faults, so records reproduce bit for bit.
+                      Example: dlb run algo=protocol runtime=events \\
+                        m=2000 arrivals=poisson:500,burst:2000@1000ms..2000ms \\
+                        duration=4000
+    duration=         stream horizon in virtual ms (accepts an 'ms'
+                      suffix); requires arrivals=
 
 report:
   dlb report FILE...          (e.g. dlb report BENCH_figure2.json)
@@ -128,12 +150,24 @@ fn execute(spec: &ScenarioSpec, instance: dlb_core::Instance, sink: &mut JsonlSi
         println!("... ({} more)", trajectory.len() - shown);
     }
     println!(
-        "converged: {} after {} iterations; final ΣC = {:.1} ({:.3} s wall)\n",
+        "converged: {} after {} iterations; final ΣC = {:.1} ({:.3} s wall)",
         run.converged,
         run.iterations,
         run.final_cost(),
         run.wall_secs
     );
+    if !run.stream.is_quiet() {
+        println!(
+            "stream: {} served, {} dropped; sojourn p50 = {:.1} ms, p99 = {:.1} ms; \
+             imbalanced {:.1} ms",
+            run.stream.served,
+            run.stream.dropped,
+            run.stream.p50_ms,
+            run.stream.p99_ms,
+            run.stream.imbalance_ms
+        );
+    }
+    println!();
     run
 }
 

@@ -18,16 +18,25 @@
 //! * [`open_system`] — the paper's *steady-state* reading of `n_i`:
 //!   Poisson request streams routed by the relay fractions, each server
 //!   an FCFS queue; confirms snapshot-optimized assignments also cut
-//!   sojourn times in continuously running systems.
+//!   sojourn times in continuously running systems,
+//! * [`stream`] — the declarative [`ArrivalPlan`] (`poisson:` /
+//!   `burst:` / `diurnal:`, exact text round-trip) compiled per run
+//!   into a deterministic, RNG-stream-free [`StreamScript`] of
+//!   virtual-time arrivals — what the event executor consumes to
+//!   rebalance *while* requests flow.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod discretize;
 pub mod open_system;
+#[cfg(all(test, feature = "proptests"))]
+mod proptests;
 pub mod sim;
+pub mod stream;
 pub mod validate;
 
 pub use discretize::discretize;
 pub use open_system::{run_open_system, OpenSystemConfig, OpenSystemResult};
 pub use sim::{Discipline, SimConfig, SimResult};
+pub use stream::{Arrival, ArrivalPlan, StreamError, StreamScript};

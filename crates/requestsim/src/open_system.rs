@@ -10,9 +10,7 @@
 //! reduce latency in the continuously running system (and that servers
 //! stay stable whenever the assigned rate is below capacity).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use dlb_core::events::EventHeap;
 use dlb_core::rngutil::rng_for;
 use dlb_core::workload::Exp;
 use dlb_core::{Assignment, Instance};
@@ -59,29 +57,6 @@ pub struct OpenSystemResult {
     pub utilization: Vec<f64>,
 }
 
-#[derive(PartialEq)]
-struct Arrival {
-    time: f64,
-    server: u32,
-    owner: u32,
-}
-
-impl Eq for Arrival {}
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.server.cmp(&self.server))
-    }
-}
-impl PartialOrd for Arrival {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Runs the open-system simulation of an assignment.
 ///
 /// Each organization `i` emits a Poisson stream with rate proportional
@@ -104,8 +79,11 @@ pub fn run_open_system(
         .map(|i| config.rate_scale * instance.own_load(i) / total_load)
         .collect();
 
-    // Generate all arrivals up front (heap-merged).
-    let mut arrivals: BinaryHeap<Arrival> = BinaryHeap::new();
+    // Generate all arrivals up front, merged on the workspace-wide
+    // virtual-time heap: `(due, seq)` ordering, the one tie-break rule
+    // every simulator shares (hoisted in PR 5; this module predated
+    // it).
+    let mut arrivals: EventHeap<(u32, u32)> = EventHeap::new();
     for i in 0..m {
         if rates[i] <= 0.0 {
             continue;
@@ -124,11 +102,7 @@ pub fn run_open_system(
                     break;
                 }
             }
-            arrivals.push(Arrival {
-                time: t + instance.c(i, j).min(1e12),
-                server: j as u32,
-                owner: i as u32,
-            });
+            arrivals.push(t + instance.c(i, j).min(1e12), (j as u32, i as u32));
             t += gap.sample(&mut rng);
         }
     }
@@ -138,12 +112,8 @@ pub fn run_open_system(
     let mut busy = vec![0.0f64; m];
     let mut sojourns: Vec<f64> = Vec::new();
     let mut completed = 0u64;
-    while let Some(Arrival {
-        time,
-        server,
-        owner,
-    }) = arrivals.pop()
-    {
+    while let Some(event) = arrivals.pop() {
+        let (time, (server, owner)) = (event.due, event.item);
         let j = server as usize;
         let service = 1.0 / instance.speed(j);
         let start = server_free[j].max(time);

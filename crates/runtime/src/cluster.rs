@@ -90,6 +90,34 @@ impl DetectorSummary {
     }
 }
 
+/// What the open-system request stream experienced during a run (all
+/// zeros for closed-batch runs and the thread runtime). Latencies are
+/// virtual milliseconds; the percentile fields are computed over the
+/// sojourns of every served request.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamSummary {
+    /// Requests routed to a live server and served.
+    pub served: u64,
+    /// Requests dropped because their chosen server was physically
+    /// down at arrival time.
+    pub dropped: u64,
+    /// Median request sojourn (network delay + expected wait), ms.
+    pub p50_ms: f64,
+    /// 99th-percentile request sojourn, ms.
+    pub p99_ms: f64,
+    /// Virtual time the cluster spent imbalanced while requests
+    /// flowed: stretches where the worst live server's normalized load
+    /// `l_j/s_j` exceeded twice the live mean.
+    pub imbalance_ms: f64,
+}
+
+impl StreamSummary {
+    /// Whether no stream ran (the closed-batch summary).
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// Cluster configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterOptions {
@@ -185,6 +213,9 @@ pub struct ClusterReport {
     /// What the in-protocol failure detector did (all zeros under
     /// [`DetectMode::Oracle`] and for the thread runtime).
     pub detector: DetectorSummary,
+    /// What the open-system request stream experienced (all zeros for
+    /// closed-batch runs and the thread runtime).
+    pub stream: StreamSummary,
 }
 
 /// Runs the full message-passing protocol for `instance` on the thread

@@ -87,9 +87,10 @@ use dlb_core::events::EventHeap;
 use dlb_core::Instance;
 use dlb_faults::{FaultScript, FaultSummary};
 use dlb_par::with_pool;
+use dlb_requestsim::stream::StreamScript;
 
 use crate::clock::{Clock, VirtualClock};
-use crate::cluster::{ClusterOptions, ClusterReport, DetectMode};
+use crate::cluster::{ClusterOptions, ClusterReport, DetectMode, StreamSummary};
 use crate::machine::{CoordinatorMachine, Dest, NodeMachine, Outbound, RtoKind};
 use crate::message::{ledger_to_wire, Frame};
 
@@ -110,6 +111,14 @@ enum Event {
     Deadline(u64),
     /// An exchange retransmission timer: (node, round, guarded wait).
     Rto(u32, u64, RtoKind),
+    /// A streamed request entering the system: index into the
+    /// [`StreamScript`]'s arrival schedule. Only ever pushed when a
+    /// non-empty stream drives the run, so no-stream event sequences
+    /// (and their hashes) are untouched.
+    Arrival(u32),
+    /// A streamed request finishing service — its load leaves the
+    /// cluster: `(org, server it was served on, amount, arrival idx)`.
+    Departure(u32, u32, f64, u32),
 }
 
 /// What lands in a node's per-batch run queue.
@@ -304,6 +313,72 @@ where
     D: Fn(usize, usize) -> f64,
     C: Clock,
 {
+    run_cluster_events_streamed_with_clock(
+        instance,
+        options,
+        delays,
+        script,
+        &StreamScript::empty(),
+        clock,
+    )
+}
+
+/// [`run_cluster_events_faulted`] under a live request stream: the
+/// compiled [`StreamScript`]'s arrivals ride the same `(due, seq)`
+/// event heap as the protocol frames, so the cluster rebalances
+/// *while* requests flow instead of converging over a frozen snapshot.
+///
+/// Each arrival is routed to a live server in proportion to how much
+/// of its organization's work that server currently hosts (the live
+/// relay fractions), deposits one unit of load there — buffered by the
+/// node machine while an exchange is open, so no transfer is ever torn
+/// — and departs after its modeled sojourn (`c_ij + l_j/2s_j + 1/s_j`),
+/// withdrawing the unit from wherever rebalancing moved it. Arrivals
+/// routed to a crashed (or already-finished) server are counted as
+/// dropped. While requests are still arriving or in flight the
+/// coordinator is *held open*: quiet rounds park instead of quiescing
+/// (see [`CoordinatorMachine::kick`]), and every stream event resumes
+/// a parked coordinator. Once the stream drains, the hold is released
+/// and the normal quiescence shutdown fires.
+///
+/// The filled [`ClusterReport::stream`] carries requests served and
+/// dropped, p50/p99 sojourn, and the virtual time the cluster spent
+/// with its worst live utilization above twice the mean
+/// ([`StreamSummary`]). An empty script takes none of these paths:
+/// the run is byte-identical to [`run_cluster_events_faulted`].
+pub fn run_cluster_events_streamed<D>(
+    instance: &Instance,
+    options: &ClusterOptions,
+    delays: D,
+    script: &FaultScript,
+    stream: &StreamScript,
+) -> ClusterReport
+where
+    D: Fn(usize, usize) -> f64,
+{
+    run_cluster_events_streamed_with_clock(
+        instance,
+        options,
+        delays,
+        script,
+        stream,
+        &mut VirtualClock,
+    )
+}
+
+/// The fully general entry: faults, stream, and explicit clock.
+pub fn run_cluster_events_streamed_with_clock<D, C>(
+    instance: &Instance,
+    options: &ClusterOptions,
+    delays: D,
+    script: &FaultScript,
+    stream: &StreamScript,
+    clock: &mut C,
+) -> ClusterReport
+where
+    D: Fn(usize, usize) -> f64,
+    C: Clock,
+{
     let m = instance.len();
     assert_eq!(
         script.len(),
@@ -369,6 +444,31 @@ where
         if faulty && use_oracle {
             coordinator.set_down(script.down_at(now));
         }
+        // Streaming: the whole arrival schedule goes on the heap up
+        // front (it is pure data, already time-sorted), and the
+        // coordinator is held open until the stream drains. An empty
+        // stream pushes nothing — the event sequence and its hash are
+        // byte-identical to the unstreamed run.
+        let streaming = !stream.is_empty();
+        let last_arrival_ms = stream.arrivals().last().map_or(0.0, |a| a.at_ms);
+        if streaming {
+            debug_assert!(
+                stream.arrivals().iter().all(|a| (a.org as usize) < m),
+                "stream compiled for a different cluster size"
+            );
+            for (idx, a) in stream.arrivals().iter().enumerate() {
+                fabric.heap.push(a.at_ms, Event::Arrival(idx as u32));
+            }
+            coordinator.set_hold(true);
+        }
+        let mut hold = streaming;
+        let mut outstanding = 0u64; // departures still on the heap
+        let mut served = 0u64;
+        let mut stream_dropped = 0u64;
+        let mut sojourns: Vec<f64> = Vec::new();
+        let mut imbalance_ms = 0.0f64;
+        let mut was_imbalanced = false;
+        let mut last_sample_ms = 0.0f64;
         coordinator.start(&mut out);
         let mut latched_round = coordinator.round_number();
         if use_oracle {
@@ -419,7 +519,7 @@ where
                     None => break None,
                     Some(ev) => {
                         let stale = match &ev.item {
-                            Event::Frame(..) => false,
+                            Event::Frame(..) | Event::Arrival(..) | Event::Departure(..) => false,
                             Event::Deadline(round) => {
                                 coordinator.is_collecting()
                                     || coordinator.is_done()
@@ -437,6 +537,18 @@ where
                 }
             };
             let Some(first) = first else {
+                if hold {
+                    // Defensive: the heap cannot normally dry up while
+                    // arrivals or departures are pending, but if it
+                    // does, release the hold so the run can terminate.
+                    hold = false;
+                    coordinator.set_hold(false);
+                    coordinator.kick(&mut out);
+                    if !out.is_empty() {
+                        fabric.schedule(now, None, &mut out);
+                        continue;
+                    }
+                }
                 // In-flight traffic is exhausted. The shutdown cannot
                 // reach crashed nodes: freeze their ledgers into the
                 // final answer (their requests stay where they were when
@@ -488,6 +600,7 @@ where
                 }
             }
             // Classify the whole same-instant batch in (due, seq) order.
+            let mut stream_batch = false;
             let mut next = Some(first);
             while let Some(event) = next {
                 match event.item {
@@ -543,11 +656,166 @@ where
                             run_queues[j as usize].push(Inbox::Rto(round, kind));
                         }
                     }
+                    Event::Arrival(idx) => {
+                        hash = hash_timer(hash, event.due, 18, idx as u64, 0);
+                        stream_batch = true;
+                        let a = stream.arrivals()[idx as usize];
+                        let org = a.org as usize;
+                        // Route in proportion to how much of this
+                        // organization's work each live server hosts —
+                        // the relay fractions ρ_i· of the live,
+                        // mid-rebalance assignment. All machines are
+                        // present here: classification runs before the
+                        // batch fan-out takes any of them.
+                        let mut total = 0.0f64;
+                        let weights: Vec<f64> = (0..m)
+                            .map(|j| {
+                                let machine = machines[j].as_ref().expect("machine present");
+                                if (faulty && down[j]) || machine.is_done() {
+                                    0.0
+                                } else {
+                                    let w = machine.ledger().get(a.org).max(0.0);
+                                    total += w;
+                                    w
+                                }
+                            })
+                            .collect();
+                        let target = if total > 0.0 {
+                            // Inverse CDF over the hosting weights with
+                            // the arrival's pre-drawn uniform; the last
+                            // positive host absorbs any float slack.
+                            let mut acc = 0.0f64;
+                            let mut pick = None;
+                            for (j, &w) in weights.iter().enumerate() {
+                                if w <= 0.0 {
+                                    continue;
+                                }
+                                acc += w;
+                                pick = Some(j);
+                                if a.route * total <= acc {
+                                    break;
+                                }
+                            }
+                            pick
+                        } else {
+                            // Nobody hosts this organization yet (its
+                            // own load was zero): serve at home if the
+                            // home server is alive.
+                            let home = machines[org].as_ref().expect("machine present");
+                            let dead = home.is_done() || (faulty && down[org]);
+                            (!dead).then_some(org)
+                        };
+                        match target {
+                            None => stream_dropped += 1,
+                            Some(j) => {
+                                let machine = machines[j].as_mut().expect("machine present");
+                                let backlog = machine.ledger().sum().max(0.0);
+                                let s = shared.speed(j);
+                                // Expected wait under random order plus
+                                // own service — the model's per-request
+                                // price, §II.
+                                let wait = backlog / (2.0 * s) + 1.0 / s;
+                                if machine.deposit(a.org, 1.0) {
+                                    served += 1;
+                                    outstanding += 1;
+                                    sojourns.push((fabric.delays)(org, j) + wait);
+                                    fabric.heap.push(
+                                        now + wait,
+                                        Event::Departure(a.org, j as u32, 1.0, idx),
+                                    );
+                                } else {
+                                    stream_dropped += 1;
+                                }
+                            }
+                        }
+                    }
+                    Event::Departure(org, server, amount, idx) => {
+                        hash = hash_timer(hash, event.due, 19, server as u64, idx as u64);
+                        stream_batch = true;
+                        outstanding -= 1;
+                        // The unit may have been rebalanced since it
+                        // arrived: drain it from the live hosts
+                        // carrying the most of this organization's
+                        // work. A shortfall stays frozen on whatever
+                        // crashed server still holds it.
+                        let mut hosts: Vec<(f64, usize)> = (0..m)
+                            .filter(|&j| !(faulty && down[j]))
+                            .filter_map(|j| {
+                                let machine = machines[j].as_ref().expect("machine present");
+                                if machine.is_done() {
+                                    return None;
+                                }
+                                let w = machine.ledger().get(org);
+                                (w > 0.0).then_some((w, j))
+                            })
+                            .collect();
+                        hosts.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+                        let mut remaining = amount;
+                        for (w, j) in hosts {
+                            if remaining <= 0.0 {
+                                break;
+                            }
+                            let take = w.min(remaining);
+                            machines[j]
+                                .as_mut()
+                                .expect("machine present")
+                                .withdraw(org, take);
+                            remaining -= take;
+                        }
+                    }
                 }
                 next = match fabric.heap.peek_due() {
                     Some(due) if due == now => fabric.heap.pop(),
                     _ => None,
                 };
+            }
+
+            if stream_batch {
+                // Piecewise time-in-imbalance: close the interval
+                // opened at the previous sample under its observation,
+                // then observe the live landscape anew. "Imbalanced"
+                // means the worst live utilization `l_j / s_j` exceeds
+                // twice the live mean.
+                if was_imbalanced {
+                    imbalance_ms += now - last_sample_ms;
+                }
+                last_sample_ms = now;
+                let mut max_util = 0.0f64;
+                let mut sum_util = 0.0f64;
+                let mut live = 0u32;
+                for (j, machine) in machines.iter().enumerate() {
+                    if faulty && down[j] {
+                        continue;
+                    }
+                    let machine = machine.as_ref().expect("machine present");
+                    if machine.is_done() {
+                        continue;
+                    }
+                    let util = machine.ledger().sum() / shared.speed(j);
+                    max_util = max_util.max(util);
+                    sum_util += util;
+                    live += 1;
+                }
+                was_imbalanced =
+                    live > 0 && sum_util > 0.0 && max_util > 2.0 * (sum_util / live as f64);
+                // Fresh stream activity resumes a parked coordinator —
+                // latching any crash phase the oracle would otherwise
+                // only see on its control-plane path.
+                if faulty && use_oracle {
+                    let phase = script.down_phase(now);
+                    if phase != down_phase {
+                        down_phase = phase;
+                        coordinator.set_down(script.down_at(now));
+                    }
+                }
+                coordinator.kick(&mut out);
+                fabric.schedule(now, None, &mut out);
+                // The stream has fully drained: release the hold so the
+                // normal quiescence shutdown can fire.
+                if hold && outstanding == 0 && now >= last_arrival_ms {
+                    hold = false;
+                    coordinator.set_hold(false);
+                }
             }
 
             // Fan the touched shards out over the worker pool. Each entry
@@ -660,6 +928,26 @@ where
         report.faults = fabric.summary;
         if tp_count > 0 {
             report.detector.detection_latency_ms = tp_latency_sum / tp_count as f64;
+        }
+        if streaming {
+            if was_imbalanced {
+                imbalance_ms += now - last_sample_ms;
+            }
+            sojourns.sort_by(|x, y| x.total_cmp(y));
+            let pct = |q: f64| {
+                if sojourns.is_empty() {
+                    0.0
+                } else {
+                    sojourns[((sojourns.len() as f64 * q) as usize).min(sojourns.len() - 1)]
+                }
+            };
+            report.stream = StreamSummary {
+                served,
+                dropped: stream_dropped,
+                p50_ms: pct(0.50),
+                p99_ms: pct(0.99),
+                imbalance_ms,
+            };
         }
         report
     }) // with_pool
@@ -1177,6 +1465,135 @@ mod tests {
         assert_eq!(a.assignment.loads(), b.assignment.loads());
         assert_eq!(a.detector, b.detector);
         assert_eq!(a.faults, b.faults);
+    }
+
+    /// The no-stream parity the scenario layer relies on: an empty
+    /// stream script is byte-identical to the unstreamed entry point,
+    /// and its summary stays quiet.
+    #[test]
+    fn empty_stream_is_byte_identical_to_unstreamed() {
+        let mut rng = rng_for(12, 0xE1);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 70.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(10, 12.0), &mut rng);
+        let plain = run_cluster_events(&instance, &ClusterOptions::default(), half_rtt(&instance));
+        let streamed = run_cluster_events_streamed(
+            &instance,
+            &ClusterOptions::default(),
+            half_rtt(&instance),
+            &FaultScript::empty(10),
+            &StreamScript::empty(),
+        );
+        assert_eq!(plain.event_hash, streamed.event_hash);
+        assert_eq!(plain.history, streamed.history);
+        assert_eq!(plain.virtual_ms, streamed.virtual_ms);
+        assert_eq!(plain.assignment.loads(), streamed.assignment.loads());
+        assert!(streamed.stream.is_quiet());
+    }
+
+    /// A live Poisson stream is served end to end: every arrival is
+    /// either served or dropped, latency percentiles are finite, and
+    /// the run outlives the last arrival before quiescing.
+    #[test]
+    fn streamed_arrivals_are_served_with_finite_latency() {
+        use dlb_requestsim::stream::ArrivalPlan;
+        let mut rng = rng_for(7, 0xE2);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Exponential,
+            avg_load: 60.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(8, 8.0), &mut rng);
+        let stream = ArrivalPlan::new()
+            .poisson(300.0)
+            .compile(3, 1_000.0, instance.own_loads());
+        assert!(!stream.is_empty());
+        let report = run_cluster_events_streamed(
+            &instance,
+            &ClusterOptions::default(),
+            half_rtt(&instance),
+            &FaultScript::empty(8),
+            &stream,
+        );
+        let s = report.stream;
+        assert_eq!(s.served + s.dropped, stream.len() as u64);
+        assert!(s.served > 0, "no faults: requests get served: {s:?}");
+        assert_eq!(s.dropped, 0, "no faults: nothing drops: {s:?}");
+        assert!(s.p50_ms.is_finite() && s.p50_ms > 0.0, "{s:?}");
+        assert!(s.p99_ms.is_finite() && s.p99_ms >= s.p50_ms, "{s:?}");
+        assert!(s.imbalance_ms.is_finite() && s.imbalance_ms >= 0.0);
+        let last = stream.arrivals().last().unwrap().at_ms;
+        assert!(
+            report.virtual_ms >= last,
+            "run must outlive the stream: {} < {last}",
+            report.virtual_ms
+        );
+        assert!(report.quiescent, "hold released, protocol quiesced");
+    }
+
+    /// Streamed runs replay bit-identically: same schedule, same
+    /// summary, same event hash.
+    #[test]
+    fn streamed_runs_are_bit_identical() {
+        use dlb_requestsim::stream::ArrivalPlan;
+        let mut rng = rng_for(19, 0xE3);
+        let instance = WorkloadSpec {
+            loads: LoadDistribution::Uniform,
+            avg_load: 50.0,
+            speeds: SpeedDistribution::paper_uniform(),
+        }
+        .sample(LatencyMatrix::homogeneous(6, 10.0), &mut rng);
+        let stream = ArrivalPlan::new()
+            .poisson(150.0)
+            .burst(300.0, 200.0, 400.0)
+            .compile(11, 800.0, instance.own_loads());
+        let run = || {
+            run_cluster_events_streamed(
+                &instance,
+                &ClusterOptions::default(),
+                half_rtt(&instance),
+                &FaultScript::empty(6),
+                &stream,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.event_hash, b.event_hash);
+        assert_eq!(a.stream, b.stream);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.virtual_ms, b.virtual_ms);
+        assert_eq!(a.assignment.loads(), b.assignment.loads());
+    }
+
+    /// A crash mid-stream: arrivals whose organization's work is
+    /// frozen on the dead server are counted as dropped, the rest keep
+    /// being served, and the run still terminates.
+    #[test]
+    fn crash_mid_stream_drops_the_victims_requests() {
+        use dlb_requestsim::stream::ArrivalPlan;
+        // Homogeneous loads: no exchanges move work, so each org is
+        // hosted exactly at home and a crash strands its stream.
+        let instance = Instance::homogeneous(8, 1.0, 0.0, 50.0);
+        let script = FaultPlan::new().crash(0.25, 100.0).compile(5, 8);
+        assert_eq!(script.down_at(1e12).len(), 2);
+        let stream = ArrivalPlan::new()
+            .poisson(200.0)
+            .compile(9, 600.0, instance.own_loads());
+        let report = run_cluster_events_streamed(
+            &instance,
+            &ClusterOptions::default(),
+            |_, _| 5.0,
+            &script,
+            &stream,
+        );
+        let s = report.stream;
+        assert_eq!(s.served + s.dropped, stream.len() as u64);
+        assert!(s.served > 0, "survivors keep serving: {s:?}");
+        assert!(s.dropped > 0, "victims' requests strand: {s:?}");
+        assert_eq!(report.faults.crashes, 2);
     }
 
     /// Two-phase exchanges under the oracle-free happy path reach the

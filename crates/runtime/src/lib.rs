@@ -75,8 +75,13 @@ pub mod node;
 mod proptests;
 
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use cluster::{run_cluster, ClusterOptions, ClusterReport, DetectMode, DetectorSummary};
-pub use executor::{run_cluster_events, run_cluster_events_faulted, run_cluster_events_with_clock};
+pub use cluster::{
+    run_cluster, ClusterOptions, ClusterReport, DetectMode, DetectorSummary, StreamSummary,
+};
+pub use executor::{
+    run_cluster_events, run_cluster_events_faulted, run_cluster_events_streamed,
+    run_cluster_events_streamed_with_clock, run_cluster_events_with_clock,
+};
 pub use machine::{
     CoordinatorMachine, Dest, NodeConfig, NodeMachine, Outbound, RtoKind, SelectPolicy,
     ADAPTIVE_BOOTSTRAP_MS,

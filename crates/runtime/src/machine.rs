@@ -401,6 +401,12 @@ pub struct NodeMachine {
     /// Two-phase exchange awaiting the acceptor's `CommitAck` (only
     /// under [`NodeConfig::two_phase`]).
     pending: Option<PendingExchange>,
+    /// Streaming load deltas `(org, amount)` buffered while an
+    /// exchange is open — the ledger is promised to a peer then and
+    /// may be wholesale replaced by its Commit, which would silently
+    /// drop a directly-applied deposit. Drained the moment the
+    /// exchange resolves. Positive amounts deposit, negative withdraw.
+    stream_buf: Vec<(u32, f64)>,
     /// Whether the final ledger has been sent (machine finished).
     done: bool,
 }
@@ -422,6 +428,7 @@ impl NodeMachine {
             early_proposals: VecDeque::new(),
             deferred: None,
             pending: None,
+            stream_buf: Vec::new(),
             done: false,
         }
     }
@@ -442,6 +449,61 @@ impl NodeMachine {
     /// (its requests stay where they were when it went down).
     pub fn ledger(&self) -> &SparseVec {
         &self.ledger
+    }
+
+    /// Streaming arrival: `amount` units of organization `org`'s work
+    /// land on this server between protocol frames. Applied to the
+    /// ledger immediately when no exchange is open; otherwise buffered
+    /// until the exchange resolves (the in-flight Commit may replace
+    /// the ledger wholesale, which would drop a direct write). Returns
+    /// `false` — the request is refused — once the final ledger has
+    /// been sent: a late mutation could never reach the coordinator.
+    pub fn deposit(&mut self, org: u32, amount: f64) -> bool {
+        if self.done {
+            return false;
+        }
+        if self.exchange_open() {
+            self.stream_buf.push((org, amount));
+        } else {
+            self.apply_stream_delta(org, amount);
+        }
+        true
+    }
+
+    /// Streaming departure: up to `amount` units of `org`'s work leave
+    /// this server (clamped at what the ledger actually holds once
+    /// applied). Buffered under an open exchange like [`Self::deposit`].
+    pub fn withdraw(&mut self, org: u32, amount: f64) {
+        if self.done {
+            return;
+        }
+        if self.exchange_open() {
+            self.stream_buf.push((org, -amount));
+        } else {
+            self.apply_stream_delta(org, -amount);
+        }
+    }
+
+    /// Applies one signed streaming delta to the ledger, clamping
+    /// withdrawals at the available volume (a request that finished on
+    /// another replica after a rebalance moved the entry away).
+    fn apply_stream_delta(&mut self, org: u32, amount: f64) {
+        let next = (self.ledger.get(org) + amount).max(0.0);
+        self.ledger.set(org, next);
+    }
+
+    /// Replays deltas buffered behind an exchange, now that it has
+    /// resolved. Called at every resolution point, right before the
+    /// deferred control frame (if any) — so a deferred `Shutdown`'s
+    /// final ledger includes them.
+    fn drain_stream_ops(&mut self) {
+        if self.stream_buf.is_empty() {
+            return;
+        }
+        let ops = std::mem::take(&mut self.stream_buf);
+        for (org, amount) in ops {
+            self.apply_stream_delta(org, amount);
+        }
     }
 
     /// Consumes one inbound frame, appending any outbound frames to
@@ -729,6 +791,7 @@ impl NodeMachine {
                 Some((from, partner_load, partner_cost, outcome.moved)),
             );
             out.push(report);
+            self.drain_stream_ops();
             if let Some(frame) = self.deferred.take() {
                 self.handle(&frame, out);
             }
@@ -746,6 +809,7 @@ impl NodeMachine {
         out.push(report);
         // A control frame held behind the outstanding proposal can go
         // ahead now.
+        self.drain_stream_ops();
         if let Some(frame) = self.deferred.take() {
             self.handle(&frame, out);
         }
@@ -775,6 +839,7 @@ impl NodeMachine {
             out.push(report);
         }
         // Replay the control frame that raced this commit, if any.
+        self.drain_stream_ops();
         if let Some(frame) = self.deferred.take() {
             self.handle(&frame, out);
         }
@@ -791,6 +856,7 @@ impl NodeMachine {
             Some((p.partner, p.partner_load, p.partner_cost, p.moved)),
         );
         out.push(report);
+        self.drain_stream_ops();
         if let Some(frame) = self.deferred.take() {
             self.handle(&frame, out);
         }
@@ -855,6 +921,7 @@ impl NodeMachine {
         }
         // A control frame stashed behind the dead exchange can go
         // ahead now.
+        self.drain_stream_ops();
         if let Some(frame) = self.deferred.take() {
             self.handle(&frame, out);
         }
@@ -976,6 +1043,16 @@ pub struct CoordinatorMachine {
     /// Forensic log of every report (debug builds): used to diagnose
     /// protocol violations with full context.
     report_log: Vec<(u64, u32, RoundOutcome)>,
+    /// Streaming drivers set this while requests are still arriving:
+    /// quiescence must not shut the cluster down (the load landscape
+    /// keeps shifting). A quiet round *parks* instead — see
+    /// [`Self::kick`] — and `max_rounds` is deferred until the hold is
+    /// released (the finite stream bounds the run in the meantime).
+    hold_open: bool,
+    /// Held open and the last round moved nothing: round-driving
+    /// frames would spin at one virtual instant, so the coordinator
+    /// waits for the driver to [`Self::kick`] it on stream activity.
+    parked: bool,
 }
 
 impl CoordinatorMachine {
@@ -1037,6 +1114,8 @@ impl CoordinatorMachine {
             global_lat: (0, 0.0, 0.0),
             detector: DetectorSummary::default(),
             report_log: Vec::new(),
+            hold_open: false,
+            parked: false,
         }
     }
 
@@ -1095,6 +1174,28 @@ impl CoordinatorMachine {
     /// driver must gate data-plane deliveries on).
     pub fn down_now(&self) -> &[u32] {
         &self.down
+    }
+
+    /// While held open, quiescence does not end the run: a streaming
+    /// driver keeps the protocol rebalancing as long as requests are
+    /// still arriving or in flight, then releases the hold to let the
+    /// normal quiet-round shutdown (and `max_rounds` stop) fire. After
+    /// releasing, call [`Self::kick`] so a parked coordinator resumes.
+    pub fn set_hold(&mut self, hold: bool) {
+        self.hold_open = hold;
+    }
+
+    /// Resumes rounds after a park (no-op otherwise). A streaming
+    /// driver calls this whenever stream activity lands: parked means
+    /// the landscape was flat at the last round's end, and an arrival
+    /// or departure has just deformed it.
+    pub fn kick(&mut self, out: &mut Vec<Outbound>) {
+        if !self.parked {
+            return;
+        }
+        self.parked = false;
+        self.round += 1;
+        self.begin_round(out);
     }
 
     /// Kicks off round 1. Rounds are 1-based on the wire: nodes boot
@@ -1444,6 +1545,20 @@ impl CoordinatorMachine {
     fn end_round(&mut self, out: &mut Vec<Outbound>) {
         self.rounds += 1;
         self.history.push(self.local_costs.iter().sum());
+        if self.hold_open {
+            // Streaming: a quiet round is a pause, not convergence —
+            // but chaining straight into the next round would spin at
+            // one virtual instant (control frames travel free). Park
+            // until stream activity kicks us.
+            self.quiet = 0;
+            if self.round_moved <= self.options.quiescent_volume {
+                self.parked = true;
+            } else {
+                self.round += 1;
+                self.begin_round(out);
+            }
+            return;
+        }
         if self.round_moved <= self.options.quiescent_volume {
             self.quiet += 1;
             if self.quiet >= self.options.quiescent_rounds {
@@ -1490,6 +1605,7 @@ impl CoordinatorMachine {
             event_hash: 0,
             faults: dlb_faults::FaultSummary::default(),
             detector: self.detector,
+            stream: crate::cluster::StreamSummary::default(),
         }
     }
 }

@@ -16,8 +16,8 @@ use dlb_game::{run_best_response_dynamics, DynamicsOptions};
 use dlb_netsim::rtt::QueueModel;
 use dlb_netsim::LinkDelayModel;
 use dlb_runtime::{
-    run_cluster, run_cluster_events_faulted, ClusterOptions, DetectMode, DetectorSummary,
-    NodeConfig, SelectPolicy,
+    run_cluster, run_cluster_events_streamed, ClusterOptions, DetectMode, DetectorSummary,
+    NodeConfig, SelectPolicy, StreamSummary,
 };
 use dlb_solver::solve_bcd;
 
@@ -58,6 +58,11 @@ pub struct RunRecord {
     /// `detect=oracle`, which consults the fault script directly and
     /// never suspects anyone.
     pub detector: DetectorSummary,
+    /// Streaming summary: what the scenario's `arrivals=`/`duration=`
+    /// stream experienced (requests served and dropped, p50/p99
+    /// sojourn in virtual ms, time spent imbalanced). All zeros when
+    /// the scenario does not stream.
+    pub stream: StreamSummary,
 }
 
 impl RunRecord {
@@ -92,6 +97,15 @@ fn assert_faults_runnable(spec: &ScenarioSpec) {
         spec.detect == DetectSpec::Oracle
             || (spec.algo == AlgoSpec::Protocol && spec.runtime == RuntimeSpec::Events),
         "detect= requires algo=protocol runtime=events, got '{spec}'"
+    );
+    assert!(
+        spec.arrivals.is_empty()
+            || (spec.algo == AlgoSpec::Protocol && spec.runtime == RuntimeSpec::Events),
+        "arrivals= requires algo=protocol runtime=events, got '{spec}'"
+    );
+    assert!(
+        spec.arrivals.is_empty() == (spec.duration <= 0.0),
+        "arrivals= and duration= come as a pair, got '{spec}'"
     );
 }
 
@@ -170,6 +184,7 @@ impl Runner for EngineRunner {
             wall_secs: start.elapsed().as_secs_f64(),
             faults: FaultSummary::default(),
             detector: DetectorSummary::default(),
+            stream: StreamSummary::default(),
         }
     }
 }
@@ -211,6 +226,7 @@ impl Runner for NashRunner {
             wall_secs: start.elapsed().as_secs_f64(),
             faults: FaultSummary::default(),
             detector: DetectorSummary::default(),
+            stream: StreamSummary::default(),
         }
     }
 }
@@ -266,11 +282,19 @@ impl Runner for ProtocolRunner {
                 // empty script, which the executor treats exactly as
                 // "no faults" — byte-equal records.
                 let script = spec.faults.compile(spec.seed, instance.len());
-                let report = run_cluster_events_faulted(
+                // The same seed also compiles the arrival stream, with
+                // the sampled own-loads as the per-organization
+                // weights. An empty plan compiles to the empty script
+                // — byte-equal records to an unstreamed run.
+                let stream = spec
+                    .arrivals
+                    .compile(spec.seed, spec.duration, instance.own_loads());
+                let report = run_cluster_events_streamed(
                     &instance,
                     &options,
                     |i, j| delays.one_way_ms(i, j),
                     &script,
+                    &stream,
                 );
                 let secs = report.virtual_ms / 1000.0;
                 (report, secs)
@@ -286,6 +310,7 @@ impl Runner for ProtocolRunner {
             wall_secs: secs,
             faults: report.faults,
             detector: report.detector,
+            stream: report.stream,
         }
     }
 }
@@ -314,6 +339,7 @@ impl Runner for BcdRunner {
             wall_secs: start.elapsed().as_secs_f64(),
             faults: FaultSummary::default(),
             detector: DetectorSummary::default(),
+            stream: StreamSummary::default(),
         }
     }
 }
@@ -557,6 +583,64 @@ mod tests {
         // The oracle mode on the same scenario reports a quiet detector.
         let oracle = spec.detect(crate::spec::DetectSpec::Oracle).run();
         assert!(oracle.detector.is_quiet(), "{:?}", oracle.detector);
+    }
+
+    /// A streamed run carries a populated stream summary in its
+    /// record, reproduces bit for bit, and serves the whole workload
+    /// with finite percentile latencies.
+    #[test]
+    fn stream_summary_rides_the_record_deterministically() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(crate::spec::RuntimeSpec::Events)
+            .servers(12)
+            .avg_load(60.0)
+            .seed(7)
+            .termination(1e-9, 9, 300)
+            .arrivals("poisson:150,burst:300@200ms..600ms".parse().unwrap())
+            .duration_ms(1_200.0);
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a, b, "streamed runs must be bit-identical");
+        assert!(!a.stream.is_quiet(), "{:?}", a.stream);
+        assert!(a.stream.served > 0);
+        assert_eq!(a.stream.dropped, 0, "no crashes scheduled");
+        assert!(a.stream.p50_ms.is_finite() && a.stream.p50_ms > 0.0);
+        assert!(a.stream.p99_ms >= a.stream.p50_ms);
+        // The identical spec with the stream removed is a different
+        // scenario — and reports a quiet summary.
+        let calm = spec
+            .arrivals(dlb_requestsim::stream::ArrivalPlan::default())
+            .duration_ms(0.0)
+            .run();
+        assert!(calm.stream.is_quiet(), "{:?}", calm.stream);
+    }
+
+    /// The builder can construct what parse() rejects; arrival streams
+    /// need the virtual clock, so the thread runtime must refuse.
+    #[test]
+    #[should_panic(expected = "arrivals= requires algo=protocol runtime=events")]
+    fn builder_arrival_streams_cannot_ride_the_thread_runtime() {
+        ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .servers(4)
+            .arrivals("poisson:100".parse().unwrap())
+            .duration_ms(500.0)
+            .run();
+    }
+
+    /// `arrivals=` and `duration=` only make sense together — a
+    /// stream with no horizon (or a horizon with no stream) is a
+    /// silent no-op the runner refuses to guess about.
+    #[test]
+    #[should_panic(expected = "arrivals= and duration= come as a pair")]
+    fn arrival_streams_require_a_duration() {
+        ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(crate::spec::RuntimeSpec::Events)
+            .servers(4)
+            .arrivals("poisson:100".parse().unwrap())
+            .run();
     }
 
     /// The derived exchange RTO clears the worst frame any plan can

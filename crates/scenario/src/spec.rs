@@ -22,6 +22,7 @@ use dlb_core::rngutil::rng_for;
 use dlb_core::workload::{LoadDistribution, SpeedDistribution, WorkloadSpec};
 use dlb_core::{Instance, LatencyMatrix};
 use dlb_faults::FaultPlan;
+use dlb_requestsim::stream::ArrivalPlan;
 use dlb_topology::{EuclideanConfig, PlanetLabConfig};
 
 /// RNG stream salt of the single instance-sampling path. This is the
@@ -364,6 +365,18 @@ pub struct ScenarioSpec {
     /// `algo=protocol runtime=events`; [`ScenarioSpec::parse`] rejects
     /// other combinations.
     pub detect: DetectSpec,
+    /// Live request-arrival processes (`arrivals=`), e.g.
+    /// `arrivals=poisson:200,burst:400@500ms..1500ms`. Compiled per
+    /// run with the scenario's seed and the sampled own-loads, then
+    /// delivered as virtual-time events so the protocol rebalances
+    /// *while* requests flow. Requires `duration=` and `algo=protocol
+    /// runtime=events`; [`ScenarioSpec::parse`] rejects other
+    /// combinations.
+    pub arrivals: ArrivalPlan,
+    /// Stream horizon in virtual ms (`duration=`): arrivals are
+    /// generated on `[0, duration)`. Zero (the default) means no
+    /// stream; positive requires `arrivals=`.
+    pub duration: f64,
 }
 
 impl Default for ScenarioSpec {
@@ -389,6 +402,8 @@ impl Default for ScenarioSpec {
             select: SelectSpec::Exact,
             faults: FaultPlan::default(),
             detect: DetectSpec::Oracle,
+            arrivals: ArrivalPlan::default(),
+            duration: 0.0,
         }
     }
 }
@@ -495,6 +510,24 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the live arrival processes. Only `algo=protocol
+    /// runtime=events` can stream (and a positive
+    /// [`duration_ms`](Self::duration_ms) is required):
+    /// [`ScenarioSpec::parse`] rejects other combinations up front,
+    /// and the run entry points panic on them (the builder alone
+    /// cannot see the final key combination).
+    pub fn arrivals(mut self, arrivals: ArrivalPlan) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the stream horizon in virtual ms (see
+    /// [`arrivals`](Self::arrivals)).
+    pub fn duration_ms(mut self, duration: f64) -> Self {
+        self.duration = duration;
+        self
+    }
+
     /// Parses the text form. Empty input yields the default scenario;
     /// unknown keys, malformed values, and duplicate keys are errors.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
@@ -541,10 +574,18 @@ impl ScenarioSpec {
                         .map_err(|e| SpecError(format!("faults: {}", e.0)))?
                 }
                 "detect" => spec.detect = DetectSpec::parse(value)?,
+                "arrivals" => {
+                    spec.arrivals = ArrivalPlan::parse(value)
+                        .map_err(|e| SpecError(format!("arrivals: {}", e.0)))?
+                }
+                "duration" => {
+                    let bare = value.strip_suffix("ms").unwrap_or(value);
+                    spec.duration = parse_float(key, bare)?;
+                }
                 _ => {
                     return Err(SpecError(format!(
                         "unknown key '{key}' (valid: algo net m lat load avg speeds seed gran \
-                         eps patience budget runtime select faults detect)"
+                         eps patience budget runtime select faults detect arrivals duration)"
                     )))
                 }
             }
@@ -574,6 +615,29 @@ impl ScenarioSpec {
             return Err(SpecError(
                 "detect= requires algo=protocol runtime=events (in-protocol failure \
                  detection needs the virtual clock to arm deadlines on)"
+                    .into(),
+            ));
+        }
+        if !spec.arrivals.is_empty() && spec.duration <= 0.0 {
+            return Err(SpecError(
+                "arrivals= requires duration= (a positive stream horizon in virtual ms, \
+                 e.g. duration=2000ms)"
+                    .into(),
+            ));
+        }
+        if spec.duration > 0.0 && spec.arrivals.is_empty() {
+            return Err(SpecError(
+                "duration= requires arrivals= (the horizon only bounds a live arrival \
+                 stream, e.g. arrivals=poisson:200)"
+                    .into(),
+            ));
+        }
+        if !spec.arrivals.is_empty()
+            && (spec.algo != AlgoSpec::Protocol || spec.runtime != RuntimeSpec::Events)
+        {
+            return Err(SpecError(
+                "arrivals= requires algo=protocol runtime=events (live streaming rides \
+                 the deterministic virtual-time event heap)"
                     .into(),
             ));
         }
@@ -675,6 +739,12 @@ impl fmt::Display for ScenarioSpec {
         }
         if self.detect != d.detect {
             write!(f, " detect={}", self.detect)?;
+        }
+        if self.arrivals != d.arrivals {
+            write!(f, " arrivals={}", self.arrivals)?;
+        }
+        if self.duration != d.duration {
+            write!(f, " duration={}", self.duration)?;
         }
         Ok(())
     }
@@ -945,6 +1015,78 @@ mod tests {
             let err = ScenarioSpec::parse(text).unwrap_err();
             assert!(err.0.contains(needle), "'{text}' -> {err}");
         }
+    }
+
+    #[test]
+    fn arrivals_key_round_trips_and_validates() {
+        assert!(ScenarioSpec::default().arrivals.is_empty());
+        assert_eq!(ScenarioSpec::default().duration, 0.0);
+        let spec: ScenarioSpec = "algo=protocol runtime=events m=40 \
+                                  arrivals=poisson:200,burst:400@500ms..1500ms duration=2000"
+            .parse()
+            .unwrap();
+        assert!(!spec.arrivals.is_empty());
+        assert_eq!(spec.duration, 2000.0);
+        assert_eq!(
+            spec.to_string(),
+            "algo=protocol net=homog m=40 runtime=events \
+             arrivals=poisson:200,burst:400@500ms..1500ms duration=2000"
+        );
+        assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
+        // The ms suffix is optional on duration input.
+        let ms: ScenarioSpec = "algo=protocol runtime=events arrivals=poisson:50 duration=800ms"
+            .parse()
+            .unwrap();
+        assert_eq!(ms.duration, 800.0);
+        // The builder mirrors the text form.
+        let built = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(RuntimeSpec::Events)
+            .servers(40)
+            .arrivals(
+                ArrivalPlan::new()
+                    .poisson(200.0)
+                    .burst(400.0, 500.0, 1500.0),
+            )
+            .duration_ms(2000.0);
+        assert_eq!(built, spec);
+    }
+
+    #[test]
+    fn arrivals_require_the_event_protocol_and_a_duration() {
+        for text in [
+            "arrivals=poisson:10 duration=100", // default algo=sequential
+            "algo=protocol arrivals=poisson:10 duration=100", // default runtime=threads
+            "algo=batched runtime=events arrivals=poisson:10 duration=100",
+        ] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                err.0.contains("requires algo=protocol runtime=events"),
+                "'{text}' -> {err}"
+            );
+        }
+        // The two stream keys come as a pair.
+        let err =
+            ScenarioSpec::parse("algo=protocol runtime=events arrivals=poisson:10").unwrap_err();
+        assert!(err.0.contains("requires duration="), "{err}");
+        let err = ScenarioSpec::parse("algo=protocol runtime=events duration=100").unwrap_err();
+        assert!(err.0.contains("requires arrivals="), "{err}");
+        // Key order must not matter for the validation.
+        assert!(ScenarioSpec::parse(
+            "duration=100 arrivals=poisson:10 runtime=events algo=protocol"
+        )
+        .is_ok());
+        // Bad plans surface the arrivals-specific message.
+        let err =
+            ScenarioSpec::parse("algo=protocol runtime=events arrivals=pareto:1 duration=100")
+                .unwrap_err();
+        assert!(err.0.contains("arrivals: "), "{err}");
+        // Streams compose with the fault and detection axes.
+        assert!(ScenarioSpec::parse(
+            "algo=protocol runtime=events m=50 arrivals=poisson:100 duration=500 \
+             faults=crash:0.1@200ms detect=adaptive select=topk:8"
+        )
+        .is_ok());
     }
 
     #[test]

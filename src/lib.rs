@@ -179,6 +179,46 @@
 //! `dlb run algo=protocol runtime=events m=2000
 //! faults=crash:0.1@500ms..2000ms,slow:0.05@4x detect=adaptive`.
 //!
+//! ## Streaming: live arrivals on the virtual clock
+//!
+//! Everything above balances a *closed* system: the workload is
+//! sampled once and the protocol quiesces. The `arrivals=` axis opens
+//! it — an [`requestsim::stream::ArrivalPlan`] names deterministic
+//! request processes (`poisson:RATE`, `burst:RATE@Tms..Tms`,
+//! `diurnal:RATE@PERIODms`, rates in requests per second of virtual
+//! time), the scenario's seed compiles it into a concrete arrival
+//! script over a `duration=` horizon, and the event executor delivers
+//! each request to its home organization *while the protocol runs*:
+//! deposits land where the protocol has placed that organization's
+//! load, service completes at the host's speed, and the coordinator
+//! keeps rebalancing until the stream drains instead of quiescing.
+//! The record's `stream` summary carries the SLO view — requests
+//! served and dropped (a crashed host drops its in-flight work),
+//! p50/p99 sojourn in virtual ms, and how long the cluster spent
+//! imbalanced:
+//!
+//! ```
+//! use delay_lb::prelude::*;
+//!
+//! let spec: ScenarioSpec =
+//!     "algo=protocol runtime=events m=12 avg=60 seed=7 patience=9 \
+//!      arrivals=poisson:150,burst:300@200ms..600ms duration=1200"
+//!         .parse()
+//!         .unwrap();
+//! let (a, b) = (spec.run(), spec.run());
+//! assert_eq!(a, b); // arrival times and routing draws replay exactly
+//! assert!(a.stream.served > 0);
+//! assert_eq!(a.stream.dropped, 0); // no crashes scheduled
+//! assert!(a.stream.p50_ms <= a.stream.p99_ms); // sojourn percentiles
+//! ```
+//!
+//! The axis composes with `faults=` and `detect=` (crash the cluster
+//! mid-stream and measure the p99 cost of detection lag) and with
+//! `select=topk:K` for cluster-scale runs. An unstreamed scenario is
+//! byte-identical to the pre-streaming runtime. The shell form is
+//! `dlb run algo=protocol runtime=events m=2000
+//! arrivals=poisson:500,burst:2000@1000ms..2000ms duration=4000`.
+//!
 //! ## Crate map
 //!
 //! | module | contents |
@@ -227,9 +267,10 @@ pub mod prelude {
     pub use dlb_game::{
         epsilon_nash_gap, run_best_response_dynamics, theorem1_bounds, DynamicsOptions,
     };
+    pub use dlb_requestsim::stream::{ArrivalPlan, StreamScript};
     pub use dlb_runtime::{
-        run_cluster, run_cluster_events, run_cluster_events_faulted, ClusterOptions, DetectMode,
-        DetectorSummary, VirtualClock,
+        run_cluster, run_cluster_events, run_cluster_events_faulted, run_cluster_events_streamed,
+        ClusterOptions, DetectMode, DetectorSummary, StreamSummary, VirtualClock,
     };
     pub use dlb_scenario::{
         AlgoSpec, DetectSpec, NetSpec, RunRecord, Runner, RuntimeSpec, ScenarioSpec, SelectSpec,
