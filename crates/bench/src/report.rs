@@ -446,6 +446,7 @@ mod tests {
                 aborted_exchanges: 2,
             },
             stream: Default::default(),
+            gossip: Default::default(),
         };
         let line = Record::from_run("run", &run).to_json();
         let report = render_report(&line).unwrap();
@@ -494,6 +495,7 @@ mod tests {
                 p99_ms: 140.25,
                 imbalance_ms: 415.0,
             },
+            gossip: Default::default(),
         };
         let line = Record::from_run("run", &run).to_json();
         let report = render_report(&line).unwrap();
@@ -519,6 +521,52 @@ mod tests {
         let mixed = format!("{line}\n{json}\n");
         let report = render_report(&mixed).unwrap();
         assert!(report.contains("stream_served"), "{report}");
+        assert!(report.contains('-'), "{report}");
+    }
+
+    /// Gossip-fed run records (shape v3) append the `gossip_*` group
+    /// and the report renders its columns; runs on the emulated
+    /// snapshot omit the group entirely, keeping earlier output
+    /// byte-identical.
+    #[test]
+    fn renders_gossip_columns_only_for_gossip_fed_runs() {
+        let run = dlb_scenario::RunRecord {
+            scenario: "algo=batched net=homog m=30 gossip=event:100ms".into(),
+            algo: "batched",
+            m: 30,
+            history: vec![10.0, 4.0],
+            iterations: 12,
+            converged: true,
+            wall_secs: 0.8,
+            faults: Default::default(),
+            detector: Default::default(),
+            stream: Default::default(),
+            gossip: dlb_scenario::GossipTraffic {
+                frames: 1500,
+                bytes: 937_500,
+                exchanges: 750,
+                delta_entries: 64,
+                full_entries: 4800,
+            },
+        };
+        let line = Record::from_run("run", &run).to_json();
+        let report = render_report(&line).unwrap();
+        for col in ["gossip_frames", "gossip_bytes", "gossip_exchanges"] {
+            assert!(report.contains(col), "missing column {col}:\n{report}");
+        }
+        assert!(report.contains("937500"), "{report}");
+        // A quiet (emulated/fresh) record has no gossip_* keys at all.
+        let quiet = dlb_scenario::RunRecord {
+            gossip: Default::default(),
+            ..run
+        };
+        let json = Record::from_run("run", &quiet).to_json();
+        assert!(!json.contains("gossip_"), "{json}");
+        // Mixed files still render: the report fills the missing
+        // gossip cells with '-'.
+        let mixed = format!("{line}\n{json}\n");
+        let report = render_report(&mixed).unwrap();
+        assert!(report.contains("gossip_bytes"), "{report}");
         assert!(report.contains('-'), "{report}");
     }
 

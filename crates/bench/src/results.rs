@@ -87,7 +87,9 @@ impl Record {
     /// no-stream record (and break the CI byte-identity check against
     /// pre-stream output). Streamed scenarios are themselves new, so
     /// conditioning on `stream.is_quiet()` changes no record that
-    /// could exist before v3.
+    /// could exist before v3. The `gossip_*` group follows the same
+    /// rule: emitted only when the run's `gossip=event:...` control
+    /// plane actually moved bytes.
     pub fn from_run(kind: &str, run: &dlb_scenario::RunRecord) -> Self {
         let mut r = Record::new(kind)
             .str("scenario", &run.scenario)
@@ -121,6 +123,12 @@ impl Record {
                 .num("stream_p50_ms", run.stream.p50_ms)
                 .num("stream_p99_ms", run.stream.p99_ms)
                 .num("stream_imbalance_ms", run.stream.imbalance_ms);
+        }
+        if !run.gossip.is_quiet() {
+            r = r
+                .int("gossip_frames", run.gossip.frames as i64)
+                .int("gossip_bytes", run.gossip.bytes as i64)
+                .int("gossip_exchanges", run.gossip.exchanges as i64);
         }
         r.nums("history", &run.history)
     }

@@ -109,6 +109,21 @@ run:
                         duration=4000
     duration=         stream horizon in virtual ms (accepts an 'ms'
                       suffix); requires arrivals=
+    gossip=emulated   emulated[:T] | event:PERIODms — control plane
+                      behind the engine's partner scoring,
+                      algo=sequential|batched only. emulated:T scores
+                      on one shared snapshot refreshed every T
+                      iterations (T=0, the default, is fresh; no bytes
+                      move). event:PERIODms runs the real delta-gossip
+                      protocol from dlb-gossip: per-server views fed
+                      by sharded delta frames every PERIOD virtual ms,
+                      advanced ~log2(m) periods per engine iteration,
+                      with every byte metered — the record carries a
+                      gossip_* summary. A non-default value switches
+                      the engine to pruned partner selection (stale
+                      views only reach the pruned pre-scoring).
+                      Example: dlb run algo=batched m=500 net=pl \\
+                        gossip=event:100ms
 
 report:
   dlb report FILE...          (e.g. dlb report BENCH_figure2.json)
@@ -165,6 +180,14 @@ fn execute(spec: &ScenarioSpec, instance: dlb_core::Instance, sink: &mut JsonlSi
             run.stream.p50_ms,
             run.stream.p99_ms,
             run.stream.imbalance_ms
+        );
+    }
+    if !run.gossip.is_quiet() {
+        println!(
+            "gossip: {} frames, {:.2} MB on the wire, {} exchanges",
+            run.gossip.frames,
+            run.gossip.bytes as f64 / 1e6,
+            run.gossip.exchanges
         );
     }
     println!();

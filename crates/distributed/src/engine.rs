@@ -19,7 +19,10 @@
 //!   bench reproduces the paper's finding that it does not change the
 //!   iteration counts),
 //! * stale load views, emulating a gossip dissemination layer that
-//!   refreshes every `staleness` iterations.
+//!   refreshes every `staleness` iterations — or, via
+//!   [`Engine::attach_gossip_feed`], *real* per-server views served by
+//!   the delta-gossip control plane ([`crate::feed::GossipFeed`]),
+//!   with bytes-on-the-wire metered per run.
 //!
 //! `ΣC` is maintained *incrementally*: every applied exchange reports
 //! its exact pair-cost reduction, and the engine accumulates those
@@ -37,8 +40,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
 use crate::cycles::remove_negative_cycles;
+use crate::feed::GossipFeed;
 use crate::mine::{choose_partner_outcome_scratch_g, PartnerScratch, PartnerSelection};
-use crate::round::{run_batched_round, RoundMode};
+use crate::round::{run_batched_round, RoundMode, ScoreView};
+use dlb_gossip::GossipTraffic;
 
 /// Iterations between full `ΣC` recomputes that squash accumulated
 /// floating-point drift in the incremental cost tracker. Exchanges are
@@ -147,6 +152,9 @@ pub struct Engine {
     iteration: usize,
     cost_scale: f64,
     stale_loads: Vec<f64>,
+    /// When attached, per-server score views come from this real
+    /// delta-gossip network instead of the `stale_loads` emulation.
+    feed: Option<GossipFeed>,
     cost: CostTracker,
     scratch: PartnerScratch,
 }
@@ -177,9 +185,35 @@ impl Engine {
             iteration: 0,
             cost_scale: initial_cost.abs().max(1.0),
             stale_loads,
+            feed: None,
             cost: CostTracker::new(initial_cost, COST_RESYNC_EVERY),
             scratch: PartnerScratch::default(),
         }
+    }
+
+    /// Attaches a real gossip control plane: from the next iteration
+    /// on, each server's pruned pre-scoring ranks candidates on the
+    /// load vector *its own* delta-gossip node currently believes
+    /// ([`GossipFeed`]), instead of the shared `load_staleness`
+    /// snapshot. The feed is seeded from the engine's seed and the
+    /// current loads; `period_ms` is the gossip exchange period on the
+    /// instance's latency topology.
+    ///
+    /// Only candidate ranking is affected — like `load_staleness`, the
+    /// exact Algorithm-1 evaluation always runs on live ledgers, so
+    /// [`PartnerSelection::Exact`] ignores the feed entirely. Pair it
+    /// with a pruned selection to make staleness observable.
+    pub fn attach_gossip_feed(&mut self, period_ms: f64) {
+        self.feed = Some(GossipFeed::new(
+            self.assignment.loads(),
+            period_ms,
+            self.options.seed,
+        ));
+    }
+
+    /// Wire traffic generated by the attached gossip feed, if any.
+    pub fn gossip_traffic(&self) -> Option<GossipTraffic> {
+        self.feed.as_ref().map(|f| f.traffic())
     }
 
     /// The problem instance.
@@ -253,6 +287,11 @@ impl Engine {
             self.stale_loads.clear();
             self.stale_loads.extend_from_slice(self.assignment.loads());
         }
+        if let Some(feed) = self.feed.as_mut() {
+            // Real gossip: publish current loads and let the protocol
+            // run its ⌈log2 m⌉ periods before this iteration scores.
+            feed.step(self.instance.latency(), self.assignment.loads());
+        }
         let selection = self.selection();
         let min_improvement = self.options.min_improvement_rel * self.cost_scale;
         let (moved, exchanges, cost_delta) = match self.options.round_mode {
@@ -260,10 +299,12 @@ impl Engine {
                 self.sequential_round(&order, active, selection, min_improvement)
             }
             RoundMode::Batched => {
-                let score_loads = if self.options.load_staleness > 0 {
-                    Some(self.stale_loads.as_slice())
+                let score = if let Some(feed) = self.feed.as_ref() {
+                    ScoreView::PerServer(feed.views())
+                } else if self.options.load_staleness > 0 {
+                    ScoreView::Shared(self.stale_loads.as_slice())
                 } else {
-                    None
+                    ScoreView::Live
                 };
                 let outcome = run_batched_round(
                     &self.instance,
@@ -274,7 +315,7 @@ impl Engine {
                     self.options.parallel,
                     active,
                     self.options.granularity,
-                    score_loads,
+                    score,
                 );
                 (outcome.moved, outcome.exchanges, outcome.cost_delta)
             }
@@ -340,9 +381,12 @@ impl Engine {
             if self.options.pair_once && !free[id] {
                 continue;
             }
-            // Gossip emulation: pruned pre-scoring ranks candidates by
-            // the stale snapshot; exact evaluation stays live.
-            let score_loads = if self.options.load_staleness > 0 {
+            // Pruned pre-scoring ranks candidates by this server's
+            // gossip view (real feed, or the shared stale-snapshot
+            // emulation); exact evaluation stays live.
+            let score_loads = if let Some(feed) = self.feed.as_ref() {
+                Some(feed.view(id))
+            } else if self.options.load_staleness > 0 {
                 Some(self.stale_loads.as_slice())
             } else {
                 None
@@ -646,6 +690,51 @@ mod tests {
             report.final_cost,
             pgd.objective
         );
+    }
+
+    #[test]
+    fn gossip_fed_scoring_still_converges() {
+        // Same bar as `stale_loads_still_converge`, but the stale views
+        // come from the real delta-gossip control plane: each server
+        // ranks candidates on what its own gossip node believes.
+        let mut rng = rng_for(41, 5);
+        let instance = spec(60.0, LoadDistribution::Uniform)
+            .sample(LatencyMatrix::homogeneous(30, 20.0), &mut rng);
+        let mut opts = seq_opts(3);
+        opts.selection = Some(PartnerSelection::Pruned { top_k: 6 });
+        let mut engine = Engine::new(instance.clone(), opts);
+        engine.attach_gossip_feed(100.0);
+        let report = engine.run_to_convergence(1e-10, 2, 120);
+        let (_, pgd) = solve_pgd(&instance, &PgdOptions::default());
+        assert!(
+            report.final_cost <= pgd.objective * 1.05,
+            "gossip-fed {} vs opt {}",
+            report.final_cost,
+            pgd.objective
+        );
+        let traffic = engine.gossip_traffic().expect("feed attached");
+        assert!(traffic.frames > 0 && traffic.bytes > 0, "{traffic:?}");
+    }
+
+    #[test]
+    fn gossip_fed_runs_are_deterministic_and_cloneable() {
+        let mut rng = rng_for(43, 5);
+        let instance = spec(50.0, LoadDistribution::Exponential)
+            .sample(LatencyMatrix::homogeneous(24, 16.0), &mut rng);
+        let mut opts = seq_opts(8);
+        opts.selection = Some(PartnerSelection::Pruned { top_k: 5 });
+        let run = |instance: Instance| {
+            let mut e = Engine::new(instance, opts);
+            e.attach_gossip_feed(50.0);
+            e.run_iteration();
+            // Engine: Clone must capture the feed mid-flight.
+            let mut forked = e.clone();
+            let a = e.run_to_convergence(1e-10, 2, 60);
+            let b = forked.run_to_convergence(1e-10, 2, 60);
+            assert_eq!(a, b, "clone diverged from original");
+            (a, e.gossip_traffic())
+        };
+        assert_eq!(run(instance.clone()), run(instance));
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   ([`RoundMode::Batched`]): one outer-parallel partner-choice pass
 //!   over all servers, a deterministic conflict-free matching, and
 //!   concurrent execution of the matched (ledger-disjoint) exchanges,
+//! * [`feed`] — the [`GossipFeed`] adapter that serves each server's
+//!   pruned pre-scoring from a *real* delta-gossip control plane
+//!   (`dlb-gossip`) instead of the emulated `load_staleness` snapshot,
 //! * [`error_bound`] — **Proposition 1**: the `(4m+1)·ΔR·Σs_i` bound on
 //!   the Manhattan distance to the optimum,
 //! * [`error_graph`] — the error-graph construction used by the bound's
@@ -33,10 +36,12 @@ pub mod cycles;
 pub mod engine;
 pub mod error_bound;
 pub mod error_graph;
+pub mod feed;
 pub mod mine;
 pub mod round;
 pub mod transfer;
 
 pub use engine::{ConvergenceReport, Engine, EngineOptions, IterationStats};
-pub use round::{RoundMode, RoundOutcome};
+pub use feed::GossipFeed;
+pub use round::{RoundMode, RoundOutcome, ScoreView};
 pub use transfer::{calc_best_transfer, TransferOutcome};

@@ -78,6 +78,33 @@ thread_local! {
     static PROPOSE_SCRATCH: RefCell<PartnerScratch> = RefCell::new(PartnerScratch::default());
 }
 
+/// Where the pruned pre-scoring gets its load vector from. Exact
+/// Algorithm-1 evaluation always runs on the live ledgers; this only
+/// governs candidate *ranking* (see `mine::partner_score`).
+#[derive(Debug, Clone, Copy)]
+pub enum ScoreView<'a> {
+    /// Live round-start loads (perfect information).
+    Live,
+    /// One shared stale snapshot — the emulated-gossip
+    /// (`load_staleness`) mode: every server sees the same old vector.
+    Shared(&'a [f64]),
+    /// One view per server — real gossip: each server ranks on whatever
+    /// its own gossip view currently believes.
+    PerServer(&'a [Vec<f64>]),
+}
+
+impl ScoreView<'_> {
+    /// The score-load override server `id` should rank with (`None` =
+    /// live loads).
+    pub fn for_server(&self, id: usize) -> Option<&[f64]> {
+        match self {
+            ScoreView::Live => None,
+            ScoreView::Shared(loads) => Some(loads),
+            ScoreView::PerServer(views) => Some(views[id].as_slice()),
+        }
+    }
+}
+
 /// One server's resolved Algorithm-2 choice: the partner it wants to
 /// exchange with and the full [`TransferOutcome`] of that exchange,
 /// computed against the round-start ledgers. Carrying the outcome lets
@@ -93,9 +120,10 @@ pub struct Proposal {
 
 /// Phase 1: every server in `order` computes its Algorithm-2 partner
 /// choice against the current (round-start) assignment. Returns one
-/// `Option<Proposal>` per `order` entry, in order. `score_loads` is
-/// the engine's gossip-stale load snapshot for the pruned pre-scoring
-/// (`None` = live round-start loads).
+/// `Option<Proposal>` per `order` entry, in order. `score` is where
+/// each server's pruned pre-scoring reads loads from: one shared stale
+/// snapshot (emulated gossip), a per-server gossip view, or the live
+/// round-start loads.
 #[allow(clippy::too_many_arguments)]
 pub fn propose(
     instance: &Instance,
@@ -106,7 +134,7 @@ pub fn propose(
     parallel: bool,
     active: Option<&[bool]>,
     granularity: f64,
-    score_loads: Option<&[f64]>,
+    score: ScoreView<'_>,
 ) -> Vec<Option<Proposal>> {
     let choose = |id: usize| {
         PROPOSE_SCRATCH.with(|scratch| {
@@ -119,7 +147,7 @@ pub fn propose(
                 parallel,
                 active,
                 granularity,
-                score_loads,
+                score.for_server(id),
                 &mut scratch.borrow_mut(),
             )
             .map(|(partner, outcome)| Proposal { partner, outcome })
@@ -235,7 +263,7 @@ pub fn run_batched_round(
     parallel: bool,
     active: Option<&[bool]>,
     granularity: f64,
-    score_loads: Option<&[f64]>,
+    score: ScoreView<'_>,
 ) -> RoundOutcome {
     let proposals = propose(
         instance,
@@ -246,7 +274,7 @@ pub fn run_batched_round(
         parallel,
         active,
         granularity,
-        score_loads,
+        score,
     );
     let accepted = match_proposals(instance.len(), order, &proposals, active);
     apply_matches(instance, a, order, proposals, &accepted, granularity)
@@ -327,7 +355,7 @@ mod tests {
             false,
             None,
             0.0,
-            None,
+            ScoreView::Live,
         );
         let after = total_cost(&instance, &a);
         assert!(outcome.exchanges > 0, "imbalanced instance must exchange");
@@ -356,7 +384,7 @@ mod tests {
             false,
             None,
             0.0,
-            None,
+            ScoreView::Live,
         );
         let par = run_batched_round(
             &instance,
@@ -367,10 +395,43 @@ mod tests {
             true,
             None,
             0.0,
-            None,
+            ScoreView::Live,
         );
         assert_eq!(seq, par);
         assert_eq!(a_seq, a_par, "batched round must be execution-invariant");
+    }
+
+    #[test]
+    fn per_server_score_views_route_to_each_proposer() {
+        // With every server handed the same vector, PerServer must be
+        // bit-identical to Shared — the plumbing may not mix views up.
+        let instance = random_instance(40, 9);
+        let a = Assignment::local(&instance);
+        let order: Vec<usize> = (0..40).collect();
+        let stale: Vec<f64> = a.loads().iter().map(|l| l * 1.5 + 2.0).collect();
+        let views: Vec<Vec<f64>> = (0..40).map(|_| stale.clone()).collect();
+        let run = |score: ScoreView<'_>| {
+            propose(
+                &instance,
+                &a,
+                &order,
+                PartnerSelection::Pruned { top_k: 4 },
+                1e-9,
+                false,
+                None,
+                0.0,
+                score,
+            )
+        };
+        assert_eq!(
+            run(ScoreView::Shared(&stale)),
+            run(ScoreView::PerServer(&views))
+        );
+        assert_eq!(ScoreView::Live.for_server(7), None);
+        assert_eq!(
+            ScoreView::PerServer(&views).for_server(7),
+            Some(stale.as_slice())
+        );
     }
 
     #[test]
@@ -387,7 +448,7 @@ mod tests {
             false,
             None,
             0.0,
-            None,
+            ScoreView::Live,
         );
         let accepted = match_proposals(30, &order, &proposals, None);
         let mut seen = [false; 30];

@@ -65,13 +65,24 @@ pub struct EventGossipStats {
     /// Virtual time at which every node held the freshest version of
     /// every entry (or `max_ms` when incomplete).
     pub virtual_ms: f64,
-    /// Completed push-pull exchanges (reply delivered).
+    /// Completed exchanges: replies delivered, plus a final push whose
+    /// merge finished dissemination on its own (that exchange did the
+    /// decisive work; not counting it undercounted every run that
+    /// completed on a push).
     pub exchanges: usize,
     /// Whether full dissemination was reached within `max_ms`.
     pub complete: bool,
     /// Frames the fault script swallowed (loss, partition crossings,
     /// down destinations). Zero for fault-free runs.
     pub dropped: usize,
+    /// The subset of `dropped` that were replies — exchanges whose push
+    /// half merged but whose pull half silently vanished. Previously
+    /// indistinguishable from dropped requests.
+    pub dropped_replies: usize,
+    /// Encoded bytes put on the wire (every frame is a full m-entry
+    /// view in [`crate::wire::encode`]'s layout, counted when sent —
+    /// dropped frames still burned their bandwidth).
+    pub bytes: u64,
 }
 
 #[derive(Debug)]
@@ -241,12 +252,17 @@ impl EventGossip {
         );
         let mut exchanges = 0usize;
         let mut dropped = 0usize;
+        let mut dropped_replies = 0usize;
+        let mut bytes = 0u64;
+        let frame_bytes = crate::wire::view_bytes(m) as u64;
         if m < 2 || self.fully_disseminated() {
             return EventGossipStats {
                 virtual_ms: 0.0,
                 exchanges,
                 complete: true,
                 dropped,
+                dropped_replies,
+                bytes,
             };
         }
         let mut heap: EventHeap<What> = EventHeap::new();
@@ -261,6 +277,8 @@ impl EventGossip {
                     exchanges,
                     complete: false,
                     dropped,
+                    dropped_replies,
+                    bytes,
                 };
             }
             match event.item {
@@ -275,6 +293,7 @@ impl EventGossip {
                     if peer >= node {
                         peer += 1;
                     }
+                    bytes += frame_bytes;
                     heap.push(
                         now + delays(node as usize, peer as usize),
                         What::Request {
@@ -296,15 +315,20 @@ impl EventGossip {
                     self.merge(to, &view);
                     // The push half alone can finish the job; checking
                     // only on replies would overstate the completion
-                    // time by up to a full round trip.
+                    // time by up to a full round trip. The exchange
+                    // that did the decisive work still counts.
                     if self.fully_disseminated() {
+                        exchanges += 1;
                         return EventGossipStats {
                             virtual_ms: now,
                             exchanges,
                             complete: true,
                             dropped,
+                            dropped_replies,
+                            bytes,
                         };
                     }
+                    bytes += frame_bytes;
                     heap.push(
                         now + delays(to as usize, from as usize),
                         What::Reply {
@@ -320,6 +344,7 @@ impl EventGossip {
                         || script.loss_drops(now, event.seq)
                     {
                         dropped += 1;
+                        dropped_replies += 1;
                         continue;
                     }
                     self.merge(to, &view);
@@ -330,6 +355,8 @@ impl EventGossip {
                             exchanges,
                             complete: true,
                             dropped,
+                            dropped_replies,
+                            bytes,
                         };
                     }
                 }
@@ -411,6 +438,10 @@ mod tests {
         );
         assert!(stats.complete);
         assert_eq!(stats.virtual_ms, 7.0, "one-way push completes at d");
+        assert_eq!(
+            stats.exchanges, 1,
+            "the completing push is a real exchange and must be counted"
+        );
         assert!(net.fully_disseminated());
     }
 
@@ -452,8 +483,37 @@ mod tests {
         assert!(stats.complete);
         assert_eq!(stats.virtual_ms, 0.0);
         assert_eq!(stats.exchanges, 0);
+        assert_eq!(stats.bytes, 0);
         assert!(!single.is_empty());
         assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn every_sent_frame_is_billed() {
+        let loads: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let mut net = EventGossip::new(&loads, 7);
+        let stats = net.run(&EventGossipConfig::default(), |_, _| 10.0);
+        assert!(stats.complete);
+        let frame = crate::wire::view_bytes(40) as u64;
+        assert!(stats.bytes >= frame * stats.exchanges as u64);
+        assert_eq!(stats.bytes % frame, 0, "bytes must be whole frames");
+    }
+
+    #[test]
+    fn dropped_replies_are_surfaced_separately() {
+        let loads: Vec<f64> = (0..30).map(|i| (i * 3) as f64).collect();
+        let script = FaultPlan::new().loss(0.5).compile(11, 30);
+        let mut net = EventGossip::new(&loads, 11);
+        let stats = net.run_faulted(&EventGossipConfig::default(), |_, _| 10.0, &script);
+        assert!(stats.complete);
+        assert!(
+            stats.dropped_replies > 0,
+            "50% loss must swallow some replies: {stats:?}"
+        );
+        assert!(
+            stats.dropped_replies < stats.dropped,
+            "requests are dropped too: {stats:?}"
+        );
     }
 
     #[test]

@@ -13,22 +13,33 @@
 //!   on a virtual-time heap with per-link delivery delays, so
 //!   dissemination is measured in simulated milliseconds rather than
 //!   synchronous rounds (the `dlb-runtime` event-executor pattern).
+//! * [`delta`] — the bandwidth-frugal variant: views are sharded
+//!   ([`shard`]) and frames carry only recently-changed entries plus
+//!   one rotating full shard as anti-entropy fallback, cutting
+//!   steady-state traffic from O(m) to O(changed) per frame. This is
+//!   the layer the engine's `GossipFeed` drives its stale scoring from.
 //! * [`push_sum`] — the push-sum averaging protocol (Kempe et al.) used
 //!   to estimate the average system load `l_av` (the quantity the
 //!   Theorem 1 bounds need).
-//! * [`wire`] — compact message encoding on `bytes`, sized so a full
-//!   view of a 5000-server system fits in a few UDP-friendly kilobytes.
+//! * [`wire`] — compact message encoding on `bytes`: full-view frames
+//!   (~100 kB at m = 5000 — the bandwidth bill the delta layer exists
+//!   to cut) and sharded delta frames, both property-tested, with
+//!   consume-from-buffer decoders for concatenated frame streams.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod delta;
 pub mod events;
 #[cfg(all(test, feature = "proptests"))]
 mod proptests;
 pub mod push_pull;
 pub mod push_sum;
+pub mod shard;
 pub mod wire;
 
+pub use delta::{DeltaGossip, DeltaGossipConfig, GossipTraffic};
 pub use events::{EventGossip, EventGossipConfig, EventGossipStats};
 pub use push_pull::{GossipNetwork, GossipStats};
 pub use push_sum::PushSumNetwork;
+pub use shard::ShardMap;

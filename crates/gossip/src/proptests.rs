@@ -5,7 +5,11 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 
-use crate::wire::{decode, encode, WireEntry, ENTRY_SIZE};
+use crate::shard::ShardMap;
+use crate::wire::{
+    decode, decode_delta, decode_delta_from, decode_from, encode, encode_delta, DeltaFrame,
+    WireEntry, ENTRY_SIZE,
+};
 
 fn arb_entry() -> impl Strategy<Value = WireEntry> {
     (any::<u32>(), any::<u64>(), 0.0f64..1e12).prop_map(|(origin, version, load)| WireEntry {
@@ -17,6 +21,21 @@ fn arb_entry() -> impl Strategy<Value = WireEntry> {
 
 fn arb_entries() -> impl Strategy<Value = Vec<WireEntry>> {
     proptest::collection::vec(arb_entry(), 0..64)
+}
+
+fn arb_delta_frame() -> impl Strategy<Value = DeltaFrame> {
+    (
+        any::<u32>(),
+        proptest::collection::vec(any::<u64>(), 0..24),
+        arb_entries(),
+        arb_entries(),
+    )
+        .prop_map(|(shard, since, changed, full)| DeltaFrame {
+            shard,
+            since,
+            changed,
+            full,
+        })
 }
 
 proptest! {
@@ -55,5 +74,112 @@ proptest! {
             // but the byte-level re-encoding must still be exact.
             prop_assert_eq!(encode(&entries).as_ref(), &raw[..]);
         }
+    }
+
+    /// Concatenated full-view frames decode one at a time through the
+    /// consume-from-buffer path, in order, leaving nothing behind —
+    /// while the strict decoder rejects the concatenation outright.
+    #[test]
+    fn concatenated_frames_stream_decode(frames in proptest::collection::vec(arb_entries(), 1..6)) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(encode(f).as_ref());
+        }
+        if frames.len() > 1 {
+            prop_assert!(decode(Bytes::from(stream.clone())).is_none());
+        }
+        let mut buf = Bytes::from(stream);
+        for f in &frames {
+            prop_assert_eq!(&decode_from(&mut buf).expect("one frame"), f);
+        }
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Delta frames round-trip exactly through both decoder flavours,
+    /// and the encoded size matches `encoded_len`.
+    #[test]
+    fn delta_roundtrip_and_size(frame in arb_delta_frame()) {
+        let bytes = encode_delta(&frame);
+        prop_assert_eq!(bytes.len(), frame.encoded_len());
+        prop_assert_eq!(&decode_delta(bytes.clone()).expect("strict"), &frame);
+        let mut buf = bytes;
+        prop_assert_eq!(&decode_delta_from(&mut buf).expect("streaming"), &frame);
+        prop_assert!(buf.is_empty());
+    }
+
+    /// No truncated prefix of a delta frame decodes, through either
+    /// flavour, and failed streaming decodes leave the buffer intact.
+    #[test]
+    fn delta_truncation_is_always_rejected(frame in arb_delta_frame()) {
+        let bytes = encode_delta(&frame);
+        for cut in 0..bytes.len() {
+            let prefix = bytes.slice(0..cut);
+            prop_assert!(decode_delta(prefix.clone()).is_none(), "strict decoded a {cut}-byte prefix");
+            let mut buf = prefix.clone();
+            prop_assert!(decode_delta_from(&mut buf).is_none(), "streaming decoded a {cut}-byte prefix");
+            prop_assert_eq!(buf, prefix);
+        }
+    }
+
+    /// Garbage never panics the delta decoder either, and whatever
+    /// decodes re-encodes byte-exactly.
+    #[test]
+    fn delta_garbage_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Some(frame) = decode_delta(Bytes::from(raw.clone())) {
+            prop_assert_eq!(encode_delta(&frame).as_ref(), &raw[..]);
+        }
+    }
+
+    /// delta ∘ apply ≡ full view: merging a sender's hot subset plus
+    /// every per-shard fallback frame into a receiver view produces
+    /// exactly the same result as merging the sender's full view —
+    /// the algebra that lets DeltaGossip ship O(changed) bytes without
+    /// changing what converges.
+    #[test]
+    fn delta_apply_equals_full_view_merge(
+        sender_versions in proptest::collection::vec(0u64..6, 1..48),
+        receiver_versions in proptest::collection::vec(0u64..6, 1..48),
+        hot_mask in proptest::collection::vec(any::<bool>(), 1..48),
+    ) {
+        let m = sender_versions.len().min(receiver_versions.len()).min(hot_mask.len());
+        let shards = ShardMap::with_shard_size(m, 5);
+        let entry = |o: usize, v: u64| WireEntry { origin: o as u32, version: v, load: (o * 100) as f64 + v as f64 };
+        let sender: Vec<WireEntry> = (0..m).map(|o| entry(o, sender_versions[o])).collect();
+        let receiver: Vec<WireEntry> = (0..m).map(|o| entry(o, receiver_versions[o])).collect();
+
+        // Keep-freshest merge of a decoded entry list into a view.
+        let merge = |view: &mut Vec<WireEntry>, incoming: &[WireEntry]| {
+            for e in incoming {
+                let mine = &mut view[e.origin as usize];
+                if e.version > mine.version {
+                    *mine = *e;
+                }
+            }
+        };
+
+        // Full-view path: one frame with everything.
+        let mut via_full = receiver.clone();
+        let full_frame = decode(encode(&sender)).expect("full view");
+        merge(&mut via_full, &full_frame);
+
+        // Delta path: the sender's hot subset rides `changed`; every
+        // shard is eventually somebody's fallback, so apply one frame
+        // per shard, each through the real codec.
+        let mut via_delta = receiver.clone();
+        for s in 0..shards.count() {
+            let frame = DeltaFrame {
+                shard: s as u32,
+                since: vec![0; shards.count()],
+                changed: (0..m)
+                    .filter(|&o| hot_mask[o] && sender[o].version > 0)
+                    .map(|o| sender[o])
+                    .collect(),
+                full: shards.range(s).map(|o| sender[o]).collect(),
+            };
+            let decoded = decode_delta(encode_delta(&frame)).expect("delta frame");
+            merge(&mut via_delta, &decoded.changed);
+            merge(&mut via_delta, &decoded.full);
+        }
+        prop_assert_eq!(via_delta, via_full);
     }
 }

@@ -33,6 +33,13 @@ pub struct GossipStats {
     pub rounds: usize,
     /// Total node-to-node exchanges performed.
     pub exchanges: usize,
+    /// Encoded bytes the exchanges put on the wire (each exchange ships
+    /// two full m-entry views in [`crate::wire::encode`]'s layout).
+    pub bytes: u64,
+    /// Whether full dissemination was actually reached — a run that
+    /// completes exactly on round `max_rounds` is *complete*, not a
+    /// timeout, and only this flag can tell the two apart.
+    pub complete: bool,
 }
 
 impl GossipNetwork {
@@ -128,14 +135,20 @@ impl GossipNetwork {
         true
     }
 
-    /// Runs rounds until full dissemination (or `max_rounds`).
+    /// Runs rounds until full dissemination (or `max_rounds`). The
+    /// completion check runs once more *after* the final round, so a
+    /// run that finishes exactly on round `max_rounds` reports
+    /// `complete: true` rather than masquerading as a timeout.
     pub fn run_until_complete(&mut self, max_rounds: usize) -> GossipStats {
+        let per_exchange = 2 * crate::wire::view_bytes(self.m) as u64;
         let mut exchanges = 0;
         for r in 0..max_rounds {
             if self.fully_disseminated() {
                 return GossipStats {
                     rounds: r,
                     exchanges,
+                    bytes: exchanges as u64 * per_exchange,
+                    complete: true,
                 };
             }
             exchanges += self.run_round();
@@ -143,6 +156,8 @@ impl GossipNetwork {
         GossipStats {
             rounds: max_rounds,
             exchanges,
+            bytes: exchanges as u64 * per_exchange,
+            complete: self.fully_disseminated(),
         }
     }
 }
@@ -165,10 +180,32 @@ mod tests {
         let mut net = GossipNetwork::new(&loads, 7);
         let stats = net.run_until_complete(1000);
         assert!(net.fully_disseminated());
+        assert!(stats.complete);
         assert!(stats.rounds < 1000);
+        assert_eq!(
+            stats.bytes,
+            stats.exchanges as u64 * 2 * crate::wire::view_bytes(50) as u64
+        );
         for node in 0..50 {
             assert_eq!(net.view(node), loads);
         }
+    }
+
+    #[test]
+    fn completion_on_the_final_round_is_not_a_timeout() {
+        // Find the exact round count, then rerun with that as the
+        // budget: dissemination lands exactly on round max_rounds and
+        // must still report complete — while one round fewer must not.
+        let loads: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let needed = GossipNetwork::new(&loads, 7)
+            .run_until_complete(1000)
+            .rounds;
+        assert!(needed > 1);
+        let exact = GossipNetwork::new(&loads, 7).run_until_complete(needed);
+        assert!(exact.complete, "completion on the last round: {exact:?}");
+        assert_eq!(exact.rounds, needed);
+        let short = GossipNetwork::new(&loads, 7).run_until_complete(needed - 1);
+        assert!(!short.complete, "a too-short run must time out: {short:?}");
     }
 
     #[test]
@@ -206,5 +243,7 @@ mod tests {
         assert!(net.fully_disseminated());
         let stats = net.run_until_complete(10);
         assert_eq!(stats.rounds, 0);
+        assert!(stats.complete);
+        assert_eq!(stats.bytes, 0);
     }
 }

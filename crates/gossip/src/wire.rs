@@ -1,9 +1,31 @@
 //! Compact wire encoding for gossip messages.
 //!
-//! A view message carries `(origin: u32, version: u64, load: f64)`
-//! triples — 20 bytes per entry, so a full view of a 5000-server system
-//! is ~100 kB and a typical delta far smaller. Encoding is explicit
-//! little-endian via `bytes` (no serde overhead on the hot path).
+//! Two frame kinds share one little-endian vocabulary (no serde
+//! overhead on the hot path):
+//!
+//! - **Full-view frames** ([`encode`]/[`decode`]/[`decode_from`]): a
+//!   `u32` count followed by `(origin: u32, version: u64, load: f64)`
+//!   triples — [`ENTRY_SIZE`] = 20 bytes per entry, so a full view of a
+//!   5000-server system is ~100 kB. This is what the classic push-pull
+//!   layers ([`crate::GossipNetwork`], [`crate::EventGossip`]) ship on
+//!   every exchange.
+//! - **Delta frames** ([`encode_delta`]/[`decode_delta`]/
+//!   [`decode_delta_from`]): the sharded anti-entropy format used by
+//!   [`crate::DeltaGossip`]. A frame names a fallback `shard` id,
+//!   carries the sender's per-shard version summary (`since`, one `u64`
+//!   per shard — the watermark the receiver answers against), a
+//!   `changed` entry list (the sender's recently-heard hot set) and a
+//!   `full` entry list (the complete contents of the named fallback
+//!   shard). Steady-state traffic is O(changed entries) plus one
+//!   rotating shard instead of O(m).
+//!
+//! Decoders come in two flavours: the `*_from` variants consume exactly
+//! one frame from the front of a buffer and leave the remainder (so
+//! concatenated / streamed frames parse frame-by-frame), while the
+//! plain variants are strict whole-buffer wrappers that additionally
+//! reject trailing garbage. Both return `None` — never panic — on
+//! truncated or malformed input, and leave the buffer untouched when
+//! they fail.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -21,42 +43,183 @@ pub struct WireEntry {
 /// Bytes per encoded entry.
 pub const ENTRY_SIZE: usize = 4 + 8 + 8;
 
+/// Encoded size of a full-view frame carrying `n` entries.
+pub const fn view_bytes(n: usize) -> usize {
+    4 + n * ENTRY_SIZE
+}
+
 /// Encodes entries into a length-prefixed buffer.
 pub fn encode(entries: &[WireEntry]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + entries.len() * ENTRY_SIZE);
+    let mut buf = BytesMut::with_capacity(view_bytes(entries.len()));
+    put_entries(&mut buf, entries);
+    buf.freeze()
+}
+
+/// Decodes exactly one full-view frame from the front of `buf`,
+/// consuming it and leaving any trailing bytes (further frames) in
+/// place. Returns `None` — with `buf` untouched — on truncated or
+/// malformed input.
+pub fn decode_from(buf: &mut Bytes) -> Option<Vec<WireEntry>> {
+    let mut pos = 0usize;
+    let entries = read_entries(buf.as_slice(), &mut pos)?;
+    buf.advance(pos);
+    Some(entries)
+}
+
+/// Strict whole-buffer wrapper around [`decode_from`]: the buffer must
+/// hold exactly one frame — trailing bytes are rejected as malformed.
+pub fn decode(mut buf: Bytes) -> Option<Vec<WireEntry>> {
+    let entries = decode_from(&mut buf)?;
+    if !buf.is_empty() {
+        return None;
+    }
+    Some(entries)
+}
+
+/// One sharded delta frame: the sender's hot set plus a full-view
+/// fallback for one rotating shard, stamped with the sender's per-shard
+/// version summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaFrame {
+    /// Which shard the `full` list covers.
+    pub shard: u32,
+    /// Sender's per-shard version summary (sum of versions per shard);
+    /// the receiver uses it to pick the neediest shard for its reply.
+    pub since: Vec<u64>,
+    /// Recently-changed entries (the sender's rumor hot set).
+    pub changed: Vec<WireEntry>,
+    /// Every known entry of shard `shard` — the anti-entropy fallback
+    /// that guarantees convergence even when the hot set misses.
+    pub full: Vec<WireEntry>,
+}
+
+impl DeltaFrame {
+    /// Encoded size of this frame.
+    pub fn encoded_len(&self) -> usize {
+        4 + 4 + self.since.len() * 8 + view_bytes(self.changed.len()) + view_bytes(self.full.len())
+    }
+}
+
+/// Encodes a delta frame: `u32` shard id, `u32` summary length, the
+/// summary `u64`s, then the `changed` and `full` entry lists (each in
+/// the [`encode`] layout).
+pub fn encode_delta(frame: &DeltaFrame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(frame.encoded_len());
+    buf.put_u32_le(frame.shard);
+    buf.put_u32_le(frame.since.len() as u32);
+    for &v in &frame.since {
+        buf.put_u64_le(v);
+    }
+    put_entries(&mut buf, &frame.changed);
+    put_entries(&mut buf, &frame.full);
+    buf.freeze()
+}
+
+/// Decodes exactly one delta frame from the front of `buf`, consuming
+/// it and leaving any trailing bytes in place. Returns `None` — with
+/// `buf` untouched — on truncated or malformed input.
+pub fn decode_delta_from(buf: &mut Bytes) -> Option<DeltaFrame> {
+    let s = buf.as_slice();
+    let mut pos = 0usize;
+    let shard = read_u32(s, &mut pos)?;
+    let since_len = read_u32(s, &mut pos)? as usize;
+    if s.len().checked_sub(pos)? < since_len.checked_mul(8)? {
+        return None;
+    }
+    let mut since = Vec::with_capacity(since_len);
+    for _ in 0..since_len {
+        since.push(read_u64(s, &mut pos)?);
+    }
+    let changed = read_entries(s, &mut pos)?;
+    let full = read_entries(s, &mut pos)?;
+    buf.advance(pos);
+    Some(DeltaFrame {
+        shard,
+        since,
+        changed,
+        full,
+    })
+}
+
+/// Strict whole-buffer wrapper around [`decode_delta_from`]: trailing
+/// bytes are rejected as malformed.
+pub fn decode_delta(mut buf: Bytes) -> Option<DeltaFrame> {
+    let frame = decode_delta_from(&mut buf)?;
+    if !buf.is_empty() {
+        return None;
+    }
+    Some(frame)
+}
+
+fn put_entries(buf: &mut BytesMut, entries: &[WireEntry]) {
     buf.put_u32_le(entries.len() as u32);
     for e in entries {
         buf.put_u32_le(e.origin);
         buf.put_u64_le(e.version);
         buf.put_f64_le(e.load);
     }
-    buf.freeze()
 }
 
-/// Decodes a buffer produced by [`encode`]. Returns `None` on
-/// truncated or malformed input.
-pub fn decode(mut buf: Bytes) -> Option<Vec<WireEntry>> {
-    if buf.remaining() < 4 {
-        return None;
-    }
-    let count = buf.get_u32_le() as usize;
-    if buf.remaining() != count * ENTRY_SIZE {
+/// Reads one length-prefixed entry list at `*pos`, advancing it on
+/// success. Bounds are checked before any allocation so hostile length
+/// prefixes cannot trigger huge reserves.
+fn read_entries(s: &[u8], pos: &mut usize) -> Option<Vec<WireEntry>> {
+    let mut p = *pos;
+    let count = read_u32(s, &mut p)? as usize;
+    if s.len().checked_sub(p)? < count.checked_mul(ENTRY_SIZE)? {
         return None;
     }
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
         entries.push(WireEntry {
-            origin: buf.get_u32_le(),
-            version: buf.get_u64_le(),
-            load: buf.get_f64_le(),
+            origin: read_u32(s, &mut p)?,
+            version: read_u64(s, &mut p)?,
+            load: f64::from_bits(read_u64(s, &mut p)?),
         });
     }
+    *pos = p;
     Some(entries)
+}
+
+fn read_u32(s: &[u8], pos: &mut usize) -> Option<u32> {
+    let raw = s.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(raw.try_into().unwrap()))
+}
+
+fn read_u64(s: &[u8], pos: &mut usize) -> Option<u64> {
+    let raw = s.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(raw.try_into().unwrap()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_frame() -> DeltaFrame {
+        DeltaFrame {
+            shard: 3,
+            since: vec![7, 0, 42, u64::MAX],
+            changed: vec![
+                WireEntry {
+                    origin: 12,
+                    version: 9,
+                    load: 1.5,
+                },
+                WireEntry {
+                    origin: 990,
+                    version: 2,
+                    load: 0.0,
+                },
+            ],
+            full: vec![WireEntry {
+                origin: 768,
+                version: 1,
+                load: 64.25,
+            }],
+        }
+    }
 
     #[test]
     fn roundtrip() {
@@ -73,7 +236,7 @@ mod tests {
             },
         ];
         let bytes = encode(&entries);
-        assert_eq!(bytes.len(), 4 + 2 * ENTRY_SIZE);
+        assert_eq!(bytes.len(), view_bytes(2));
         let back = decode(bytes).unwrap();
         assert_eq!(back, entries);
     }
@@ -102,6 +265,126 @@ mod tests {
         let mut raw = BytesMut::new();
         raw.put_u32_le(5); // claims 5 entries, provides none
         assert!(decode(raw.freeze()).is_none());
+    }
+
+    #[test]
+    fn strict_decode_rejects_trailing_bytes_but_decode_from_returns_them() {
+        let entries = vec![WireEntry {
+            origin: 7,
+            version: 4,
+            load: 2.0,
+        }];
+        let mut raw = BytesMut::new();
+        raw.extend_from_slice(encode(&entries).as_slice());
+        raw.extend_from_slice(&[0xEE, 0xFF]);
+        let concatenated = raw.freeze();
+
+        assert!(decode(concatenated.clone()).is_none());
+
+        let mut buf = concatenated;
+        assert_eq!(decode_from(&mut buf).unwrap(), entries);
+        assert_eq!(buf.as_slice(), &[0xEE, 0xFF]);
+    }
+
+    #[test]
+    fn decode_from_walks_concatenated_frames() {
+        let first = vec![WireEntry {
+            origin: 1,
+            version: 10,
+            load: 3.5,
+        }];
+        let second: Vec<WireEntry> = vec![];
+        let third = vec![
+            WireEntry {
+                origin: 2,
+                version: 1,
+                load: 0.25,
+            },
+            WireEntry {
+                origin: 3,
+                version: 2,
+                load: 0.75,
+            },
+        ];
+        let mut stream = BytesMut::new();
+        for frame in [&first, &second, &third] {
+            stream.extend_from_slice(encode(frame).as_slice());
+        }
+        let mut buf = stream.freeze();
+        assert_eq!(decode_from(&mut buf).unwrap(), first);
+        assert_eq!(decode_from(&mut buf).unwrap(), second);
+        assert_eq!(decode_from(&mut buf).unwrap(), third);
+        assert!(buf.is_empty());
+        assert!(decode_from(&mut buf).is_none());
+    }
+
+    #[test]
+    fn failed_decode_from_leaves_the_buffer_untouched() {
+        let entries = vec![WireEntry {
+            origin: 5,
+            version: 6,
+            load: 7.0,
+        }];
+        let whole = encode(&entries);
+        let truncated = whole.slice(0..whole.len() - 3);
+        let mut buf = truncated.clone();
+        assert!(decode_from(&mut buf).is_none());
+        assert_eq!(buf, truncated);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let frame = sample_frame();
+        let bytes = encode_delta(&frame);
+        assert_eq!(bytes.len(), frame.encoded_len());
+        assert_eq!(decode_delta(bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn delta_empty_frame_roundtrips() {
+        let frame = DeltaFrame {
+            shard: 0,
+            since: vec![],
+            changed: vec![],
+            full: vec![],
+        };
+        let bytes = encode_delta(&frame);
+        assert_eq!(bytes.len(), 4 + 4 + 4 + 4);
+        assert_eq!(decode_delta(bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn delta_rejects_every_truncation() {
+        let bytes = encode_delta(&sample_frame());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_delta(bytes.slice(0..cut)).is_none(),
+                "decoded a {cut}-byte prefix of a {}-byte frame",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_decode_from_consumes_one_frame_and_rejects_hostile_lengths() {
+        let frame = sample_frame();
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(encode_delta(&frame).as_slice());
+        stream.extend_from_slice(encode_delta(&frame).as_slice());
+        let mut buf = stream.freeze();
+        assert_eq!(decode_delta_from(&mut buf).unwrap(), frame);
+        assert_eq!(decode_delta_from(&mut buf).unwrap(), frame);
+        assert!(buf.is_empty());
+
+        // A frame claiming u32::MAX summary slots must fail the bounds
+        // check before allocating anything.
+        let mut hostile = BytesMut::new();
+        hostile.put_u32_le(0);
+        hostile.put_u32_le(u32::MAX);
+        let mut buf = hostile.freeze();
+        let before = buf.clone();
+        assert!(decode_delta_from(&mut buf).is_none());
+        assert_eq!(buf, before);
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!   per-link loss, delay spikes, and partitions from `dlb-faults`,
 //!   compiled per run with the scenario's seed. The [`RunRecord`]
 //!   carries the resulting fault-event summary.
+//! * The `gossip=` axis picks the control plane behind the engine
+//!   algorithms' partner scoring: the emulated shared snapshot
+//!   (`gossip=emulated:T`, the engine's `load_staleness` option) or
+//!   the *real* delta-gossip protocol (`gossip=event:100ms`) from
+//!   `dlb-gossip`, with per-server stale views and every byte metered
+//!   in the [`RunRecord`]'s [`GossipTraffic`] summary.
 //!
 //! ```
 //! use dlb_scenario::{AlgoSpec, ScenarioSpec};
@@ -50,9 +56,14 @@ pub mod spec;
 
 pub use runner::{runner_for, RunRecord, Runner};
 pub use spec::{
-    AlgoSpec, DetectSpec, NetSpec, RuntimeSpec, ScenarioSpec, SelectSpec, SpecError, SpeedKind,
+    AlgoSpec, DetectSpec, GossipSpec, NetSpec, RuntimeSpec, ScenarioSpec, SelectSpec, SpecError,
+    SpeedKind,
 };
 
 // The fault axis's plan/summary types, so spec-level callers need no
 // direct dlb-faults dependency.
 pub use dlb_faults::{FaultPlan, FaultSummary};
+
+// The gossip axis's traffic summary, so record consumers need no
+// direct dlb-gossip dependency.
+pub use dlb_gossip::GossipTraffic;

@@ -10,9 +10,11 @@ use std::time::Instant;
 
 use dlb_core::cost::total_cost;
 use dlb_core::Assignment;
+use dlb_distributed::mine::PartnerSelection;
 use dlb_distributed::{Engine, EngineOptions, RoundMode};
 use dlb_faults::{FaultSummary, MAX_RETRANSMITS, RETRANSMIT_MS};
 use dlb_game::{run_best_response_dynamics, DynamicsOptions};
+use dlb_gossip::GossipTraffic;
 use dlb_netsim::rtt::QueueModel;
 use dlb_netsim::LinkDelayModel;
 use dlb_runtime::{
@@ -21,7 +23,7 @@ use dlb_runtime::{
 };
 use dlb_solver::solve_bcd;
 
-use crate::spec::{AlgoSpec, DetectSpec, RuntimeSpec, ScenarioSpec, SelectSpec};
+use crate::spec::{AlgoSpec, DetectSpec, GossipSpec, RuntimeSpec, ScenarioSpec, SelectSpec};
 use dlb_core::Instance;
 
 /// The uniform result of running any scenario.
@@ -63,6 +65,11 @@ pub struct RunRecord {
     /// sojourn in virtual ms, time spent imbalanced). All zeros when
     /// the scenario does not stream.
     pub stream: StreamSummary,
+    /// Gossip-traffic summary: what the scenario's `gossip=event:...`
+    /// control plane put on the wire (frames, bytes, completed
+    /// exchanges, delta vs full-view entries). All zeros under the
+    /// default emulated snapshot, which moves no bytes.
+    pub gossip: GossipTraffic,
 }
 
 impl RunRecord {
@@ -106,6 +113,12 @@ fn assert_faults_runnable(spec: &ScenarioSpec) {
     assert!(
         spec.arrivals.is_empty() == (spec.duration <= 0.0),
         "arrivals= and duration= come as a pair, got '{spec}'"
+    );
+    assert!(
+        spec.gossip == GossipSpec::default()
+            || spec.algo == AlgoSpec::Sequential
+            || spec.algo == AlgoSpec::Batched,
+        "gossip= requires algo=sequential or algo=batched, got '{spec}'"
     );
 }
 
@@ -152,6 +165,13 @@ pub trait Runner {
 /// Runs [`dlb_distributed::Engine`] (both round modes) to convergence.
 pub struct EngineRunner;
 
+/// Candidate count the `gossip=` axis forces on the engine. Stale
+/// views only reach the pruned pre-scoring — exact selection
+/// recomputes improvements from true loads and would never observe
+/// them — so a non-default gossip axis switches the engine to
+/// `Pruned { top_k: GOSSIP_TOP_K }`.
+pub const GOSSIP_TOP_K: usize = 8;
+
 impl Runner for EngineRunner {
     fn name(&self) -> &'static str {
         "engine"
@@ -163,15 +183,30 @@ impl Runner for EngineRunner {
             AlgoSpec::Batched => RoundMode::Batched,
             _ => RoundMode::Sequential,
         };
-        let mut engine = Engine::new(
-            instance,
-            EngineOptions {
-                seed: spec.seed,
-                granularity: spec.gran,
-                round_mode,
-                ..Default::default()
-            },
-        );
+        let mut options = EngineOptions {
+            seed: spec.seed,
+            granularity: spec.gran,
+            round_mode,
+            ..Default::default()
+        };
+        match spec.gossip {
+            GossipSpec::Emulated { staleness: 0 } => {}
+            GossipSpec::Emulated { staleness } => {
+                options.load_staleness = staleness;
+                options.selection = Some(PartnerSelection::Pruned {
+                    top_k: GOSSIP_TOP_K,
+                });
+            }
+            GossipSpec::Event { .. } => {
+                options.selection = Some(PartnerSelection::Pruned {
+                    top_k: GOSSIP_TOP_K,
+                });
+            }
+        }
+        let mut engine = Engine::new(instance, options);
+        if let GossipSpec::Event { period_ms } = spec.gossip {
+            engine.attach_gossip_feed(period_ms);
+        }
         let start = Instant::now();
         let report = engine.run_to_convergence(spec.eps, spec.patience, spec.budget);
         RunRecord {
@@ -185,6 +220,7 @@ impl Runner for EngineRunner {
             faults: FaultSummary::default(),
             detector: DetectorSummary::default(),
             stream: StreamSummary::default(),
+            gossip: engine.gossip_traffic().unwrap_or_default(),
         }
     }
 }
@@ -227,6 +263,7 @@ impl Runner for NashRunner {
             faults: FaultSummary::default(),
             detector: DetectorSummary::default(),
             stream: StreamSummary::default(),
+            gossip: GossipTraffic::default(),
         }
     }
 }
@@ -311,6 +348,7 @@ impl Runner for ProtocolRunner {
             faults: report.faults,
             detector: report.detector,
             stream: report.stream,
+            gossip: GossipTraffic::default(),
         }
     }
 }
@@ -340,6 +378,7 @@ impl Runner for BcdRunner {
             faults: FaultSummary::default(),
             detector: DetectorSummary::default(),
             stream: StreamSummary::default(),
+            gossip: GossipTraffic::default(),
         }
     }
 }
@@ -674,6 +713,87 @@ mod tests {
         let calm_rto = exchange_rto_ms(&calm, &instance);
         assert!(calm_rto > 2.0 * d_max);
         assert!(calm_rto < worst);
+    }
+
+    /// `gossip=emulated:T` is exactly the engine's `load_staleness`
+    /// option plus the forced pruned selection — bit-identical to
+    /// driving the engine directly.
+    #[test]
+    fn emulated_gossip_matches_direct_engine_staleness() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Sequential)
+            .servers(25)
+            .seed(11)
+            .termination(1e-10, 3, 120)
+            .gossip(crate::spec::GossipSpec::Emulated { staleness: 4 });
+        let run = spec.run();
+        let mut engine = Engine::new(
+            spec.build_instance(),
+            EngineOptions {
+                seed: 11,
+                load_staleness: 4,
+                selection: Some(PartnerSelection::Pruned {
+                    top_k: GOSSIP_TOP_K,
+                }),
+                ..Default::default()
+            },
+        );
+        engine.run_to_convergence(1e-10, 3, 120);
+        assert_eq!(run.history, engine.history());
+        assert!(
+            run.gossip.is_quiet(),
+            "the emulated snapshot moves no bytes: {:?}",
+            run.gossip
+        );
+    }
+
+    /// `gossip=event:PERIODms` runs the real delta-gossip control
+    /// plane: the record carries metered traffic, reproduces bit for
+    /// bit, and still lands at the fresh-scoring fixpoint's quality.
+    #[test]
+    fn event_gossip_meters_traffic_and_converges() {
+        let spec = ScenarioSpec::new()
+            .algo(AlgoSpec::Batched)
+            .servers(30)
+            .seed(3)
+            .termination(1e-10, 3, 200)
+            .gossip(crate::spec::GossipSpec::Event { period_ms: 100.0 });
+        let a = spec.run();
+        let mut b = spec.run();
+        // Engine runs report real wall time; everything else must
+        // replay bit for bit.
+        b.wall_secs = a.wall_secs;
+        assert_eq!(a, b, "gossip-fed runs must be bit-identical");
+        assert!(a.converged);
+        assert!(!a.gossip.is_quiet(), "{:?}", a.gossip);
+        assert!(a.gossip.bytes > 0 && a.gossip.frames > 0);
+        let fresh = spec
+            .gossip(crate::spec::GossipSpec::default())
+            .run()
+            .final_cost();
+        assert!(
+            a.final_cost() <= fresh * 1.01,
+            "gossip-fed {} vs fresh {fresh}",
+            a.final_cost()
+        );
+        // The fresh default reports a quiet summary.
+        assert!(spec
+            .gossip(crate::spec::GossipSpec::default())
+            .run()
+            .gossip
+            .is_quiet());
+    }
+
+    /// The builder can construct what parse() rejects; the gossip axis
+    /// only exists on the engine runners.
+    #[test]
+    #[should_panic(expected = "gossip= requires algo=sequential or algo=batched")]
+    fn builder_gossip_axes_cannot_ride_other_runners() {
+        ScenarioSpec::new()
+            .algo(AlgoSpec::Nash)
+            .servers(6)
+            .gossip(crate::spec::GossipSpec::Event { period_ms: 100.0 })
+            .run();
     }
 
     #[test]

@@ -301,6 +301,77 @@ impl fmt::Display for DetectSpec {
     }
 }
 
+/// Which control plane feeds the engine's partner scoring (the
+/// `gossip=` key). Only the engine algorithms (`algo=sequential` and
+/// `algo=batched`) read it; [`ScenarioSpec::parse`] rejects other
+/// combinations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GossipSpec {
+    /// `emulated[:T]` — the engine's emulated snapshot: one shared
+    /// load view refreshed every `T` iterations, no protocol run, no
+    /// bytes moved. `T = 0` (the default) means fresh scoring every
+    /// iteration.
+    Emulated {
+        /// Snapshot refresh period in engine iterations; 0 = fresh.
+        staleness: usize,
+    },
+    /// `event:PERIODms` — the real delta-gossip control plane
+    /// (`dlb-gossip`): one gossip node per server exchanging sharded,
+    /// delta-encoded frames every `PERIOD` virtual ms, serving
+    /// genuinely per-server stale views with every byte metered.
+    Event {
+        /// Gossip period in virtual ms.
+        period_ms: f64,
+    },
+}
+
+impl Default for GossipSpec {
+    fn default() -> Self {
+        GossipSpec::Emulated { staleness: 0 }
+    }
+}
+
+impl GossipSpec {
+    fn parse(v: &str) -> Result<Self, SpecError> {
+        if v == "emulated" {
+            return Ok(GossipSpec::Emulated { staleness: 0 });
+        }
+        if let Some(t) = v.strip_prefix("emulated:") {
+            let staleness = t.parse().map_err(|_| {
+                SpecError(format!(
+                    "gossip: '{t}' is not a staleness in iterations (a non-negative integer)"
+                ))
+            })?;
+            return Ok(GossipSpec::Emulated { staleness });
+        }
+        if let Some(p) = v.strip_prefix("event:") {
+            let ms: f64 = p
+                .strip_suffix("ms")
+                .unwrap_or(p)
+                .parse()
+                .map_err(|_| SpecError(format!("gossip: '{p}' is not a period in ms")))?;
+            if !ms.is_finite() || ms <= 0.0 {
+                return Err(SpecError(
+                    "gossip: the event-gossip period must be positive".into(),
+                ));
+            }
+            return Ok(GossipSpec::Event { period_ms: ms });
+        }
+        Err(SpecError(format!(
+            "gossip: '{v}' is not one of emulated[:T]|event:PERIODms (e.g. event:100ms)"
+        )))
+    }
+}
+
+impl fmt::Display for GossipSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GossipSpec::Emulated { staleness } => write!(f, "emulated:{staleness}"),
+            GossipSpec::Event { period_ms } => write!(f, "event:{period_ms}ms"),
+        }
+    }
+}
+
 fn parse_load(v: &str) -> Result<LoadDistribution, SpecError> {
     match v {
         "const" => Ok(LoadDistribution::Constant),
@@ -377,6 +448,15 @@ pub struct ScenarioSpec {
     /// generated on `[0, duration)`. Zero (the default) means no
     /// stream; positive requires `arrivals=`.
     pub duration: f64,
+    /// Control plane behind the engine's partner scoring (`gossip=`):
+    /// the emulated shared snapshot (default, fresh) or the real
+    /// delta-gossip protocol (`event:PERIODms`). Only meaningful for
+    /// the engine algorithms (`algo=sequential`/`algo=batched`);
+    /// [`ScenarioSpec::parse`] rejects other combinations. A
+    /// non-default value forces the engine into pruned partner
+    /// selection — exact selection recomputes improvements from true
+    /// loads and would never observe staleness.
+    pub gossip: GossipSpec,
 }
 
 impl Default for ScenarioSpec {
@@ -404,6 +484,7 @@ impl Default for ScenarioSpec {
             detect: DetectSpec::Oracle,
             arrivals: ArrivalPlan::default(),
             duration: 0.0,
+            gossip: GossipSpec::default(),
         }
     }
 }
@@ -528,6 +609,16 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the scoring control plane. Only the engine algorithms
+    /// (`algo=sequential`/`algo=batched`) read it:
+    /// [`ScenarioSpec::parse`] rejects other combinations up front,
+    /// and the run entry points panic on them (the builder alone
+    /// cannot see the final key combination).
+    pub fn gossip(mut self, gossip: GossipSpec) -> Self {
+        self.gossip = gossip;
+        self
+    }
+
     /// Parses the text form. Empty input yields the default scenario;
     /// unknown keys, malformed values, and duplicate keys are errors.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
@@ -582,10 +673,12 @@ impl ScenarioSpec {
                     let bare = value.strip_suffix("ms").unwrap_or(value);
                     spec.duration = parse_float(key, bare)?;
                 }
+                "gossip" => spec.gossip = GossipSpec::parse(value)?,
                 _ => {
                     return Err(SpecError(format!(
                         "unknown key '{key}' (valid: algo net m lat load avg speeds seed gran \
-                         eps patience budget runtime select faults detect arrivals duration)"
+                         eps patience budget runtime select faults detect arrivals duration \
+                         gossip)"
                     )))
                 }
             }
@@ -638,6 +731,16 @@ impl ScenarioSpec {
             return Err(SpecError(
                 "arrivals= requires algo=protocol runtime=events (live streaming rides \
                  the deterministic virtual-time event heap)"
+                    .into(),
+            ));
+        }
+        if spec.gossip != GossipSpec::default()
+            && spec.algo != AlgoSpec::Sequential
+            && spec.algo != AlgoSpec::Batched
+        {
+            return Err(SpecError(
+                "gossip= requires algo=sequential or algo=batched (stale partner scoring \
+                 is an engine axis; the protocol runtime exchanges live views by design)"
                     .into(),
             ));
         }
@@ -745,6 +848,9 @@ impl fmt::Display for ScenarioSpec {
         }
         if self.duration != d.duration {
             write!(f, " duration={}", self.duration)?;
+        }
+        if self.gossip != d.gossip {
+            write!(f, " gossip={}", self.gossip)?;
         }
         Ok(())
     }
@@ -1011,6 +1117,67 @@ mod tests {
             ("detect=timeout:x", "not a deadline in ms"),
             ("detect=timeout:0", "must be positive"),
             ("detect=timeout:-5ms", "must be positive"),
+        ] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(err.0.contains(needle), "'{text}' -> {err}");
+        }
+    }
+
+    #[test]
+    fn gossip_key_round_trips_and_validates() {
+        assert_eq!(
+            ScenarioSpec::default().gossip,
+            GossipSpec::Emulated { staleness: 0 }
+        );
+        let spec: ScenarioSpec = "algo=batched m=40 gossip=event:100ms".parse().unwrap();
+        assert_eq!(spec.gossip, GossipSpec::Event { period_ms: 100.0 });
+        assert_eq!(
+            spec.to_string(),
+            "algo=batched net=homog m=40 gossip=event:100ms"
+        );
+        assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
+        // The ms suffix is optional on input, canonical on output.
+        let bare: ScenarioSpec = "gossip=event:250".parse().unwrap();
+        assert_eq!(bare.gossip, GossipSpec::Event { period_ms: 250.0 });
+        assert_eq!(bare.to_string().parse::<ScenarioSpec>().unwrap(), bare);
+        // Emulated staleness round-trips; the fresh default is omitted.
+        let stale: ScenarioSpec = "gossip=emulated:5".parse().unwrap();
+        assert_eq!(stale.gossip, GossipSpec::Emulated { staleness: 5 });
+        assert_eq!(stale.to_string().parse::<ScenarioSpec>().unwrap(), stale);
+        let explicit: ScenarioSpec = "algo=batched gossip=emulated".parse().unwrap();
+        assert!(!explicit.to_string().contains("gossip="));
+        // The builder mirrors the text form.
+        let built = ScenarioSpec::new()
+            .algo(AlgoSpec::Batched)
+            .servers(40)
+            .gossip(GossipSpec::Event { period_ms: 100.0 });
+        assert_eq!(built, spec);
+    }
+
+    #[test]
+    fn gossip_requires_an_engine_algorithm() {
+        for text in [
+            "algo=nash gossip=emulated:3",
+            "algo=bcd gossip=event:100ms",
+            "algo=protocol runtime=events gossip=event:100ms",
+        ] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                err.0.contains("requires algo=sequential or algo=batched"),
+                "'{text}' -> {err}"
+            );
+        }
+        // Key order must not matter; the default algo=sequential reads
+        // the axis, and the explicit fresh default never trips it.
+        assert!(ScenarioSpec::parse("gossip=event:100ms").is_ok());
+        assert!(ScenarioSpec::parse("gossip=emulated:4 algo=batched").is_ok());
+        assert!(ScenarioSpec::parse("algo=nash gossip=emulated").is_ok());
+        for (text, needle) in [
+            ("gossip=psychic", "not one of emulated[:T]|event:PERIODms"),
+            ("gossip=emulated:x", "not a staleness in iterations"),
+            ("gossip=event:", "not a period in ms"),
+            ("gossip=event:0", "must be positive"),
+            ("gossip=event:-5ms", "must be positive"),
         ] {
             let err = ScenarioSpec::parse(text).unwrap_err();
             assert!(err.0.contains(needle), "'{text}' -> {err}");
