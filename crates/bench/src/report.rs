@@ -265,11 +265,28 @@ pub fn render_report(text: &str) -> Result<String, String> {
     }
     let mut out = String::new();
     for (kind, members) in &groups {
+        // Column order is the order-respecting union of the group's
+        // keys: walking a record, a key already known moves the
+        // cursor to just past it; an unknown key is *inserted at the
+        // cursor*, not appended. So when a later record carries a
+        // mid-row field group the first record lacked (a traced run's
+        // `obs_*` columns before its trailing `history`), those
+        // columns land where the record put them — plain appending
+        // parked every late-appearing group behind whichever trailing
+        // column the first record happened to end with.
         let mut cols: Vec<&str> = Vec::new();
         for row in members {
+            let mut cursor = 0;
             for (k, _) in row.iter() {
-                if k != "kind" && !cols.contains(&k.as_str()) {
-                    cols.push(k);
+                if k == "kind" {
+                    continue;
+                }
+                match cols.iter().position(|c| *c == k.as_str()) {
+                    Some(p) => cursor = p + 1,
+                    None => {
+                        cols.insert(cursor, k);
+                        cursor += 1;
+                    }
                 }
             }
         }
@@ -447,6 +464,7 @@ mod tests {
             },
             stream: Default::default(),
             gossip: Default::default(),
+            obs: Default::default(),
         };
         let line = Record::from_run("run", &run).to_json();
         let report = render_report(&line).unwrap();
@@ -496,6 +514,7 @@ mod tests {
                 imbalance_ms: 415.0,
             },
             gossip: Default::default(),
+            obs: Default::default(),
         };
         let line = Record::from_run("run", &run).to_json();
         let report = render_report(&line).unwrap();
@@ -548,6 +567,7 @@ mod tests {
                 delta_entries: 64,
                 full_entries: 4800,
             },
+            obs: Default::default(),
         };
         let line = Record::from_run("run", &run).to_json();
         let report = render_report(&line).unwrap();
@@ -568,6 +588,73 @@ mod tests {
         let report = render_report(&mixed).unwrap();
         assert!(report.contains("gossip_bytes"), "{report}");
         assert!(report.contains('-'), "{report}");
+    }
+
+    /// Traced run records append the `obs_*` group; untraced records
+    /// omit it (quiet-group rule), and mixed files render with '-'
+    /// fills.
+    #[test]
+    fn renders_obs_columns_only_for_traced_runs() {
+        let run = dlb_scenario::RunRecord {
+            scenario: "algo=protocol runtime=events m=8 trace=summary".into(),
+            algo: "protocol",
+            m: 8,
+            history: vec![10.0, 4.0],
+            iterations: 5,
+            converged: true,
+            wall_secs: 0.4,
+            faults: Default::default(),
+            detector: Default::default(),
+            stream: Default::default(),
+            gossip: Default::default(),
+            obs: dlb_obs::ObsSummary {
+                events: 420,
+                frames: 310,
+                dropped: 7,
+                held: 12,
+                frame_p50_ms: 18.5,
+                frame_p99_ms: 96.25,
+            },
+        };
+        let line = Record::from_run("run", &run).to_json();
+        let report = render_report(&line).unwrap();
+        for col in [
+            "obs_events",
+            "obs_frames",
+            "obs_dropped",
+            "obs_held",
+            "obs_frame_p50_ms",
+            "obs_frame_p99_ms",
+        ] {
+            assert!(report.contains(col), "missing column {col}:\n{report}");
+        }
+        let quiet = dlb_scenario::RunRecord {
+            obs: Default::default(),
+            ..run
+        };
+        let json = Record::from_run("run", &quiet).to_json();
+        assert!(!json.contains("obs_"), "{json}");
+    }
+
+    /// The column union respects each record's own key order: when a
+    /// later record introduces a field group *before* its trailing
+    /// `history` column, the new columns are inserted there — not
+    /// appended after `history` (the pre-v4 behavior, which parked
+    /// every late-appearing group behind the first record's last
+    /// column).
+    #[test]
+    fn column_union_respects_each_records_key_order() {
+        let text = "\
+{\"kind\":\"run\",\"m\":8,\"final\":4.0,\"history\":[1.0]}\n\
+{\"kind\":\"run\",\"m\":16,\"final\":3.0,\"obs_events\":42,\"history\":[2.0]}\n";
+        let report = render_report(text).unwrap();
+        let header = report.lines().nth(1).unwrap();
+        let obs = header.find("obs_events").expect("obs column present");
+        let history = header.find("history").expect("history column present");
+        assert!(
+            obs < history,
+            "obs_events must precede history in: {header}"
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ impl Record {
     /// conditioning on `stream.is_quiet()` changes no record that
     /// could exist before v3. The `gossip_*` group follows the same
     /// rule: emitted only when the run's `gossip=event:...` control
-    /// plane actually moved bytes.
+    /// plane actually moved bytes. v4 adds the `obs_*` group under the
+    /// same quiet-group rule: emitted only when the run's `trace=`
+    /// mode actually observed events, so untraced records keep the v3
+    /// shape byte for byte.
     pub fn from_run(kind: &str, run: &dlb_scenario::RunRecord) -> Self {
         let mut r = Record::new(kind)
             .str("scenario", &run.scenario)
@@ -129,6 +132,15 @@ impl Record {
                 .int("gossip_frames", run.gossip.frames as i64)
                 .int("gossip_bytes", run.gossip.bytes as i64)
                 .int("gossip_exchanges", run.gossip.exchanges as i64);
+        }
+        if !run.obs.is_quiet() {
+            r = r
+                .int("obs_events", run.obs.events as i64)
+                .int("obs_frames", run.obs.frames as i64)
+                .int("obs_dropped", run.obs.dropped as i64)
+                .int("obs_held", run.obs.held as i64)
+                .num("obs_frame_p50_ms", run.obs.frame_p50_ms)
+                .num("obs_frame_p99_ms", run.obs.frame_p99_ms);
         }
         r.nums("history", &run.history)
     }
@@ -203,10 +215,31 @@ impl JsonlSink {
     }
 
     /// Appends one record as a JSON line (best-effort for env sinks).
+    ///
+    /// Every persisted record is stamped with the machine context —
+    /// `host_cores` (the machine's available parallelism) and
+    /// `dlb_threads` (the worker-pool width this process resolved from
+    /// `DLB_THREADS`). Virtual-time results are bit-identical across
+    /// thread counts, but wall-clock columns are not; the stamp lets
+    /// two result files explain their timing differences instead of
+    /// looking mysteriously divergent. Stamping happens here, at write
+    /// time, so [`Record`] values under construction stay pure data.
     pub fn record(&mut self, record: &Record) {
         if let Some(f) = &mut self.file {
-            let _ = writeln!(f, "{}", record.to_json());
+            let _ = writeln!(f, "{}", Self::stamped(record).to_json());
         }
+    }
+
+    /// The record plus the machine-context fields every persisted line
+    /// carries.
+    fn stamped(record: &Record) -> Record {
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        record
+            .clone()
+            .int("host_cores", host_cores as i64)
+            .int("dlb_threads", dlb_par::num_threads() as i64)
     }
 
     /// Whether records are actually being persisted.
@@ -256,10 +289,20 @@ mod tests {
         sink.record(&Record::new("row").int("i", 1));
         sink.record(&Record::new("row").int("i", 2).str("note", "a,b"));
         drop(sink);
+        let stamp = format!(
+            ",\"host_cores\":{},\"dlb_threads\":{}",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            dlb_par::num_threads()
+        );
         let content = fs::read_to_string(dir.join("unit_rows.jsonl")).unwrap();
         assert_eq!(
             content,
-            "{\"kind\":\"row\",\"i\":1}\n{\"kind\":\"row\",\"i\":2,\"note\":\"a,b\"}\n"
+            format!(
+                "{{\"kind\":\"row\",\"i\":1{stamp}}}\n\
+                 {{\"kind\":\"row\",\"i\":2,\"note\":\"a,b\"{stamp}}}\n"
+            )
         );
         std::env::remove_var("DLB_RESULTS_DIR");
     }
@@ -271,7 +314,22 @@ mod tests {
         sink.record(&Record::new("scaling").int("m", 500));
         drop(sink);
         let content = fs::read_to_string(&path).unwrap();
-        assert_eq!(content, "{\"kind\":\"scaling\",\"m\":500}\n");
+        assert!(
+            content.starts_with("{\"kind\":\"scaling\",\"m\":500,\"host_cores\":"),
+            "{content}"
+        );
+        assert!(content.contains("\"dlb_threads\":"), "{content}");
         let _ = fs::remove_file(path);
+    }
+
+    /// The machine-context stamp lands on every persisted line and
+    /// nowhere else: `to_json` on a bare record stays stamp-free, so
+    /// record *construction* is reproducible and only persistence adds
+    /// the per-machine fields.
+    #[test]
+    fn to_json_is_unstamped() {
+        let json = Record::new("row").int("i", 1).to_json();
+        assert!(!json.contains("host_cores"), "{json}");
+        assert!(!json.contains("dlb_threads"), "{json}");
     }
 }

@@ -20,6 +20,7 @@
 //! grids live in `cargo bench -p dlb-bench`.
 
 mod args;
+mod trace;
 
 use args::{ArgError, Args};
 use dlb_bench::report::render_report;
@@ -34,6 +35,7 @@ dlb — network delay-aware load balancing (Skowron & Rzadca, IPDPS'13)
 commands:
   run        run one declaratively named scenario
   report     render tables from JSON-lines result files
+  trace      inspect, replay-verify, or export a recorded frame log
   optimize   alias for `run algo=sequential` (+ BCD reference on small nets)
   nash       alias for `run algo=nash` vs the cooperative engine
   protocol   alias for `run algo=protocol` (threads + wire frames)
@@ -124,9 +126,38 @@ run:
                       views only reach the pruned pre-scoring).
                       Example: dlb run algo=batched m=500 net=pl \\
                         gossip=event:100ms
+    trace=off         off | summary | frames:FILE — deterministic
+                      observability, algo=protocol runtime=events only.
+                      off (the default) observes nothing and keeps the
+                      run byte-identical to an untraced one. summary
+                      attaches the trace plane and adds an obs_*
+                      summary to the record (event counts, frame
+                      latency percentiles — all stamped in virtual
+                      time, so they reproduce bit for bit per seed).
+                      frames:FILE additionally writes the full event
+                      stream as a binary frame log for `dlb trace`.
+                      Example: dlb run algo=protocol runtime=events \\
+                        m=2000 faults=crash:0.1@500ms detect=adaptive \\
+                        trace=frames:run.dlbf
 
 report:
   dlb report FILE...          (e.g. dlb report BENCH_figure2.json)
+
+trace:
+  dlb trace show FILE [--node N|coord] [--kind LABEL|FAMILY]
+                      [--from MS] [--to MS] [--limit N]
+                      render the recorded event stream as an aligned
+                      table; families: frame, timer, round, exchange,
+                      detector, gossip, stream
+  dlb trace replay FILE
+                      re-derive the run from the log's own scenario
+                      header and verify it reproduces the recording
+                      bit-exactly (event stream, event_hash, outcomes);
+                      a divergence is a non-zero exit naming the first
+                      disagreement
+  dlb trace chrome FILE [--out FILE.json]
+                      export Chrome trace-event JSON for
+                      chrome://tracing / Perfetto
 
 alias options (translated onto a scenario):
   --servers N   --network homog|euclid|pl   --latency C   --load D
@@ -389,14 +420,15 @@ fn run() -> Result<(), ArgError> {
     let allowed: &[&str] = match raw[0].as_str() {
         "run" => &["scenario", "out"],
         "report" => &[],
+        "trace" => &["node", "kind", "from", "to", "limit", "out"],
         "estimate" => &["servers", "ticks", "probes", "seed", "out"],
         _ => ALIAS_KEYS,
     };
     let args = Args::parse(raw, allowed)?;
-    // Only `run` (scenario tokens) and `report` (file paths) take bare
-    // positionals; everywhere else a stray token is an error, not a
-    // silently ignored flag.
-    if !matches!(args.command.as_str(), "run" | "report") {
+    // Only `run` (scenario tokens), `report` (file paths), and `trace`
+    // (action + file) take bare positionals; everywhere else a stray
+    // token is an error, not a silently ignored flag.
+    if !matches!(args.command.as_str(), "run" | "report" | "trace") {
         if let Some(tok) = args.positionals.first() {
             return Err(ArgError(format!(
                 "unexpected argument '{tok}' for '{}' (key=value scenario tokens only work \
@@ -408,6 +440,7 @@ fn run() -> Result<(), ArgError> {
     match args.command.as_str() {
         "run" => cmd_run(&args),
         "report" => cmd_report(&args),
+        "trace" => trace::cmd_trace(&args),
         "optimize" => cmd_optimize(&args),
         "nash" => cmd_nash(&args),
         "protocol" => cmd_protocol(&args),

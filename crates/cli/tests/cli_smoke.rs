@@ -201,13 +201,17 @@ fn legacy_aliases_emit_run_records_through_the_sink() {
     let _ = std::fs::remove_file(&out_path);
 }
 
+// The column union respects each record's own key order: the later
+// records' fault_*/detector_*/stream_* groups sit where those records
+// carry them — before the trailing `history` — instead of being
+// appended behind the first record's last column.
 const GOLDEN_REPORT: &str = "\
 == run (4 records) ==
-scenario                                                                                                algo          m  initial_cost  final_cost  iterations  converged  wall_secs  history  fault_crashes  fault_recoveries  fault_dropped_frames  fault_delayed_frames  fault_extra_delay_ms  detector_suspicions  detector_false_positives  detector_latency_ms  detector_rejoin_ms  detector_aborted_exchanges  stream_served  stream_dropped  stream_p50_ms  stream_p99_ms  stream_imbalance_ms
-algo=sequential net=homog m=8                                                                           sequential    8     1234.5000        1000           7       true     0.2500  [3 pts]              -                 -                     -                     -                     -                    -                         -                    -                   -                           -              -               -              -              -                    -
-algo=batched net=pl m=500 load=peak avg=200 seed=7                                                      batched     500      2.3349e9    1.2278e7          20      false     5.5000  [2 pts]              -                 -                     -                     -                     -                    -                         -                    -                   -                           -              -               -              -              -                    -
-algo=protocol net=homog m=16 runtime=events faults=crash:0.2@150ms,slow:0.2@4x detect=adaptive          protocol     16    60943.2000  38049.9300         539       true    41.4080  [2 pts]              3                 0                    15                  3188            98918.2700                   12                         9             134.2400           1094.1200                           9              -               -              -              -                    -
-algo=protocol net=homog m=24 runtime=events arrivals=poisson:200,burst:400@500ms..1500ms duration=2000  protocol     24    71234.5000  40321.7500          88       true     2.4020  [2 pts]              0                 0                     0                     0                     0                    0                         0                    0                   0                           0            412               0        15.8200        47.3100             612.4000
+scenario                                                                                                algo          m  initial_cost  final_cost  iterations  converged  wall_secs  fault_crashes  fault_recoveries  fault_dropped_frames  fault_delayed_frames  fault_extra_delay_ms  detector_suspicions  detector_false_positives  detector_latency_ms  detector_rejoin_ms  detector_aborted_exchanges  stream_served  stream_dropped  stream_p50_ms  stream_p99_ms  stream_imbalance_ms  history
+algo=sequential net=homog m=8                                                                           sequential    8     1234.5000        1000           7       true     0.2500              -                 -                     -                     -                     -                    -                         -                    -                   -                           -              -               -              -              -                    -  [3 pts]
+algo=batched net=pl m=500 load=peak avg=200 seed=7                                                      batched     500      2.3349e9    1.2278e7          20      false     5.5000              -                 -                     -                     -                     -                    -                         -                    -                   -                           -              -               -              -              -                    -  [2 pts]
+algo=protocol net=homog m=16 runtime=events faults=crash:0.2@150ms,slow:0.2@4x detect=adaptive          protocol     16    60943.2000  38049.9300         539       true    41.4080              3                 0                    15                  3188            98918.2700                   12                         9             134.2400           1094.1200                           9              -               -              -              -                    -  [2 pts]
+algo=protocol net=homog m=24 runtime=events arrivals=poisson:200,burst:400@500ms..1500ms duration=2000  protocol     24    71234.5000  40321.7500          88       true     2.4020              0                 0                     0                     0                     0                    0                         0                    0                   0                           0            412               0        15.8200        47.3100             612.4000  [2 pts]
 
 == table_row (1 record) ==
 table   bucket   dist     avg  max     std   n

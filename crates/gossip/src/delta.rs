@@ -37,6 +37,7 @@
 
 use dlb_core::events::{EventHeap, Scheduled};
 use dlb_core::rngutil::rng_for;
+use dlb_obs::{NullSink, TraceEvent, TraceKind, TraceSink};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -126,7 +127,7 @@ enum What {
     /// An encoded delta frame arrives at `to`; it merges and replies.
     Request { from: u32, to: u32, frame: Bytes },
     /// The encoded reply frame arrives back at the initiator.
-    Reply { to: u32, frame: Bytes },
+    Reply { from: u32, to: u32, frame: Bytes },
 }
 
 /// A sharded delta-gossip network on a persistent virtual-time heap
@@ -315,6 +316,20 @@ impl DeltaGossip {
     /// callers can interleave [`publish`](Self::publish) with repeated
     /// advances.
     pub fn advance<D: Fn(usize, usize) -> f64>(&mut self, until_ms: f64, delays: D) {
+        self.advance_observed(until_ms, delays, &mut NullSink);
+    }
+
+    /// [`advance`](Self::advance) with a [`TraceSink`] observing frame
+    /// deliveries: every merged frame emits a `gossip_delta` event when
+    /// its hot set is non-empty and a `gossip_full` event when its
+    /// fallback shard is, stamped with receiver/sender and the shard
+    /// index. A [`NullSink`] run is bit-identical to the untraced path.
+    pub fn advance_observed<D: Fn(usize, usize) -> f64, T: TraceSink>(
+        &mut self,
+        until_ms: f64,
+        delays: D,
+        tracer: &mut T,
+    ) {
         assert!(
             until_ms >= self.now,
             "virtual time cannot run backwards ({} < {})",
@@ -327,7 +342,7 @@ impl DeltaGossip {
             }
             let event = self.heap.pop().expect("peeked");
             self.now = event.due;
-            self.handle(event, &delays);
+            self.handle(event, &delays, tracer);
         }
         self.now = until_ms;
     }
@@ -340,13 +355,25 @@ impl DeltaGossip {
         max_ms: f64,
         delays: D,
     ) -> (bool, f64) {
+        self.run_until_complete_observed(max_ms, delays, &mut NullSink)
+    }
+
+    /// [`run_until_complete`](Self::run_until_complete) with a
+    /// [`TraceSink`] observing frame deliveries (see
+    /// [`advance_observed`](Self::advance_observed)).
+    pub fn run_until_complete_observed<D: Fn(usize, usize) -> f64, T: TraceSink>(
+        &mut self,
+        max_ms: f64,
+        delays: D,
+        tracer: &mut T,
+    ) -> (bool, f64) {
         let deadline = self.now + max_ms;
         while self.completed_at.is_none() {
             match self.heap.peek_due() {
                 Some(due) if due <= deadline => {
                     let event = self.heap.pop().expect("peeked");
                     self.now = event.due;
-                    self.handle(event, &delays);
+                    self.handle(event, &delays, tracer);
                 }
                 _ => {
                     self.now = deadline;
@@ -359,7 +386,44 @@ impl DeltaGossip {
         (true, t)
     }
 
-    fn handle<D: Fn(usize, usize) -> f64>(&mut self, event: Scheduled<What>, delays: &D) {
+    /// Emits the dissemination events for a frame merged at `node` from
+    /// `peer`: `gossip_delta` when the hot set rode along, `gossip_full`
+    /// when the fallback shard did, `detail` carrying the entry count
+    /// and `round` the shard index.
+    fn trace_frame<T: TraceSink>(
+        tracer: &mut T,
+        now: f64,
+        node: u32,
+        peer: u32,
+        frame: &DeltaFrame,
+    ) {
+        if !tracer.enabled() {
+            return;
+        }
+        for (kind, entries) in [
+            (TraceKind::GossipDelta, frame.changed.len()),
+            (TraceKind::GossipFull, frame.full.len()),
+        ] {
+            if entries > 0 {
+                tracer.emit(&TraceEvent {
+                    kind,
+                    at_ms: now,
+                    node,
+                    peer,
+                    round: u64::from(frame.shard),
+                    tag: 0,
+                    detail: entries as f64,
+                });
+            }
+        }
+    }
+
+    fn handle<D: Fn(usize, usize) -> f64, T: TraceSink>(
+        &mut self,
+        event: Scheduled<What>,
+        delays: &D,
+        tracer: &mut T,
+    ) {
         let now = event.due;
         let m = self.len();
         match event.item {
@@ -385,6 +449,7 @@ impl DeltaGossip {
             What::Request { from, to, frame } => {
                 let decoded = wire::decode_delta(frame).expect("internally produced frame");
                 let t = to as usize;
+                Self::trace_frame(tracer, now, to, from, &decoded);
                 self.merge_frame(t, &decoded, now);
                 // Reply with whatever shard the requester's summary
                 // says it lags most on; when nothing lags, fall back to
@@ -406,13 +471,15 @@ impl DeltaGossip {
                 self.heap.push(
                     now + delays(t, from as usize),
                     What::Reply {
+                        from: to,
                         to: from,
                         frame: reply,
                     },
                 );
             }
-            What::Reply { to, frame } => {
+            What::Reply { from, to, frame } => {
                 let decoded = wire::decode_delta(frame).expect("internally produced frame");
+                Self::trace_frame(tracer, now, to, from, &decoded);
                 self.merge_frame(to as usize, &decoded, now);
                 self.traffic.exchanges += 1;
             }
@@ -655,6 +722,51 @@ mod tests {
             "steady frame {per_frame} B vs full view {full_view} B"
         );
         assert_eq!(t.delta_entries, 0, "cold network must ship no rumors");
+    }
+
+    #[test]
+    fn traced_runs_observe_deltas_and_shards_without_perturbing_the_protocol() {
+        use dlb_obs::MemorySink;
+        // m = 100 so ShardMap::auto yields several shards — with a
+        // single shard every entry rides in `full` and no delta can
+        // ever ship.
+        let loads: Vec<f64> = (0..100).map(|i| (i * 5 % 13) as f64).collect();
+        let delays = |i: usize, j: usize| 2.0 + ((i + 3 * j) % 5) as f64;
+
+        let mut traced = DeltaGossip::new(&loads, 11, cfg());
+        let mut sink = MemorySink::default();
+        let out_traced = traced.run_until_complete_observed(60_000.0, delays, &mut sink);
+
+        let mut plain = DeltaGossip::new(&loads, 11, cfg());
+        let out_plain = plain.run_until_complete(60_000.0, delays);
+
+        // Observation is passive: same completion instant, traffic, and
+        // views whether or not a sink is attached.
+        assert_eq!(out_traced, out_plain);
+        assert_eq!(traced.traffic(), plain.traffic());
+        for node in 0..100 {
+            assert_eq!(traced.view(node), plain.view(node));
+        }
+
+        // A cold start spreads by rumor and shard alike, and every
+        // frame merge is on the record.
+        let deltas = sink
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::GossipDelta)
+            .count();
+        let fulls = sink
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::GossipFull)
+            .count();
+        assert!(deltas > 0, "cold start must ship rumors");
+        assert!(fulls > 0, "anti-entropy shards must ride along");
+        for e in &sink.events {
+            assert!(e.detail >= 1.0, "events carry entry counts");
+            assert!((e.node as usize) < 100 && (e.peer as usize) < 100);
+            assert!((e.round as usize) < traced.shards().count());
+        }
     }
 
     #[test]

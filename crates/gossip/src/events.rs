@@ -36,6 +36,8 @@
 use dlb_core::events::EventHeap;
 use dlb_core::rngutil::rng_for;
 use dlb_faults::FaultScript;
+use dlb_obs::event::{DROP_DEST_DOWN, DROP_LINK_LOSS};
+use dlb_obs::{NullSink, TraceEvent, TraceKind, TraceSink};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -244,6 +246,23 @@ impl EventGossip {
         delays: D,
         script: &FaultScript,
     ) -> EventGossipStats {
+        self.run_faulted_observed(config, delays, script, &mut NullSink)
+    }
+
+    /// [`run_faulted`](Self::run_faulted) with a [`TraceSink`]
+    /// observing the delivery decisions: every merged view emits a
+    /// `gossip_full` event (`detail` = entries carried) and every frame
+    /// the fault script swallows emits a `frame_dropped` event whose
+    /// `detail` names the reason — [`DROP_DEST_DOWN`] when the receiver
+    /// is down, [`DROP_LINK_LOSS`] for loss and partition crossings. A
+    /// [`NullSink`] run is bit-identical to the untraced path.
+    pub fn run_faulted_observed<D: Fn(usize, usize) -> f64, T: TraceSink>(
+        &mut self,
+        config: &EventGossipConfig,
+        delays: D,
+        script: &FaultScript,
+        tracer: &mut T,
+    ) -> EventGossipStats {
         let m = self.len();
         assert_eq!(
             script.len(),
@@ -305,13 +324,16 @@ impl EventGossip {
                     heap.push(now + config.period_ms, What::Tick { node });
                 }
                 What::Request { from, to, view } => {
-                    if script.node_down(to as usize, now)
+                    let dest_down = script.node_down(to as usize, now);
+                    if dest_down
                         || script.crossing_blocked(now, from as usize, to as usize)
                         || script.loss_drops(now, event.seq)
                     {
+                        Self::trace_drop(tracer, now, to, from, dest_down);
                         dropped += 1;
                         continue;
                     }
+                    Self::trace_merge(tracer, now, to, from, view.len());
                     self.merge(to, &view);
                     // The push half alone can finish the job; checking
                     // only on replies would overstate the completion
@@ -339,14 +361,17 @@ impl EventGossip {
                     );
                 }
                 What::Reply { from, to, view } => {
-                    if script.node_down(to as usize, now)
+                    let dest_down = script.node_down(to as usize, now);
+                    if dest_down
                         || script.crossing_blocked(now, from as usize, to as usize)
                         || script.loss_drops(now, event.seq)
                     {
+                        Self::trace_drop(tracer, now, to, from, dest_down);
                         dropped += 1;
                         dropped_replies += 1;
                         continue;
                     }
+                    Self::trace_merge(tracer, now, to, from, view.len());
                     self.merge(to, &view);
                     exchanges += 1;
                     if self.fully_disseminated() {
@@ -363,6 +388,42 @@ impl EventGossip {
             }
         }
         unreachable!("ticks reschedule forever; the max_ms guard exits first")
+    }
+
+    /// Emits the `frame_dropped` event for a frame the fault script
+    /// swallowed at `to` (sent by `from`).
+    fn trace_drop<T: TraceSink>(tracer: &mut T, now: f64, to: u32, from: u32, dest_down: bool) {
+        if tracer.enabled() {
+            tracer.emit(&TraceEvent {
+                kind: TraceKind::FrameDropped,
+                at_ms: now,
+                node: to,
+                peer: from,
+                round: 0,
+                tag: 0,
+                detail: if dest_down {
+                    DROP_DEST_DOWN
+                } else {
+                    DROP_LINK_LOSS
+                },
+            });
+        }
+    }
+
+    /// Emits the `gossip_full` event for a full view merged at `to`
+    /// (sent by `from`), `detail` carrying the entry count.
+    fn trace_merge<T: TraceSink>(tracer: &mut T, now: f64, to: u32, from: u32, entries: usize) {
+        if tracer.enabled() {
+            tracer.emit(&TraceEvent {
+                kind: TraceKind::GossipFull,
+                at_ms: now,
+                node: to,
+                peer: from,
+                round: 0,
+                tag: 0,
+                detail: entries as f64,
+            });
+        }
     }
 }
 
@@ -601,6 +662,62 @@ mod tests {
             stats.virtual_ms > 1_500.0,
             "cross-cut entries spread only after the heal: {}",
             stats.virtual_ms
+        );
+    }
+
+    #[test]
+    fn traced_runs_observe_merges_and_drops_without_perturbing_the_protocol() {
+        use dlb_obs::MemorySink;
+        let loads: Vec<f64> = (0..30).map(|i| (i * 3) as f64).collect();
+        let delays = |_: usize, _: usize| 10.0;
+        let script = FaultPlan::new()
+            .loss(0.4)
+            .churn(0.2, 0.0, 1_000.0)
+            .compile(11, 30);
+
+        let mut traced = EventGossip::new(&loads, 11);
+        let mut sink = MemorySink::default();
+        let stats_traced =
+            traced.run_faulted_observed(&EventGossipConfig::default(), delays, &script, &mut sink);
+
+        let mut plain = EventGossip::new(&loads, 11);
+        let stats_plain = plain.run_faulted(&EventGossipConfig::default(), delays, &script);
+
+        // Observation is passive: identical stats and views either way.
+        assert_eq!(stats_traced, stats_plain);
+        for node in 0..30 {
+            assert_eq!(traced.view(node), plain.view(node));
+        }
+
+        // Every swallowed frame is on the record with a reason, and
+        // every merge too.
+        let drops: Vec<_> = sink
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::FrameDropped)
+            .collect();
+        assert_eq!(drops.len(), stats_traced.dropped);
+        assert!(
+            drops.iter().any(|e| e.detail == DROP_LINK_LOSS),
+            "40% loss must drop some frames on the link"
+        );
+        assert!(
+            drops.iter().any(|e| e.detail == DROP_DEST_DOWN),
+            "frames to crashed nodes must name the receiver as the reason"
+        );
+        // Frames still in flight when dissemination completes are never
+        // merged, so only a lower bound relates merges to exchanges: a
+        // completed exchange merged its reply (or was the decisive
+        // push's request merge).
+        let merges: Vec<_> = sink
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::GossipFull)
+            .collect();
+        assert!(merges.len() >= stats_traced.exchanges);
+        assert!(
+            merges.iter().all(|e| e.detail == 30.0),
+            "full m-entry views"
         );
     }
 

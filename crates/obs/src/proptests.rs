@@ -1,0 +1,140 @@
+//! Property-based tests: frame-log codec round-trip and the metric
+//! merge laws (associativity, commutativity) the determinism story
+//! rests on.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::event::{TraceEvent, TraceKind, KIND_COUNT};
+use crate::framelog::{FrameLog, Trailer};
+use crate::metrics::MetricSet;
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        0..KIND_COUNT as u8,
+        0.0f64..1e9,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u8>(),
+        0.0f64..1e9,
+    )
+        .prop_map(|(kind, at_ms, node, peer, round, tag, detail)| TraceEvent {
+            kind: TraceKind::from_u8(kind).expect("in range"),
+            at_ms,
+            node,
+            peer,
+            round,
+            tag,
+            detail,
+        })
+}
+
+fn arb_log() -> impl Strategy<Value = FrameLog> {
+    let arb_spec = proptest::collection::vec(0u8..27, 0..80).prop_map(|v| {
+        v.into_iter()
+            .map(|b| if b == 26 { ' ' } else { (b'a' + b) as char })
+            .collect::<String>()
+    });
+    (
+        arb_spec,
+        proptest::collection::vec(arb_event(), 0..48),
+        any::<u64>(),
+        0.0f64..1e12,
+        any::<u64>(),
+        any::<u64>(),
+        0.0f64..1e9,
+    )
+        .prop_map(
+            |(spec, events, event_hash, final_cost, rounds, exchanges, virtual_ms)| FrameLog {
+                spec,
+                events,
+                trailer: Trailer {
+                    event_hash,
+                    final_cost,
+                    rounds,
+                    exchanges,
+                    virtual_ms,
+                },
+            },
+        )
+}
+
+fn metric_set(events: &[TraceEvent]) -> MetricSet {
+    let mut s = MetricSet::default();
+    for ev in events {
+        s.ingest(ev);
+    }
+    s
+}
+
+proptest! {
+    /// Every log round-trips exactly through the binary codec.
+    #[test]
+    fn framelog_round_trips(log in arb_log()) {
+        let bytes = log.encode();
+        prop_assert_eq!(FrameLog::decode(&bytes).expect("decodes"), log);
+    }
+
+    /// No truncated prefix of a valid log may decode, and none may
+    /// panic (the trailer magic plus fixed event size make every cut
+    /// detectable).
+    #[test]
+    fn framelog_truncation_is_always_rejected(log in arb_log()) {
+        let bytes = log.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(FrameLog::decode(&bytes[..cut]).is_err(), "cut {} decoded", cut);
+        }
+    }
+
+    /// Metric merge is commutative bit-for-bit: all accumulator state
+    /// is integer or min/max.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(arb_event(), 0..40),
+        b in proptest::collection::vec(arb_event(), 0..40),
+    ) {
+        let (sa, sb) = (metric_set(&a), metric_set(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Metric merge is associative bit-for-bit, so any shard partition
+    /// and any merge tree produce identical totals — the property that
+    /// makes sharded accumulation `DLB_THREADS`-invariant.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(arb_event(), 0..30),
+        b in proptest::collection::vec(arb_event(), 0..30),
+        c in proptest::collection::vec(arb_event(), 0..30),
+    ) {
+        let (sa, sb, sc) = (metric_set(&a), metric_set(&b), metric_set(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Sharded ingestion (split anywhere, merge in shard order) equals
+    /// the unsharded fold exactly.
+    #[test]
+    fn sharding_is_exact(events in proptest::collection::vec(arb_event(), 1..80), cut in 0usize..80) {
+        let cut = cut % events.len();
+        let whole = metric_set(&events);
+        let merged = MetricSet::merge_shards([
+            metric_set(&events[..cut]),
+            metric_set(&events[cut..]),
+        ].iter());
+        prop_assert_eq!(merged, whole);
+    }
+}

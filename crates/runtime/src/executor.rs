@@ -86,6 +86,8 @@ use std::sync::Arc;
 use dlb_core::events::EventHeap;
 use dlb_core::Instance;
 use dlb_faults::{FaultScript, FaultSummary};
+use dlb_obs::event::{DROP_DEST_DOWN, DROP_SRC_DOWN};
+use dlb_obs::{NullSink, TraceEvent, TraceKind, TraceSink, NODE_COORD, NO_PEER};
 use dlb_par::with_pool;
 use dlb_requestsim::stream::StreamScript;
 
@@ -138,6 +140,34 @@ fn mix(h: u64, v: u64) -> u64 {
     (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
 }
 
+/// A frame's hashing identity: `(tag, from, round)`. The tags are the
+/// append-only vocabulary shared by the event hash, the trace events,
+/// and [`dlb_obs::tag_label`] — one extraction point so the fingerprint
+/// and the trace can never disagree about what a frame *was*.
+fn frame_identity(frame: &Frame) -> (u8, u32, u64) {
+    match frame {
+        Frame::RoundStart { round, .. } => (1u8, 0, *round),
+        Frame::Propose { from, round } => (2, *from, *round),
+        Frame::Accept { from, round, .. } => (3, *from, *round),
+        Frame::Busy { from, round } => (4, *from, *round),
+        Frame::Commit { from, round, .. } => (5, *from, *round),
+        Frame::Report { from, round, .. } => (6, *from, *round),
+        Frame::Shutdown => (7, 0, 0),
+        Frame::FinalLedger { from, .. } => (8, *from, 0),
+        Frame::CommitAck { from, round } => (9, *from, *round),
+    }
+}
+
+/// The trace-facing sender of a frame: coordinator-originated tags
+/// (RoundStart, Shutdown) hash `from = 0` but *mean* the coordinator.
+fn frame_peer(tag: u8, from: u32) -> u32 {
+    if tag == 1 || tag == 7 {
+        NODE_COORD
+    } else {
+        from
+    }
+}
+
 /// Folds an event's identity (due time, destination, frame shape) into
 /// the running fingerprint. Ledger payloads are deliberately excluded:
 /// the determinism tests compare final ledgers directly, and the hash
@@ -151,18 +181,8 @@ fn hash_event(mut h: u64, due: f64, dest: Dest, frame: &Frame) -> u64 {
             Dest::Coordinator => u64::MAX,
         },
     );
-    let (tag, from, round) = match frame {
-        Frame::RoundStart { round, .. } => (1u64, 0, *round),
-        Frame::Propose { from, round } => (2, *from, *round),
-        Frame::Accept { from, round, .. } => (3, *from, *round),
-        Frame::Busy { from, round } => (4, *from, *round),
-        Frame::Commit { from, round, .. } => (5, *from, *round),
-        Frame::Report { from, round, .. } => (6, *from, *round),
-        Frame::Shutdown => (7, 0, 0),
-        Frame::FinalLedger { from, .. } => (8, *from, 0),
-        Frame::CommitAck { from, round } => (9, *from, *round),
-    };
-    h = mix(h, tag);
+    let (tag, from, round) = frame_identity(frame);
+    h = mix(h, tag as u64);
     h = mix(h, from as u64);
     mix(h, round)
 }
@@ -179,7 +199,7 @@ fn hash_timer(mut h: u64, due: f64, tag: u64, node: u64, round: u64) -> u64 {
 
 /// The simulated network: the shared event heap plus the delay model
 /// and fault script every scheduled frame passes through.
-struct Fabric<'s, D> {
+struct Fabric<'s, 't, D, T: TraceSink> {
     heap: EventHeap<Event>,
     delays: D,
     script: &'s FaultScript,
@@ -189,13 +209,19 @@ struct Fabric<'s, D> {
     /// dropped at a dead host (see [`Fabric::arm_abort`]); `None`
     /// (oracle) pushes no timers at all.
     rto: Option<f64>,
+    /// The observability plane. Every emission is behind
+    /// `tracer.enabled()`; with [`NullSink`] (a monomorphized constant
+    /// `false`) the hooks compile down to nothing and the run is
+    /// byte-identical to an unobserved one.
+    tracer: &'t mut T,
 }
 
-impl<D: Fn(usize, usize) -> f64> Fabric<'_, D> {
+impl<D: Fn(usize, usize) -> f64, T: TraceSink> Fabric<'_, '_, D, T> {
     /// Schedules a machine's emissions. `src` is `None` for the
     /// coordinator.
     fn schedule(&mut self, now: f64, src: Option<usize>, out: &mut Vec<Outbound>) {
         for o in out.drain(..) {
+            let mut held = 0.0f64;
             let delay = match (src, o.to) {
                 (Some(i), Dest::Node(j)) => {
                     let d = (self.delays)(i, j as usize);
@@ -223,12 +249,44 @@ impl<D: Fn(usize, usize) -> f64> Fabric<'_, D> {
                         if extra > 0.0 {
                             self.summary.delayed_frames += 1;
                             self.summary.extra_delay_ms += extra;
+                            held = extra;
                         }
                         d + extra
                     }
                 }
                 _ => CONTROL_DELAY_MS,
             };
+            if self.tracer.enabled() {
+                let (tag, _, round) = frame_identity(&o.frame);
+                let node = match o.to {
+                    Dest::Node(j) => j,
+                    Dest::Coordinator => NODE_COORD,
+                };
+                let peer = match src {
+                    Some(i) => i as u32,
+                    None => NODE_COORD,
+                };
+                if held > 0.0 {
+                    self.tracer.emit(&TraceEvent {
+                        kind: TraceKind::FrameHeld,
+                        at_ms: now,
+                        node,
+                        peer,
+                        round,
+                        tag,
+                        detail: held,
+                    });
+                }
+                self.tracer.emit(&TraceEvent {
+                    kind: TraceKind::FrameScheduled,
+                    at_ms: now,
+                    node,
+                    peer,
+                    round,
+                    tag,
+                    detail: delay,
+                });
+            }
             self.heap.push(now + delay, Event::Frame(o.to, o.frame));
         }
     }
@@ -366,7 +424,9 @@ where
     )
 }
 
-/// The fully general entry: faults, stream, and explicit clock.
+/// The fully general untraced entry: faults, stream, and explicit
+/// clock, observed by nobody ([`NullSink`] — the hooks compile away
+/// and the run is byte-identical to the pre-observability executor).
 pub fn run_cluster_events_streamed_with_clock<D, C>(
     instance: &Instance,
     options: &ClusterOptions,
@@ -378,6 +438,42 @@ pub fn run_cluster_events_streamed_with_clock<D, C>(
 where
     D: Fn(usize, usize) -> f64,
     C: Clock,
+{
+    run_cluster_events_observed(
+        instance,
+        options,
+        delays,
+        script,
+        stream,
+        clock,
+        &mut NullSink,
+    )
+}
+
+/// The fully general entry: faults, stream, explicit clock, and a
+/// [`TraceSink`] observing the run.
+///
+/// Every hook sits on the executor's single-threaded scheduling /
+/// classification path behind a `tracer.enabled()` branch, emits in
+/// deterministic `(due, seq)` delivery order, and never feeds back
+/// into protocol state — so the trace is as bit-reproducible as the
+/// run itself (across repeats *and* `DLB_THREADS` values), and a
+/// disabled sink leaves the event stream, hash, and report
+/// byte-identical to [`run_cluster_events_streamed_with_clock`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_cluster_events_observed<D, C, T>(
+    instance: &Instance,
+    options: &ClusterOptions,
+    delays: D,
+    script: &FaultScript,
+    stream: &StreamScript,
+    clock: &mut C,
+    tracer: &mut T,
+) -> ClusterReport
+where
+    D: Fn(usize, usize) -> f64,
+    C: Clock,
+    T: TraceSink,
 {
     let m = instance.len();
     assert_eq!(
@@ -410,6 +506,7 @@ where
         script,
         summary: FaultSummary::default(),
         rto: (!use_oracle).then_some(options.exchange_rto_ms),
+        tracer,
     };
     // The per-batch work the pool's workers run: drain one node's
     // queue through its machine, collecting emissions. Spawning the
@@ -471,6 +568,24 @@ where
         let mut last_sample_ms = 0.0f64;
         coordinator.start(&mut out);
         let mut latched_round = coordinator.round_number();
+        // Observability round phases — tracked separately from the
+        // oracle's `latched_round` (which only advances on
+        // faulty-oracle runs). `obs_excl_round` dedups the per-round
+        // exclusion announcement, which every RoundStart frame carries.
+        let mut obs_round = coordinator.round_number();
+        let mut obs_round_start = 0.0f64;
+        let mut obs_excl_round = 0u64;
+        if fabric.tracer.enabled() {
+            fabric.tracer.emit(&TraceEvent {
+                kind: TraceKind::RoundBegin,
+                at_ms: 0.0,
+                node: NODE_COORD,
+                peer: NO_PEER,
+                round: obs_round,
+                tag: 0,
+                detail: 0.0,
+            });
+        }
         if use_oracle {
             for &j in coordinator.down_now() {
                 down[j as usize] = true;
@@ -627,29 +742,145 @@ where
                                 };
                                 if faulty && down[j as usize] && !spared {
                                     fabric.summary.dropped_frames += 1;
+                                    if fabric.tracer.enabled() {
+                                        let (tag, from, round) = frame_identity(&frame);
+                                        fabric.tracer.emit(&TraceEvent {
+                                            kind: TraceKind::FrameDropped,
+                                            at_ms: now,
+                                            node: j,
+                                            peer: frame_peer(tag, from),
+                                            round,
+                                            tag,
+                                            detail: DROP_DEST_DOWN,
+                                        });
+                                    }
                                     if !use_oracle {
                                         fabric.arm_abort(now, &frame);
                                     }
                                 } else {
+                                    if fabric.tracer.enabled() {
+                                        let (tag, from, round) = frame_identity(&frame);
+                                        fabric.tracer.emit(&TraceEvent {
+                                            kind: TraceKind::FrameDelivered,
+                                            at_ms: now,
+                                            node: j,
+                                            peer: frame_peer(tag, from),
+                                            round,
+                                            tag,
+                                            detail: 0.0,
+                                        });
+                                        // Exchange lifecycle markers ride
+                                        // the frames that decide them.
+                                        match &*frame {
+                                            Frame::Propose { from, round } => {
+                                                fabric.tracer.emit(&TraceEvent {
+                                                    kind: TraceKind::ExchangePropose,
+                                                    at_ms: now,
+                                                    node: *from,
+                                                    peer: j,
+                                                    round: *round,
+                                                    tag,
+                                                    detail: 0.0,
+                                                });
+                                            }
+                                            Frame::Commit { from, round, .. } => {
+                                                fabric.tracer.emit(&TraceEvent {
+                                                    kind: TraceKind::ExchangeCommit,
+                                                    at_ms: now,
+                                                    node: *from,
+                                                    peer: j,
+                                                    round: *round,
+                                                    tag,
+                                                    detail: 0.0,
+                                                });
+                                            }
+                                            Frame::RoundStart {
+                                                round, excluded, ..
+                                            } if *round != obs_excl_round => {
+                                                obs_excl_round = *round;
+                                                for &e in excluded {
+                                                    fabric.tracer.emit(&TraceEvent {
+                                                        kind: TraceKind::DetectorExclude,
+                                                        at_ms: now,
+                                                        node: e,
+                                                        peer: NODE_COORD,
+                                                        round: *round,
+                                                        tag,
+                                                        detail: 0.0,
+                                                    });
+                                                }
+                                            }
+                                            _ => {}
+                                        }
+                                    }
                                     if run_queues[j as usize].is_empty() {
                                         touched.push(j);
                                     }
                                     run_queues[j as usize].push(Inbox::Frame(frame));
                                 }
                             }
-                            Dest::Coordinator => coord_items.push(CoordItem::Frame(frame)),
+                            Dest::Coordinator => {
+                                if fabric.tracer.enabled() {
+                                    let (tag, from, round) = frame_identity(&frame);
+                                    fabric.tracer.emit(&TraceEvent {
+                                        kind: TraceKind::FrameDelivered,
+                                        at_ms: now,
+                                        node: NODE_COORD,
+                                        peer: frame_peer(tag, from),
+                                        round,
+                                        tag,
+                                        detail: 0.0,
+                                    });
+                                }
+                                coord_items.push(CoordItem::Frame(frame));
+                            }
                         }
                     }
                     Event::Deadline(round) => {
                         hash = hash_timer(hash, event.due, 16, u64::MAX, round);
+                        if fabric.tracer.enabled() {
+                            fabric.tracer.emit(&TraceEvent {
+                                kind: TraceKind::TimerFired,
+                                at_ms: now,
+                                node: NODE_COORD,
+                                peer: NO_PEER,
+                                round,
+                                tag: 16,
+                                detail: 0.0,
+                            });
+                        }
                         coord_items.push(CoordItem::Deadline(round));
                     }
                     Event::Rto(j, round, kind) => {
                         hash = hash_timer(hash, event.due, 17, j as u64, round);
+                        if fabric.tracer.enabled() {
+                            fabric.tracer.emit(&TraceEvent {
+                                kind: TraceKind::TimerFired,
+                                at_ms: now,
+                                node: j,
+                                peer: NO_PEER,
+                                round,
+                                tag: 17,
+                                detail: 0.0,
+                            });
+                        }
                         // A dead node's timer fires into the void; if it
                         // recovers later still mid-exchange, the drain
                         // freeze recovers its ledger.
                         if !(faulty && down[j as usize]) {
+                            // Stale timers died at pop, so a live RTO
+                            // reaching its machine aborts the exchange.
+                            if fabric.tracer.enabled() {
+                                fabric.tracer.emit(&TraceEvent {
+                                    kind: TraceKind::ExchangeAbort,
+                                    at_ms: now,
+                                    node: j,
+                                    peer: NO_PEER,
+                                    round,
+                                    tag: 17,
+                                    detail: 0.0,
+                                });
+                            }
                             if run_queues[j as usize].is_empty() {
                                 touched.push(j);
                             }
@@ -706,7 +937,20 @@ where
                             (!dead).then_some(org)
                         };
                         match target {
-                            None => stream_dropped += 1,
+                            None => {
+                                stream_dropped += 1;
+                                if fabric.tracer.enabled() {
+                                    fabric.tracer.emit(&TraceEvent {
+                                        kind: TraceKind::StreamDrop,
+                                        at_ms: now,
+                                        node: a.org,
+                                        peer: NO_PEER,
+                                        round: 0,
+                                        tag: 18,
+                                        detail: 1.0,
+                                    });
+                                }
+                            }
                             Some(j) => {
                                 let machine = machines[j].as_mut().expect("machine present");
                                 let backlog = machine.ledger().sum().max(0.0);
@@ -719,18 +963,52 @@ where
                                     served += 1;
                                     outstanding += 1;
                                     sojourns.push((fabric.delays)(org, j) + wait);
+                                    if fabric.tracer.enabled() {
+                                        fabric.tracer.emit(&TraceEvent {
+                                            kind: TraceKind::StreamArrival,
+                                            at_ms: now,
+                                            node: a.org,
+                                            peer: j as u32,
+                                            round: 0,
+                                            tag: 18,
+                                            detail: wait,
+                                        });
+                                    }
                                     fabric.heap.push(
                                         now + wait,
                                         Event::Departure(a.org, j as u32, 1.0, idx),
                                     );
                                 } else {
                                     stream_dropped += 1;
+                                    if fabric.tracer.enabled() {
+                                        fabric.tracer.emit(&TraceEvent {
+                                            kind: TraceKind::StreamDrop,
+                                            at_ms: now,
+                                            node: a.org,
+                                            peer: j as u32,
+                                            round: 0,
+                                            tag: 18,
+                                            detail: 1.0,
+                                        });
+                                    }
                                 }
                             }
                         }
                     }
                     Event::Departure(org, server, amount, idx) => {
                         hash = hash_timer(hash, event.due, 19, server as u64, idx as u64);
+                        if fabric.tracer.enabled() {
+                            let sojourn = now - stream.arrivals()[idx as usize].at_ms;
+                            fabric.tracer.emit(&TraceEvent {
+                                kind: TraceKind::StreamDeparture,
+                                at_ms: now,
+                                node: org,
+                                peer: server,
+                                round: 0,
+                                tag: 19,
+                                detail: sojourn,
+                            });
+                        }
                         stream_batch = true;
                         outstanding -= 1;
                         // The unit may have been rebalanced since it
@@ -843,6 +1121,23 @@ where
                     // A crashed node sends nothing (it only ever hears a
                     // final Commit; see above).
                     fabric.summary.dropped_frames += outs.len() as u64;
+                    if fabric.tracer.enabled() {
+                        for o in &outs {
+                            let (tag, from, round) = frame_identity(&o.frame);
+                            fabric.tracer.emit(&TraceEvent {
+                                kind: TraceKind::FrameDropped,
+                                at_ms: now,
+                                node: match o.to {
+                                    Dest::Node(j) => j,
+                                    Dest::Coordinator => NODE_COORD,
+                                },
+                                peer: frame_peer(tag, from),
+                                round,
+                                tag,
+                                detail: DROP_SRC_DOWN,
+                            });
+                        }
+                    }
                     continue;
                 }
                 fabric.schedule(now, Some(src as usize), &mut outs);
@@ -865,6 +1160,28 @@ where
                     CoordItem::Deadline(round) => coordinator.on_deadline(round, now, &mut out),
                 }
                 fabric.schedule(now, None, &mut out);
+            }
+            if fabric.tracer.enabled() && coordinator.round_number() != obs_round {
+                fabric.tracer.emit(&TraceEvent {
+                    kind: TraceKind::RoundEnd,
+                    at_ms: now,
+                    node: NODE_COORD,
+                    peer: NO_PEER,
+                    round: obs_round,
+                    tag: 0,
+                    detail: now - obs_round_start,
+                });
+                obs_round = coordinator.round_number();
+                obs_round_start = now;
+                fabric.tracer.emit(&TraceEvent {
+                    kind: TraceKind::RoundBegin,
+                    at_ms: now,
+                    node: NODE_COORD,
+                    peer: NO_PEER,
+                    round: obs_round,
+                    tag: 0,
+                    detail: 0.0,
+                });
             }
             if faulty && use_oracle && coordinator.round_number() != latched_round {
                 latched_round = coordinator.round_number();
@@ -903,15 +1220,52 @@ where
                 // scripted crash instant.
                 let cur = coordinator.suspects_now();
                 if cur != prev_suspects {
-                    let mut pi = 0usize;
-                    for &s in &cur {
-                        while pi < prev_suspects.len() && prev_suspects[pi] < s {
+                    // Sorted symmetric diff: ids only in `cur` are fresh
+                    // suspicions, ids only in `prev_suspects` rejoined
+                    // (probation readmission or recovery).
+                    let (mut ci, mut pi) = (0usize, 0usize);
+                    while ci < cur.len() || pi < prev_suspects.len() {
+                        let both = ci < cur.len()
+                            && pi < prev_suspects.len()
+                            && cur[ci] == prev_suspects[pi];
+                        let fresh = pi >= prev_suspects.len()
+                            || (ci < cur.len() && cur[ci] < prev_suspects[pi]);
+                        if both {
+                            ci += 1;
                             pi += 1;
-                        }
-                        let known = pi < prev_suspects.len() && prev_suspects[pi] == s;
-                        if !known && script.node_down(s as usize, now) {
-                            tp_count += 1;
-                            tp_latency_sum += now - script.crash_time(s as usize);
+                        } else if fresh {
+                            let s = cur[ci];
+                            let mut latency = 0.0f64;
+                            if script.node_down(s as usize, now) {
+                                latency = now - script.crash_time(s as usize);
+                                tp_count += 1;
+                                tp_latency_sum += latency;
+                            }
+                            if fabric.tracer.enabled() {
+                                fabric.tracer.emit(&TraceEvent {
+                                    kind: TraceKind::DetectorSuspect,
+                                    at_ms: now,
+                                    node: s,
+                                    peer: NODE_COORD,
+                                    round: coordinator.round_number(),
+                                    tag: 0,
+                                    detail: latency,
+                                });
+                            }
+                            ci += 1;
+                        } else {
+                            if fabric.tracer.enabled() {
+                                fabric.tracer.emit(&TraceEvent {
+                                    kind: TraceKind::DetectorRejoin,
+                                    at_ms: now,
+                                    node: prev_suspects[pi],
+                                    peer: NODE_COORD,
+                                    round: coordinator.round_number(),
+                                    tag: 0,
+                                    detail: 0.0,
+                                });
+                            }
+                            pi += 1;
                         }
                     }
                     prev_suspects = cur;
@@ -922,6 +1276,17 @@ where
             }
         }
 
+        if fabric.tracer.enabled() {
+            fabric.tracer.emit(&TraceEvent {
+                kind: TraceKind::RoundEnd,
+                at_ms: now,
+                node: NODE_COORD,
+                peer: NO_PEER,
+                round: obs_round,
+                tag: 0,
+                detail: now - obs_round_start,
+            });
+        }
         let mut report = coordinator.into_report();
         report.virtual_ms = now;
         report.event_hash = hash;

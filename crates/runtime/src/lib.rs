@@ -79,8 +79,9 @@ pub use cluster::{
     run_cluster, ClusterOptions, ClusterReport, DetectMode, DetectorSummary, StreamSummary,
 };
 pub use executor::{
-    run_cluster_events, run_cluster_events_faulted, run_cluster_events_streamed,
-    run_cluster_events_streamed_with_clock, run_cluster_events_with_clock,
+    run_cluster_events, run_cluster_events_faulted, run_cluster_events_observed,
+    run_cluster_events_streamed, run_cluster_events_streamed_with_clock,
+    run_cluster_events_with_clock,
 };
 pub use machine::{
     CoordinatorMachine, Dest, NodeConfig, NodeMachine, Outbound, RtoKind, SelectPolicy,

@@ -37,6 +37,14 @@
 //!   the *real* delta-gossip protocol (`gossip=event:100ms`) from
 //!   `dlb-gossip`, with per-server stale views and every byte metered
 //!   in the [`RunRecord`]'s [`GossipTraffic`] summary.
+//! * The `trace=` axis turns on the `dlb-obs` observability plane for
+//!   `algo=protocol runtime=events` scenarios: `trace=summary` folds
+//!   the virtual-time event stream into the record's `obs_*` metric
+//!   group, and `trace=frames:FILE` additionally writes a binary frame
+//!   log that [`replay_frame_log`] re-executes bit-exactly (the
+//!   recorded `event_hash` is computed *before* any tracing hook runs,
+//!   so untraced runs stay byte-identical). `trace=off` (the default)
+//!   compiles the hooks away through a `NullSink`.
 //!
 //! ```
 //! use dlb_scenario::{AlgoSpec, ScenarioSpec};
@@ -51,13 +59,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod replay;
 pub mod runner;
 pub mod spec;
 
+pub use replay::{replay_frame_log, ReplayReport};
 pub use runner::{runner_for, RunRecord, Runner};
 pub use spec::{
     AlgoSpec, DetectSpec, GossipSpec, NetSpec, RuntimeSpec, ScenarioSpec, SelectSpec, SpecError,
-    SpeedKind,
+    SpeedKind, TracePath, TraceSpec,
 };
 
 // The fault axis's plan/summary types, so spec-level callers need no

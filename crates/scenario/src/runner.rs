@@ -17,13 +17,16 @@ use dlb_game::{run_best_response_dynamics, DynamicsOptions};
 use dlb_gossip::GossipTraffic;
 use dlb_netsim::rtt::QueueModel;
 use dlb_netsim::LinkDelayModel;
+use dlb_obs::{FrameLog, MemorySink, MetricSet, NullSink, ObsSummary, TraceSink, Trailer};
 use dlb_runtime::{
-    run_cluster, run_cluster_events_streamed, ClusterOptions, DetectMode, DetectorSummary,
-    NodeConfig, SelectPolicy, StreamSummary,
+    run_cluster, run_cluster_events_observed, ClusterOptions, ClusterReport, DetectMode,
+    DetectorSummary, NodeConfig, SelectPolicy, StreamSummary, VirtualClock,
 };
 use dlb_solver::solve_bcd;
 
-use crate::spec::{AlgoSpec, DetectSpec, GossipSpec, RuntimeSpec, ScenarioSpec, SelectSpec};
+use crate::spec::{
+    AlgoSpec, DetectSpec, GossipSpec, RuntimeSpec, ScenarioSpec, SelectSpec, TraceSpec,
+};
 use dlb_core::Instance;
 
 /// The uniform result of running any scenario.
@@ -70,6 +73,12 @@ pub struct RunRecord {
     /// exchanges, delta vs full-view entries). All zeros under the
     /// default emulated snapshot, which moves no bytes.
     pub gossip: GossipTraffic,
+    /// Observability summary: what the scenario's `trace=` mode saw
+    /// (events emitted, frames delivered/dropped/held, frame-latency
+    /// percentiles). All zeros under the default `trace=off`, which
+    /// observes nothing and keeps the run byte-identical to an
+    /// untraced one.
+    pub obs: ObsSummary,
 }
 
 impl RunRecord {
@@ -119,6 +128,11 @@ fn assert_faults_runnable(spec: &ScenarioSpec) {
             || spec.algo == AlgoSpec::Sequential
             || spec.algo == AlgoSpec::Batched,
         "gossip= requires algo=sequential or algo=batched, got '{spec}'"
+    );
+    assert!(
+        spec.trace == TraceSpec::Off
+            || (spec.algo == AlgoSpec::Protocol && spec.runtime == RuntimeSpec::Events),
+        "trace= requires algo=protocol runtime=events, got '{spec}'"
     );
 }
 
@@ -221,6 +235,7 @@ impl Runner for EngineRunner {
             detector: DetectorSummary::default(),
             stream: StreamSummary::default(),
             gossip: engine.gossip_traffic().unwrap_or_default(),
+            obs: ObsSummary::default(),
         }
     }
 }
@@ -264,6 +279,7 @@ impl Runner for NashRunner {
             detector: DetectorSummary::default(),
             stream: StreamSummary::default(),
             gossip: GossipTraffic::default(),
+            obs: ObsSummary::default(),
         }
     }
 }
@@ -279,6 +295,68 @@ impl Runner for NashRunner {
 /// [`RunRecord::wall_secs`]).
 pub struct ProtocolRunner;
 
+/// The cluster options a scenario spec pins down: round budget,
+/// quiescence thresholds, partner selection, failure detection, and
+/// the deterministic exchange RTO derived from the instance's latency
+/// matrix (see [`exchange_rto_ms`]).
+fn protocol_options(spec: &ScenarioSpec, instance: &Instance) -> ClusterOptions {
+    ClusterOptions {
+        max_rounds: spec.budget,
+        quiescent_rounds: spec.patience.max(1),
+        quiescent_volume: spec.eps,
+        node: NodeConfig {
+            select: match spec.select {
+                SelectSpec::Exact => SelectPolicy::Exact,
+                SelectSpec::TopK(k) => SelectPolicy::TopK(k),
+            },
+            ..Default::default()
+        },
+        detect: match spec.detect {
+            DetectSpec::Oracle => DetectMode::Oracle,
+            DetectSpec::Timeout(ms) => DetectMode::Timeout(ms),
+            DetectSpec::Adaptive => DetectMode::Adaptive,
+        },
+        exchange_rto_ms: exchange_rto_ms(spec, instance),
+        ..Default::default()
+    }
+}
+
+/// Runs the spec on the deterministic event executor with `tracer`
+/// attached. This is *the* event path: the [`ProtocolRunner`] calls it
+/// for live runs (with [`NullSink`] when `trace=off`) and the replay
+/// verifier ([`crate::replay`]) calls it to re-derive a recorded run —
+/// both therefore compile the same link delays, fault script, and
+/// arrival stream from the spec's one seed.
+pub(crate) fn run_protocol_events<T: TraceSink>(
+    spec: &ScenarioSpec,
+    instance: &Instance,
+    tracer: &mut T,
+) -> ClusterReport {
+    let options = protocol_options(spec, instance);
+    let delays = LinkDelayModel::new(instance.latency(), spec.seed);
+    // The scenario's seed compiles the fault plan, so one seed fixes
+    // the workload, the link delays, *and* the fault trajectory. An
+    // empty plan compiles to the empty script, which the executor
+    // treats exactly as "no faults" — byte-equal records.
+    let script = spec.faults.compile(spec.seed, instance.len());
+    // The same seed also compiles the arrival stream, with the
+    // sampled own-loads as the per-organization weights. An empty
+    // plan compiles to the empty script — byte-equal records to an
+    // unstreamed run.
+    let stream = spec
+        .arrivals
+        .compile(spec.seed, spec.duration, instance.own_loads());
+    run_cluster_events_observed(
+        instance,
+        &options,
+        |i, j| delays.one_way_ms(i, j),
+        &script,
+        &stream,
+        &mut VirtualClock,
+        tracer,
+    )
+}
+
 impl Runner for ProtocolRunner {
     fn name(&self) -> &'static str {
         "protocol"
@@ -286,53 +364,48 @@ impl Runner for ProtocolRunner {
 
     fn run_on(&self, spec: &ScenarioSpec, instance: Instance) -> RunRecord {
         assert_faults_runnable(spec);
-        let options = ClusterOptions {
-            max_rounds: spec.budget,
-            quiescent_rounds: spec.patience.max(1),
-            quiescent_volume: spec.eps,
-            node: NodeConfig {
-                select: match spec.select {
-                    SelectSpec::Exact => SelectPolicy::Exact,
-                    SelectSpec::TopK(k) => SelectPolicy::TopK(k),
-                },
-                ..Default::default()
-            },
-            detect: match spec.detect {
-                DetectSpec::Oracle => DetectMode::Oracle,
-                DetectSpec::Timeout(ms) => DetectMode::Timeout(ms),
-                DetectSpec::Adaptive => DetectMode::Adaptive,
-            },
-            exchange_rto_ms: exchange_rto_ms(spec, &instance),
-            ..Default::default()
-        };
         let start = Instant::now();
+        let mut obs = ObsSummary::default();
         let (report, secs) = match spec.runtime {
             RuntimeSpec::Threads => {
+                let options = protocol_options(spec, &instance);
                 let report = run_cluster(&instance, &options);
                 (report, start.elapsed().as_secs_f64())
             }
             RuntimeSpec::Events => {
-                let delays = LinkDelayModel::new(instance.latency(), spec.seed);
-                // The scenario's seed compiles the fault plan, so one
-                // seed fixes the workload, the link delays, *and* the
-                // fault trajectory. An empty plan compiles to the
-                // empty script, which the executor treats exactly as
-                // "no faults" — byte-equal records.
-                let script = spec.faults.compile(spec.seed, instance.len());
-                // The same seed also compiles the arrival stream, with
-                // the sampled own-loads as the per-organization
-                // weights. An empty plan compiles to the empty script
-                // — byte-equal records to an unstreamed run.
-                let stream = spec
-                    .arrivals
-                    .compile(spec.seed, spec.duration, instance.own_loads());
-                let report = run_cluster_events_streamed(
-                    &instance,
-                    &options,
-                    |i, j| delays.one_way_ms(i, j),
-                    &script,
-                    &stream,
-                );
+                let report = match spec.trace {
+                    TraceSpec::Off => run_protocol_events(spec, &instance, &mut NullSink),
+                    TraceSpec::Summary | TraceSpec::Frames(_) => {
+                        let mut sink = MemorySink::default();
+                        let report = run_protocol_events(spec, &instance, &mut sink);
+                        obs = MetricSet::from_events(&sink.events).summary();
+                        if let TraceSpec::Frames(path) = spec.trace {
+                            // The header records the spec *without* its
+                            // trace key: replay re-derives the run, and
+                            // re-recording during replay would be both
+                            // circular and a determinism hazard.
+                            let mut header = *spec;
+                            header.trace = TraceSpec::Off;
+                            let log = FrameLog {
+                                spec: header.to_string(),
+                                events: sink.events,
+                                trailer: Trailer {
+                                    event_hash: report.event_hash,
+                                    final_cost: report.final_cost,
+                                    rounds: report.rounds as u64,
+                                    exchanges: report.exchanges as u64,
+                                    virtual_ms: report.virtual_ms,
+                                },
+                            };
+                            assert!(
+                                std::fs::write(path.as_str(), log.encode()).is_ok(),
+                                "trace=frames:{}: cannot write frame log",
+                                path.as_str()
+                            );
+                        }
+                        report
+                    }
+                };
                 let secs = report.virtual_ms / 1000.0;
                 (report, secs)
             }
@@ -349,6 +422,7 @@ impl Runner for ProtocolRunner {
             detector: report.detector,
             stream: report.stream,
             gossip: GossipTraffic::default(),
+            obs,
         }
     }
 }
@@ -379,6 +453,7 @@ impl Runner for BcdRunner {
             detector: DetectorSummary::default(),
             stream: StreamSummary::default(),
             gossip: GossipTraffic::default(),
+            obs: ObsSummary::default(),
         }
     }
 }

@@ -372,6 +372,119 @@ impl fmt::Display for GossipSpec {
     }
 }
 
+/// Inline capacity of a [`TracePath`] (bytes). Paths in `trace=` are
+/// capped here so [`ScenarioSpec`] can stay `Copy` — the dozens of
+/// builder-reuse call sites rely on specs being freely duplicable.
+pub const TRACE_PATH_MAX: usize = 120;
+
+/// A file path stored inline (fixed capacity, no heap): the
+/// `frames:FILE` operand of the `trace=` key. Compares and displays as
+/// the path string it holds.
+#[derive(Clone, Copy)]
+pub struct TracePath {
+    buf: [u8; TRACE_PATH_MAX],
+    len: u8,
+}
+
+impl TracePath {
+    /// Validates and stores a path. Rejects empty paths, whitespace
+    /// (the spec text form is whitespace-tokenized), and paths longer
+    /// than [`TRACE_PATH_MAX`] bytes.
+    pub fn new(path: &str) -> Result<Self, SpecError> {
+        if path.is_empty() {
+            return Err(SpecError(
+                "trace: frames needs a file path (e.g. trace=frames:run.dlbtrace)".into(),
+            ));
+        }
+        if path.chars().any(char::is_whitespace) {
+            return Err(SpecError(
+                "trace: the frame-log path may not contain whitespace".into(),
+            ));
+        }
+        if path.len() > TRACE_PATH_MAX {
+            return Err(SpecError(format!(
+                "trace: the frame-log path exceeds {TRACE_PATH_MAX} bytes"
+            )));
+        }
+        let mut buf = [0u8; TRACE_PATH_MAX];
+        buf[..path.len()].copy_from_slice(path.as_bytes());
+        Ok(TracePath {
+            buf,
+            len: path.len() as u8,
+        })
+    }
+
+    /// The stored path.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..self.len as usize]).expect("constructed from &str")
+    }
+}
+
+impl PartialEq for TracePath {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for TracePath {}
+
+impl fmt::Debug for TracePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TracePath({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for TracePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Observability mode of a run (the `trace=` key). Only
+/// `algo=protocol runtime=events` can trace — the deterministic
+/// executor is where the virtual-clock hooks live;
+/// [`ScenarioSpec::parse`] rejects other combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceSpec {
+    /// No observer: the run is byte-identical to an untraced one (the
+    /// hooks compile down to a dead branch).
+    #[default]
+    Off,
+    /// Stream events into deterministic metrics only (per-kind counts,
+    /// latency histograms) — the `obs_*` record fields — without
+    /// retaining the event stream.
+    Summary,
+    /// `frames:FILE` — record the full event stream as a binary frame
+    /// log at `FILE`, replayable bit-exactly with `dlb trace replay`.
+    Frames(TracePath),
+}
+
+impl TraceSpec {
+    fn parse(v: &str) -> Result<Self, SpecError> {
+        match v {
+            "off" => return Ok(TraceSpec::Off),
+            "summary" => return Ok(TraceSpec::Summary),
+            _ => {}
+        }
+        if let Some(path) = v.strip_prefix("frames:") {
+            return Ok(TraceSpec::Frames(TracePath::new(path)?));
+        }
+        Err(SpecError(format!(
+            "trace: '{v}' is not one of off|summary|frames:FILE (e.g. trace=frames:run.dlbtrace)"
+        )))
+    }
+}
+
+impl fmt::Display for TraceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceSpec::Off => write!(f, "off"),
+            TraceSpec::Summary => write!(f, "summary"),
+            TraceSpec::Frames(path) => write!(f, "frames:{path}"),
+        }
+    }
+}
+
 fn parse_load(v: &str) -> Result<LoadDistribution, SpecError> {
     match v {
         "const" => Ok(LoadDistribution::Constant),
@@ -457,6 +570,13 @@ pub struct ScenarioSpec {
     /// selection — exact selection recomputes improvements from true
     /// loads and would never observe staleness.
     pub gossip: GossipSpec,
+    /// Observability mode (`trace=`): off (default, byte-identical to
+    /// an untraced run), `summary` (deterministic metrics → `obs_*`
+    /// record fields), or `frames:FILE` (binary frame log, replayable
+    /// bit-exactly). Only meaningful for `algo=protocol
+    /// runtime=events`; [`ScenarioSpec::parse`] rejects other
+    /// combinations.
+    pub trace: TraceSpec,
 }
 
 impl Default for ScenarioSpec {
@@ -485,6 +605,7 @@ impl Default for ScenarioSpec {
             arrivals: ArrivalPlan::default(),
             duration: 0.0,
             gossip: GossipSpec::default(),
+            trace: TraceSpec::Off,
         }
     }
 }
@@ -619,6 +740,15 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the observability mode. Only `algo=protocol
+    /// runtime=events` can trace: [`ScenarioSpec::parse`] rejects
+    /// other combinations up front, and the run entry points panic on
+    /// them (the builder alone cannot see the final key combination).
+    pub fn trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Parses the text form. Empty input yields the default scenario;
     /// unknown keys, malformed values, and duplicate keys are errors.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
@@ -674,11 +804,12 @@ impl ScenarioSpec {
                     spec.duration = parse_float(key, bare)?;
                 }
                 "gossip" => spec.gossip = GossipSpec::parse(value)?,
+                "trace" => spec.trace = TraceSpec::parse(value)?,
                 _ => {
                     return Err(SpecError(format!(
                         "unknown key '{key}' (valid: algo net m lat load avg speeds seed gran \
                          eps patience budget runtime select faults detect arrivals duration \
-                         gossip)"
+                         gossip trace)"
                     )))
                 }
             }
@@ -741,6 +872,15 @@ impl ScenarioSpec {
             return Err(SpecError(
                 "gossip= requires algo=sequential or algo=batched (stale partner scoring \
                  is an engine axis; the protocol runtime exchanges live views by design)"
+                    .into(),
+            ));
+        }
+        if spec.trace != TraceSpec::Off
+            && (spec.algo != AlgoSpec::Protocol || spec.runtime != RuntimeSpec::Events)
+        {
+            return Err(SpecError(
+                "trace= requires algo=protocol runtime=events (the deterministic executor \
+                 is what stamps trace events on the virtual clock)"
                     .into(),
             ));
         }
@@ -851,6 +991,9 @@ impl fmt::Display for ScenarioSpec {
         }
         if self.gossip != d.gossip {
             write!(f, " gossip={}", self.gossip)?;
+        }
+        if self.trace != d.trace {
+            write!(f, " trace={}", self.trace)?;
         }
         Ok(())
     }
@@ -1254,6 +1397,75 @@ mod tests {
              faults=crash:0.1@200ms detect=adaptive select=topk:8"
         )
         .is_ok());
+    }
+
+    #[test]
+    fn trace_key_round_trips_and_validates() {
+        assert_eq!(ScenarioSpec::default().trace, TraceSpec::Off);
+        let spec: ScenarioSpec = "algo=protocol runtime=events m=40 trace=frames:run.dlbtrace"
+            .parse()
+            .unwrap();
+        assert_eq!(
+            spec.trace,
+            TraceSpec::Frames(TracePath::new("run.dlbtrace").unwrap())
+        );
+        assert_eq!(
+            spec.to_string(),
+            "algo=protocol net=homog m=40 runtime=events trace=frames:run.dlbtrace"
+        );
+        assert_eq!(spec.to_string().parse::<ScenarioSpec>().unwrap(), spec);
+        let summary: ScenarioSpec = "algo=protocol runtime=events trace=summary"
+            .parse()
+            .unwrap();
+        assert_eq!(summary.trace, TraceSpec::Summary);
+        assert_eq!(
+            summary.to_string().parse::<ScenarioSpec>().unwrap(),
+            summary
+        );
+        // trace=off is the default and omitted from the text form.
+        let explicit: ScenarioSpec = "algo=protocol runtime=events trace=off".parse().unwrap();
+        assert!(!explicit.to_string().contains("trace="));
+        // The builder mirrors the text form, and the spec stays Copy.
+        let built = ScenarioSpec::new()
+            .algo(AlgoSpec::Protocol)
+            .runtime(RuntimeSpec::Events)
+            .servers(40)
+            .trace(TraceSpec::Frames(TracePath::new("run.dlbtrace").unwrap()));
+        let copy = built; // Copy, not move
+        assert_eq!(built, spec);
+        assert_eq!(copy, spec);
+        // Paths survive directories and dots.
+        let deep = TracePath::new("target/traces/m64.seed3.dlbtrace").unwrap();
+        assert_eq!(deep.as_str(), "target/traces/m64.seed3.dlbtrace");
+    }
+
+    #[test]
+    fn trace_requires_the_event_protocol() {
+        for text in [
+            "trace=summary",               // default algo=sequential
+            "algo=protocol trace=summary", // default runtime=threads
+            "algo=batched runtime=events trace=frames:x.dlbtrace",
+        ] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                err.0.contains("requires algo=protocol runtime=events"),
+                "'{text}' -> {err}"
+            );
+        }
+        // Key order must not matter, and the off default never trips it.
+        assert!(ScenarioSpec::parse("trace=summary runtime=events algo=protocol").is_ok());
+        assert!(ScenarioSpec::parse("algo=batched trace=off").is_ok());
+        for (text, needle) in [
+            ("trace=psychic", "not one of off|summary|frames:FILE"),
+            ("trace=frames:", "needs a file path"),
+            (
+                &format!("trace=frames:{}", "x".repeat(TRACE_PATH_MAX + 1)),
+                "exceeds",
+            ),
+        ] {
+            let err = ScenarioSpec::parse(text).unwrap_err();
+            assert!(err.0.contains(needle), "'{text}' -> {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Golden pins for the observability plane.
+//!
+//! The `dlb-obs` tracing hooks ride inside the event executor, so the
+//! one thing they must never do is *change the run*. These pins prove
+//! it two ways:
+//!
+//! * **Event-order pins.** Four scenario families — clean,
+//!   faulted + adaptive detector, streamed arrivals, and top-k
+//!   selection — are recorded to frame logs and replayed. The recorded
+//!   `event_hash` must equal a golden captured from the
+//!   pre-observability runtime; the hash folds the executor's
+//!   delivered event order *before* any tracing hook runs, so a match
+//!   means the traced executor schedules byte-for-byte the same events
+//!   the untraced one did.
+//! * **Record byte-pin.** An untraced run's JSON record must equal a
+//!   frozen literal — `trace=` absent keeps the record shape (and
+//!   every bit of every number) identical to the pre-observability
+//!   emitter.
+//!
+//! Every replay must also be bit-exact: the rerun reproduces each
+//! recorded event, the hash, and the trailer outcomes.
+
+use delay_lb::obs::FrameLog;
+use delay_lb::prelude::*;
+
+/// `(scenario, event_hash)` goldens captured at the commit preceding
+/// the observability plane (PR 9's executor).
+const GOLDENS: &[(&str, u64)] = &[
+    (
+        "algo=protocol runtime=events net=pl m=64 seed=3",
+        0xe4e172fce23838c1,
+    ),
+    (
+        "algo=protocol runtime=events net=pl m=64 seed=3 faults=crash:0.1@500ms detect=adaptive",
+        0xf86eb952a8ed39b9,
+    ),
+    (
+        "algo=protocol runtime=events net=pl m=48 seed=5 arrivals=poisson:200 duration=2000",
+        0x86ece7e284fb8f39,
+    ),
+    (
+        "algo=protocol runtime=events net=homog m=40 seed=7 select=topk:8",
+        0x445f1787309883b4,
+    ),
+];
+
+#[test]
+fn recorded_hashes_match_pre_observability_goldens_and_replay_bit_exactly() {
+    for (i, &(text, golden)) in GOLDENS.iter().enumerate() {
+        let path = std::env::temp_dir().join(format!("dlb_obs_pin_{i}.dlbf"));
+        let spec: ScenarioSpec = format!("{text} trace=frames:{}", path.display())
+            .parse()
+            .expect("pinned scenario parses");
+        let run = spec.run();
+        assert!(run.obs.events > 0, "{text}: tracing must be live");
+
+        let bytes = std::fs::read(&path).expect("frame log written");
+        let log = FrameLog::decode(&bytes).expect("frame log decodes");
+        assert_eq!(
+            log.trailer.event_hash, golden,
+            "{text}: delivered event order drifted from the pinned golden"
+        );
+        let untraced: ScenarioSpec = text.parse().unwrap();
+        assert_eq!(
+            log.spec,
+            untraced.to_string(),
+            "header must carry the canonical untraced spec"
+        );
+
+        let replay = replay_frame_log(&bytes).expect("log replays");
+        assert!(replay.is_exact(), "{text}: {:?}", replay.divergence);
+        assert_eq!(replay.replayed_hash, golden);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The exact JSON an untraced `net=pl m=64 seed=3` event run emits
+/// (before the sink's host stamp), frozen at the pre-observability
+/// emitter. Any new field, reordered key, or perturbed bit fails here.
+const GOLDEN_RECORD: &str = "{\"kind\":\"run\",\"scenario\":\"algo=protocol net=pl m=64 seed=3 runtime=events\",\"algo\":\"protocol\",\"m\":64,\"initial_cost\":49044.866653983554,\"final_cost\":34654.11778420787,\"iterations\":8,\"converged\":true,\"wall_secs\":0.9402266587905841,\"fault_crashes\":0,\"fault_recoveries\":0,\"fault_dropped_frames\":0,\"fault_delayed_frames\":0,\"fault_extra_delay_ms\":0,\"detector_suspicions\":0,\"detector_false_positives\":0,\"detector_latency_ms\":0,\"detector_rejoin_ms\":0,\"detector_aborted_exchanges\":0,\"history\":[49044.866653983554,42879.17363578381,36623.0928930763,35034.55016096606,34655.156880218834,34654.11778420787,34654.11778420787,34654.11778420787,34654.11778420787]}";
+
+#[test]
+fn untraced_records_stay_byte_identical_to_the_pre_observability_shape() {
+    let spec: ScenarioSpec = "algo=protocol runtime=events net=pl m=64 seed=3"
+        .parse()
+        .unwrap();
+    let run = spec.run();
+    assert!(run.obs.is_quiet(), "trace= absent must keep obs_* quiet");
+    let json = dlb_bench::results::Record::from_run("run", &run).to_json();
+    assert_eq!(json, GOLDEN_RECORD, "untraced record drifted");
+}
+
+/// `trace=summary` must change *only* the record's `obs_*` group: same
+/// trajectory, same simulated time, same everything else.
+#[test]
+fn summary_tracing_only_adds_the_obs_group() {
+    let text = "algo=protocol runtime=events net=pl m=64 seed=3";
+    let off: ScenarioSpec = text.parse().unwrap();
+    let on: ScenarioSpec = format!("{text} trace=summary").parse().unwrap();
+    let (off_run, on_run) = (off.run(), on.run());
+    assert!(on_run.obs.events > 0);
+    assert_eq!(off_run.history, on_run.history);
+    assert_eq!(off_run.wall_secs.to_bits(), on_run.wall_secs.to_bits());
+    assert_eq!(off_run.iterations, on_run.iterations);
+    assert_eq!(off_run.faults, on_run.faults);
+    assert_eq!(off_run.detector, on_run.detector);
+}
